@@ -1,0 +1,91 @@
+"""Ablation — design choices called out in DESIGN.md.
+
+Two knobs of the implementation are ablated:
+
+* the parameter ``k`` of the greedy fixpoint algorithm (the paper's
+  theoretical bound is astronomically large; the ablation shows how answers
+  and cost change with the practical values k = 1, 2, 3);
+* the budgets of the chase-based tripath search (depth / class merges),
+  which govern whether the classification of a 2way-determined query is
+  decided with a verified witness.
+"""
+
+import random
+
+import pytest
+
+from repro import TripathSearcher, cert_k, certain_exact, FORK
+from repro.bench.harness import ExperimentReport, timed
+from repro.bench.reporting import emit
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+
+def test_certk_k_ablation_report():
+    """Answers and cost of Cert_k as k grows, against the exact oracle."""
+    query = QUERIES["q5"]
+    workload = [
+        random_solution_database(query, 4, 3, 4, random.Random(seed)) for seed in range(10)
+    ]
+    report = ExperimentReport(
+        "Ablation — Cert_k on q5 as k grows (10 random instances)",
+        ["k", "agreements", "false negatives", "total time (s)"],
+    )
+    for k in (1, 2, 3):
+        agreements = 0
+        false_negatives = 0
+        total_time = 0.0
+        for database in workload:
+            expected = certain_exact(query, database)
+            answer, elapsed = timed(lambda: cert_k(query, database, k=k))
+            total_time += elapsed
+            agreements += answer == expected
+            false_negatives += expected and not answer
+        report.add(k=k, agreements=f"{agreements}/10",
+                   **{"false negatives": false_negatives,
+                      "total time (s)": f"{total_time:.3f}"})
+    emit(report)
+
+
+def test_tripath_search_budget_ablation_report():
+    """Effect of the search budgets on finding the (nice) fork-tripath of q2."""
+    query = QUERIES["q2"]
+    report = ExperimentReport(
+        "Ablation — tripath search budgets for q2 (fork-tripath, nice fork-tripath)",
+        ["max_depth", "max_merges", "fork found", "nice fork found", "time (s)"],
+    )
+    for depth, merges in ((2, 0), (3, 0), (3, 1), (4, 1), (4, 2)):
+        def run(require_nice):
+            searcher = TripathSearcher(query, max_depth=depth, max_merges=merges,
+                                       require_nice=require_nice)
+            return searcher.search(FORK)
+
+        fork, fork_time = timed(lambda: run(False))
+        nice, nice_time = timed(lambda: run(True))
+        report.add(max_depth=depth, max_merges=merges,
+                   **{"fork found": fork is not None,
+                      "nice fork found": nice is not None and nice.is_nice(),
+                      "time (s)": f"{fork_time + nice_time:.3f}"})
+    emit(report)
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_bench_certk_by_k(benchmark, k):
+    query = QUERIES["q5"]
+    database = random_solution_database(query, 8, 4, 5, random.Random(11))
+    benchmark(lambda: cert_k(query, database, k=k))
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("merges", [0, 1, 2])
+def test_bench_tripath_search_by_merges(benchmark, merges):
+    query = QUERIES["q2"]
+
+    def run():
+        return TripathSearcher(query, max_depth=3, max_merges=merges).search(FORK)
+
+    result = benchmark(run)
+    assert result is not None

@@ -1,0 +1,83 @@
+"""Figure 1 — tripath structures for the running example q2.
+
+Regenerates the three parts of Figure 1:
+
+* 1a (generic structure): every tripath witness found by the chase-based
+  search validates against the structural definition;
+* 1b (non-nice fork-tripath): the explicit 11-fact database of the paper
+  contains a fork-tripath with extra solutions;
+* 1c (nice fork-tripath): the explicit 13-fact tripath is valid, fork, and
+  nice, with the named elements the Section 9 reduction needs.
+
+The timed benchmarks cover the two search procedures (in-database and
+query-level chase).
+"""
+
+import pytest
+
+from repro import FORK, find_tripath_for_query, find_tripath_in_database
+from repro.bench.harness import ExperimentReport
+from repro.bench.reporting import emit
+from repro.fixtures import figure_1b_database, figure_1c_tripath, query_q2
+
+
+def test_figure1_report():
+    q2 = query_q2()
+    fig1b = figure_1b_database()
+    fig1c = figure_1c_tripath()
+    found_1b = find_tripath_in_database(q2, fig1b, kind=FORK, max_depth=6)
+    found_query_level = find_tripath_for_query(q2, kind=FORK, max_depth=4, max_merges=2,
+                                               require_nice=True)
+
+    report = ExperimentReport(
+        "Figure 1 — tripaths of q2 (paper vs measured)",
+        ["object", "paper", "measured"],
+    )
+    report.add(object="Fig 1b: database contains a fork-tripath",
+               paper=True, measured=found_1b is not None)
+    report.add(object="Fig 1b: that tripath is solution-nice",
+               paper=False, measured=found_1b.is_solution_nice())
+    report.add(object="Fig 1c: explicit tripath is a valid fork-tripath",
+               paper=True, measured=fig1c.is_valid() and fig1c.is_fork())
+    report.add(object="Fig 1c: tripath is nice (variable- and solution-nice)",
+               paper=True, measured=fig1c.is_nice())
+    report.add(object="Fig 1c: g(e) = {a}",
+               paper=True, measured=fig1c.g_elements() == {"a"})
+    report.add(object="chase search rebuilds a nice fork-tripath automatically",
+               paper=True, measured=found_query_level is not None and found_query_level.is_nice())
+    emit(report)
+
+    assert found_1b is not None and not found_1b.is_solution_nice()
+    assert fig1c.is_valid() and fig1c.is_fork() and fig1c.is_nice()
+    assert found_query_level is not None and found_query_level.is_nice()
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_find_tripath_in_figure_1b(benchmark):
+    q2 = query_q2()
+    database = figure_1b_database()
+    result = benchmark(lambda: find_tripath_in_database(q2, database, kind=FORK, max_depth=6))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_chase_search_fork_tripath(benchmark):
+    q2 = query_q2()
+    result = benchmark(lambda: find_tripath_for_query(q2, kind=FORK, max_depth=4, max_merges=1))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_chase_search_nice_fork_tripath(benchmark):
+    q2 = query_q2()
+    result = benchmark(
+        lambda: find_tripath_for_query(q2, kind=FORK, max_depth=4, max_merges=2, require_nice=True)
+    )
+    assert result is not None and result.is_nice()
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_validate_figure_1c(benchmark):
+    tripath = figure_1c_tripath()
+    violations = benchmark(tripath.violations)
+    assert violations == []

@@ -1,0 +1,80 @@
+"""Figure 2 / Lemma 9.2 — the 3-SAT reduction for fork-tripath queries.
+
+Regenerates the Figure 2 gadget for the paper's formula and verifies
+Lemma 9.2 (φ satisfiable ⇔ D[φ] not certain) on the paper's formula, on an
+unsatisfiable formula and on a family of random restricted 3-SAT instances.
+The timed benchmarks cover gadget construction and the certainty decision on
+the produced databases.
+"""
+
+import itertools
+
+import pytest
+
+from repro import CnfFormula, Literal, SatReduction, certain_exact, is_satisfiable
+from repro.bench.harness import ExperimentReport
+from repro.bench.reporting import emit
+from repro.bench.workloads import sat_workload
+from repro.fixtures import figure_1c_tripath, figure_2_formula, query_q2
+from repro.logic.cnf import ensure_mixed_polarity, to_at_most_three_occurrences
+
+Q2 = query_q2()
+REDUCTION = SatReduction(Q2, figure_1c_tripath())
+
+
+def _unsat_formula() -> CnfFormula:
+    raw = CnfFormula()
+    for signs in itertools.product([True, False], repeat=3):
+        raw.add_clause([Literal("a", signs[0]), Literal("b", signs[1]), Literal("c", signs[2])])
+    return ensure_mixed_polarity(to_at_most_three_occurrences(raw))
+
+
+def test_lemma_92_report():
+    formulas = [("Figure 2 formula", figure_2_formula()), ("8-clause UNSAT core", _unsat_formula())]
+    formulas += [
+        (f"random restricted 3-SAT #{index}", formula)
+        for index, formula in enumerate(sat_workload(variable_counts=(3, 4, 5)))
+    ]
+    report = ExperimentReport(
+        "Figure 2 / Lemma 9.2 — φ satisfiable ⇔ D[φ] not certain (q2 gadget)",
+        ["formula", "vars", "clauses", "facts", "blocks", "satisfiable", "certain", "lemma 9.2"],
+    )
+    for label, formula in formulas:
+        if not formula.clauses:
+            continue
+        database = REDUCTION.build_database(formula)
+        satisfiable = is_satisfiable(formula)
+        certain = certain_exact(Q2, database)
+        report.add(
+            formula=label,
+            vars=len(formula.variables()),
+            clauses=len(formula),
+            facts=len(database),
+            blocks=database.block_count(),
+            satisfiable=satisfiable,
+            certain=certain,
+            **{"lemma 9.2": satisfiable == (not certain)},
+        )
+        assert satisfiable == (not certain), label
+    emit(report)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_build_gadget(benchmark):
+    formula = figure_2_formula()
+    database = benchmark(lambda: REDUCTION.build_database(formula))
+    assert len(database) > 100
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_decide_certainty_of_gadget(benchmark):
+    database = REDUCTION.build_database(figure_2_formula())
+    result = benchmark(lambda: certain_exact(Q2, database))
+    assert result is False
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_decide_certainty_of_unsat_gadget(benchmark):
+    database = REDUCTION.build_database(_unsat_formula())
+    result = benchmark(lambda: certain_exact(Q2, database))
+    assert result is True

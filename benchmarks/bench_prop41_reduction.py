@@ -1,0 +1,71 @@
+"""Proposition 4.1 — reduction from certain(sjf(q)) to certain(q).
+
+Verifies, on random two-relation databases, that the element-tagging
+reduction preserves certainty (both directions), and reports the Kolaitis–
+Pema classification of sjf(q) for the example queries — including the
+paper's remark that the converse of Proposition 4.1 fails for q2
+(sjf(q2) is PTime although certain(q2) is coNP-complete).
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    SjfComplexity,
+    certain_bruteforce,
+    certain_sjf_bruteforce,
+    classify,
+    classify_sjf,
+    reduce_sjf_database,
+    sjf,
+)
+from repro.bench.harness import ExperimentReport
+from repro.bench.reporting import emit
+from repro.core.sjf import random_sjf_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+
+def test_proposition41_report():
+    report = ExperimentReport(
+        "Proposition 4.1 — sjf classification and reduction round-trip",
+        ["query", "sjf class", "self-join class", "round-trip instances", "round-trip agree"],
+    )
+    for name in ("q1", "q2", "q3", "q5", "q6"):
+        query = QUERIES[name]
+        sjf_query = sjf(query)
+        agreements = 0
+        total = 0
+        for seed in range(8):
+            rng = random.Random(seed)
+            database = random_sjf_database(sjf_query, block_count=4, block_size=2,
+                                           domain_size=3, rng=rng)
+            lhs = certain_sjf_bruteforce(sjf_query, database)
+            rhs = certain_bruteforce(query, reduce_sjf_database(query, database))
+            total += 1
+            agreements += lhs == rhs
+        classification = classify(query) if name != "q7" else None
+        report.add(
+            query=name,
+            **{"sjf class": classify_sjf(sjf_query).value,
+               "self-join class": classification.complexity.value,
+               "round-trip instances": total,
+               "round-trip agree": f"{agreements}/{total}"},
+        )
+        assert agreements == total, name
+    emit(report)
+    # The paper's remark: sjf(q2) is PTime while q2 itself is coNP-complete.
+    assert classify_sjf(sjf(QUERIES["q2"])) == SjfComplexity.PTIME
+    assert classify(QUERIES["q2"]).is_conp_complete
+
+
+@pytest.mark.benchmark(group="prop41")
+def test_bench_reduction_construction(benchmark):
+    query = QUERIES["q2"]
+    sjf_query = sjf(query)
+    database = random_sjf_database(sjf_query, block_count=30, block_size=2,
+                                   domain_size=6, rng=random.Random(4))
+    reduced = benchmark(lambda: reduce_sjf_database(query, database))
+    assert len(reduced) == len(database)

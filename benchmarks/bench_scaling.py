@@ -1,0 +1,86 @@
+"""Experiment F — scaling of the polynomial algorithms vs. exhaustive repair enumeration.
+
+The paper's dichotomy is about asymptotics: the PTime algorithms (Cert_k,
+matching) must scale polynomially in the database size while the naive
+definition of certainty (check every repair) is exponential in the number of
+inconsistent blocks.  This experiment reports, for growing databases, the
+number of repairs and the wall-clock time of each approach — the "shape"
+expected from the paper is that repair enumeration blows up immediately while
+the polynomial algorithms and the SAT oracle stay fast.
+"""
+
+import random
+
+import pytest
+
+from repro import cert_2, certain_bruteforce, certain_by_matching, certain_exact
+from repro.bench.harness import ExperimentReport, timed
+from repro.bench.reporting import emit
+from repro.bench.workloads import scaling_workload
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+#: Beyond this many repairs the brute-force oracle is not even attempted.
+_BRUTE_FORCE_LIMIT = 200_000
+
+
+def test_scaling_report():
+    report = ExperimentReport(
+        "Experiment F — scaling on growing random databases",
+        ["query", "facts", "blocks", "repairs", "Cert_2 (s)", "¬matching (s)",
+         "SAT oracle (s)", "brute force (s)"],
+    )
+    for name in ("q3", "q6", "q2"):
+        query = QUERIES[name]
+        for size, database in scaling_workload(query, sizes=(10, 20, 40, 80)):
+            _, cert2_time = timed(lambda: cert_2(query, database))
+            _, matching_time = timed(lambda: certain_by_matching(query, database))
+            exact_answer, exact_time = timed(lambda: certain_exact(query, database))
+            if database.repair_count() <= _BRUTE_FORCE_LIMIT:
+                brute_answer, brute_time = timed(lambda: certain_bruteforce(query, database))
+                assert brute_answer == exact_answer
+                brute_cell = f"{brute_time:.3f}"
+            else:
+                brute_cell = f"skipped ({database.repair_count():.2e} repairs)"
+            report.add(
+                query=name,
+                facts=len(database),
+                blocks=database.block_count(),
+                repairs=database.repair_count(),
+                **{
+                    "Cert_2 (s)": f"{cert2_time:.3f}",
+                    "¬matching (s)": f"{matching_time:.3f}",
+                    "SAT oracle (s)": f"{exact_time:.3f}",
+                    "brute force (s)": brute_cell,
+                },
+            )
+    emit(report)
+
+
+@pytest.mark.benchmark(group="scaling-cert2")
+@pytest.mark.parametrize("size", [20, 40, 80])
+def test_bench_cert2_scaling(benchmark, size):
+    query = QUERIES["q3"]
+    database = random_solution_database(query, size, size // 4, max(4, size // 2),
+                                        random.Random(size))
+    benchmark(lambda: cert_2(query, database))
+
+
+@pytest.mark.benchmark(group="scaling-matching")
+@pytest.mark.parametrize("size", [20, 40, 80])
+def test_bench_matching_scaling(benchmark, size):
+    query = QUERIES["q6"]
+    database = random_solution_database(query, size, size // 4, max(4, size // 2),
+                                        random.Random(size))
+    benchmark(lambda: certain_by_matching(query, database))
+
+
+@pytest.mark.benchmark(group="scaling-oracle")
+@pytest.mark.parametrize("size", [20, 40, 80])
+def test_bench_sat_oracle_scaling(benchmark, size):
+    query = QUERIES["q2"]
+    database = random_solution_database(query, size, size // 4, max(4, size // 2),
+                                        random.Random(size))
+    benchmark(lambda: certain_exact(query, database))

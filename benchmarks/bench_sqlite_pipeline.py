@@ -1,0 +1,87 @@
+"""Experiment G — end-to-end CQA pipeline over the SQLite backend.
+
+Loads synthetic inconsistent relations into SQLite, computes the block
+structure and the solution pairs in SQL, and answers certainty with the
+classification-driven engine.  The benchmark times the individual pipeline
+stages, and the report checks that the SQL evaluation agrees with the
+in-memory semantics.
+"""
+
+import random
+
+import pytest
+
+from repro import CertainEngine, SqliteFactStore, certain_answer_via_sqlite, certain_exact
+from repro.bench.harness import ExperimentReport
+from repro.bench.reporting import emit
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+Q3 = example_queries()["q3"]
+Q2 = example_queries()["q2"]
+
+
+def _database(query, size, seed):
+    return random_solution_database(query, size, size // 4, max(4, size // 2),
+                                    random.Random(seed))
+
+
+def test_sqlite_pipeline_report():
+    report = ExperimentReport(
+        "Experiment G — SQLite pipeline (SQL evaluation vs in-memory semantics)",
+        ["query", "facts", "blocks (SQL)", "solutions (SQL)", "solutions (python)",
+         "certain via pipeline", "certain via oracle", "agree"],
+    )
+    for name, query in (("q3", Q3), ("q2", Q2)):
+        database = _database(query, 30, 11)
+        with SqliteFactStore(query.schema) as store:
+            store.load_database(database)
+            sql_blocks = len(store.block_sizes())
+            sql_solutions = len(store.evaluate_query(query))
+            pipeline_answer = certain_answer_via_sqlite(query, store)
+        python_solutions = len(query.solutions(database.facts()))
+        oracle_answer = certain_exact(query, database)
+        report.add(
+            query=name,
+            facts=len(database),
+            **{"blocks (SQL)": sql_blocks, "solutions (SQL)": sql_solutions,
+               "solutions (python)": python_solutions,
+               "certain via pipeline": pipeline_answer,
+               "certain via oracle": oracle_answer,
+               "agree": pipeline_answer == oracle_answer},
+        )
+        assert sql_blocks == database.block_count()
+        assert sql_solutions == python_solutions
+        assert pipeline_answer == oracle_answer
+    emit(report)
+
+
+@pytest.mark.benchmark(group="sqlite")
+def test_bench_sqlite_load(benchmark):
+    database = _database(Q3, 60, 2)
+
+    def load():
+        with SqliteFactStore(Q3.schema) as store:
+            return store.load_database(database)
+
+    inserted = benchmark(load)
+    assert inserted == len(database)
+
+
+@pytest.mark.benchmark(group="sqlite")
+def test_bench_sqlite_query_evaluation(benchmark):
+    database = _database(Q3, 60, 2)
+    with SqliteFactStore(Q3.schema) as store:
+        store.load_database(database)
+        solutions = benchmark(lambda: store.evaluate_query(Q3))
+    assert isinstance(solutions, list)
+
+
+@pytest.mark.benchmark(group="sqlite")
+def test_bench_sqlite_end_to_end_certainty(benchmark):
+    database = _database(Q3, 60, 2)
+    engine = CertainEngine(Q3)
+    with SqliteFactStore(Q3.schema) as store:
+        store.load_database(database)
+        answer = benchmark(lambda: engine.is_certain(store.to_database()))
+    assert answer == certain_exact(Q3, database)

@@ -1,0 +1,65 @@
+"""Table Q — classification of the paper's example queries q1–q7.
+
+Regenerates the (implicit) table of the paper: for every named example query
+the dichotomy side, the theorem deciding it and the algorithm computing
+certain answers.  The benchmark times the full classification of the running
+example q2 (syntactic tests + chase-based tripath search).
+"""
+
+import pytest
+
+from repro import classify
+from repro.bench.harness import ExperimentReport
+from repro.bench.reporting import emit
+from repro.fixtures import example_queries, expected_classifications
+
+
+def _classify(name, query):
+    if name == "q7":
+        return classify(query, tripath_depth=3, tripath_merges=1, max_candidates=2000)
+    return classify(query)
+
+
+def test_table_classification_matches_paper():
+    """The qualitative result: every example query lands on the paper's side."""
+    expected = expected_classifications()
+    report = ExperimentReport(
+        "Table Q — classification of the example queries (paper vs measured)",
+        ["query", "definition", "paper", "measured", "method", "exact"],
+    )
+    for name, query in example_queries().items():
+        result = _classify(name, query)
+        report.add(
+            query=name,
+            definition=str(query),
+            paper=expected[name],
+            measured=result.complexity.value,
+            method=result.method.name,
+            exact=result.exact,
+        )
+        assert result.complexity.value == expected[name], name
+    emit(report)
+
+
+@pytest.mark.benchmark(group="classification")
+def test_bench_classify_q2(benchmark):
+    """Time the full classification of q2 (includes the fork-tripath search)."""
+    q2 = example_queries()["q2"]
+    result = benchmark(lambda: classify(q2))
+    assert result.is_conp_complete
+
+
+@pytest.mark.benchmark(group="classification")
+def test_bench_classify_q6(benchmark):
+    """Time the classification of the triangle-only query q6."""
+    q6 = example_queries()["q6"]
+    result = benchmark(lambda: classify(q6))
+    assert result.is_ptime
+
+
+@pytest.mark.benchmark(group="classification")
+def test_bench_classify_syntactic_only(benchmark):
+    """Syntactic classification (q3) is essentially instantaneous."""
+    q3 = example_queries()["q3"]
+    result = benchmark(lambda: classify(q3))
+    assert result.is_ptime

@@ -1,0 +1,57 @@
+"""Experiment A (Theorem 6.1) — certain(q) = Cert_2(q) for condition-(1)-false queries.
+
+For q3 and q4 (the paper's Theorem 6.1 examples) random inconsistent
+workloads are generated and Cert_2 is compared against the exact oracle: the
+paper predicts 100 % agreement.  The timed benchmark measures Cert_2 on a
+mid-size database, the polynomial algorithm whose existence the theorem
+asserts.
+"""
+
+import pytest
+
+from repro import cert_2, certain_exact
+from repro.bench.harness import ExperimentReport, compare_with_oracle
+from repro.bench.reporting import emit
+from repro.bench.workloads import agreement_workload
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+
+def test_theorem61_agreement_report():
+    report = ExperimentReport(
+        "Experiment A (Theorem 6.1) — Cert_2 vs exact oracle",
+        ["query", "instances", "certain", "agreement", "false neg", "false pos"],
+    )
+    for name in ("q3", "q4"):
+        query = QUERIES[name]
+        workload = agreement_workload(query, instance_count=15, solution_count=4,
+                                      domain_size=5, noise_count=4, seed=61)
+        workload += agreement_workload(query, instance_count=10, solution_count=3,
+                                       domain_size=9, noise_count=7, seed=161)
+        result = compare_with_oracle(query, lambda db, q=query: cert_2(q, db), workload)
+        certain_count = sum(1 for db in workload if certain_exact(query, db))
+        report.add(query=name, instances=result.total, certain=certain_count,
+                   agreement=f"{result.agreement_rate:.0%}",
+                   **{"false neg": result.false_negatives, "false pos": result.false_positives})
+        assert result.agreement_rate == 1.0, name
+    emit(report)
+
+
+@pytest.mark.benchmark(group="theorem61")
+def test_bench_cert2_q3_mid_size(benchmark):
+    import random
+
+    query = QUERIES["q3"]
+    database = random_solution_database(query, 40, 10, 20, random.Random(0))
+    benchmark(lambda: cert_2(query, database))
+
+
+@pytest.mark.benchmark(group="theorem61")
+def test_bench_exact_oracle_q3_mid_size(benchmark):
+    import random
+
+    query = QUERIES["q3"]
+    database = random_solution_database(query, 40, 10, 20, random.Random(0))
+    benchmark(lambda: certain_exact(query, database))

@@ -1,0 +1,60 @@
+"""Experiment B (Theorem 8.1) — no-tripath queries are decided by Cert_k.
+
+q5 is 2way-determined and admits no tripath (no branching centre exists at
+all), so the paper predicts that the greedy fixpoint algorithm computes its
+certain answers.  The experiment compares Cert_3 against the exact oracle on
+random workloads; the benchmark times Cert_3 and the ``center_exists`` test
+that makes the classification of q5 exact.
+"""
+
+import pytest
+
+from repro import TripathSearcher, cert_k, certain_exact
+from repro.bench.harness import ExperimentReport, compare_with_oracle
+from repro.bench.reporting import emit
+from repro.bench.workloads import agreement_workload
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+Q5 = example_queries()["q5"]
+
+
+def test_theorem81_agreement_report():
+    workload = agreement_workload(Q5, instance_count=15, solution_count=4,
+                                  domain_size=4, noise_count=3, seed=81)
+    workload += agreement_workload(Q5, instance_count=10, solution_count=6,
+                                   domain_size=3, noise_count=2, seed=181)
+    result = compare_with_oracle(Q5, lambda db: cert_k(Q5, db, k=3), workload)
+    certain_count = sum(1 for db in workload if certain_exact(Q5, db))
+    report = ExperimentReport(
+        "Experiment B (Theorem 8.1) — Cert_3 vs exact oracle on q5 (no tripath)",
+        ["query", "instances", "certain", "agreement", "no centre (exact)"],
+    )
+    report.add(query="q5", instances=result.total, certain=certain_count,
+               agreement=f"{result.agreement_rate:.0%}",
+               **{"no centre (exact)": not TripathSearcher(Q5).center_exists()})
+    emit(report)
+    assert result.agreement_rate == 1.0
+    assert not TripathSearcher(Q5).center_exists()
+
+
+@pytest.mark.benchmark(group="theorem81")
+def test_bench_cert3_q5(benchmark):
+    import random
+
+    database = random_solution_database(Q5, 10, 4, 6, random.Random(3))
+    benchmark(lambda: cert_k(Q5, database, k=3))
+
+
+@pytest.mark.benchmark(group="theorem81")
+def test_bench_cert2_q5_larger(benchmark):
+    import random
+
+    database = random_solution_database(Q5, 30, 8, 12, random.Random(3))
+    benchmark(lambda: cert_k(Q5, database, k=2))
+
+
+@pytest.mark.benchmark(group="theorem81")
+def test_bench_center_existence_check(benchmark):
+    result = benchmark(lambda: TripathSearcher(Q5).center_exists())
+    assert result is False

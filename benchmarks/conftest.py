@@ -1,0 +1,22 @@
+"""Benchmark-session configuration.
+
+Adds the ``src`` layout to ``sys.path`` (for uninstalled checkouts) and, at
+the end of the session, writes every qualitative experiment report collected
+by the benchmarks to ``benchmarks/experiment_reports.txt`` so that the tables
+referenced by EXPERIMENTS.md can be regenerated with a single command.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.bench.reporting import collector
+
+    if collector.reports:
+        target = Path(__file__).resolve().parent / "experiment_reports.txt"
+        collector.write(target)

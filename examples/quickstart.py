@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: classify a query and answer it certainly over an inconsistent database.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CertainEngine,
+    Database,
+    Fact,
+    classify,
+    find_falsifying_repair,
+    parse_query,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Define a two-atom self-join query.
+    #    q2 from the paper: R(x,u | x,y) ∧ R(u,y | x,z) — the part before
+    #    "|" is the primary key of R.
+    # ------------------------------------------------------------------ #
+    q2 = parse_query("R(x,u|x,y) R(u,y|x,z)")
+    print(f"query        : {q2}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Classify its consistent-query-answering complexity (the dichotomy).
+    # ------------------------------------------------------------------ #
+    result = classify(q2)
+    print(f"classification: {result.summary()}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Build an inconsistent database (two facts share the key (a, b)).
+    # ------------------------------------------------------------------ #
+    schema = q2.schema
+    database = Database(
+        [
+            Fact(schema, ("a", "b", "a", "a")),
+            Fact(schema, ("a", "b", "c", "d")),   # key-equal to the fact above
+            Fact(schema, ("a", "a", "a", "b")),
+            Fact(schema, ("b", "a", "a", "a")),
+        ]
+    )
+    print(f"database     : {database.describe()}")
+    print(database.pretty())
+
+    # ------------------------------------------------------------------ #
+    # 4. Ask whether the query is certain (true in every repair).
+    # ------------------------------------------------------------------ #
+    engine = CertainEngine(q2)
+    report = engine.explain(database)
+    print(f"certain(q2)  : {report.certain}   [answered by: {report.algorithm}]")
+
+    # ------------------------------------------------------------------ #
+    # 5. If it is not certain, exhibit a repair falsifying the query.
+    # ------------------------------------------------------------------ #
+    if not report.certain:
+        witness = find_falsifying_repair(q2, database)
+        print("a falsifying repair:")
+        for fact in witness:
+            print(f"  {fact}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""repro — consistent query answering for two-atom self-join queries.
+
+A full reproduction of "A Dichotomy in the Complexity of Consistent Query
+Answering for Two Atom Queries With Self-Join" (Padmanabha, Segoufin,
+Sirangelo, PODS 2024): the term/query model, the inconsistent-database
+substrate (blocks, repairs, SQLite backend, generators), the polynomial
+algorithms (``Cert_k``, ``matching``), the tripath machinery, the dichotomy
+classifier, the hardness reductions, and exact oracles.
+
+Quickstart::
+
+    from repro import parse_query, classify, CertainEngine, random_solution_database
+
+    q2 = parse_query("R(x,u|x,y) R(u,y|x,z)")
+    print(classify(q2).summary())          # coNP-complete via FORK_TRIPATH ...
+    engine = CertainEngine(q2)
+    db = random_solution_database(q2, solution_count=6, domain_size=4)
+    print(engine.is_certain(db))
+"""
+
+from .core.approximate import (
+    SupportEstimate,
+    estimate_support,
+    exact_support,
+    probably_certain,
+)
+from .core.branching import BranchingTriple, g_bar, g_elements
+from .core.certain import (
+    CertainEngine,
+    EngineReport,
+    certain_bruteforce,
+    certain_exact,
+    certain_trivial,
+    find_falsifying_repair,
+)
+from .core.certk import CertK, CertKResult, cert_2, cert_k, delta_k
+from .core.classification import (
+    ClassificationResult,
+    Complexity,
+    Method,
+    classify,
+)
+from .core.matching import (
+    MatchingAlgorithm,
+    MatchingResult,
+    certain_by_matching,
+    matching_algorithm,
+)
+from .core.query import (
+    TwoAtomQuery,
+    homomorphism,
+    paper_queries,
+    parse_atom,
+    parse_query,
+    queries_isomorphic,
+    subsuming_homomorphism,
+)
+from .core.reduction import ReductionError, SatReduction, sat_reduction
+from .core.sjf import (
+    SelfJoinFreeQuery,
+    SjfComplexity,
+    certain_sjf_bruteforce,
+    classify_sjf,
+    reduce_sjf_database,
+    sjf,
+)
+from .core.solutions import SolutionGraph, build_solution_graph, q_connected_block_components
+from .core.terms import Atom, Element, Fact, RelationSchema
+from .core.tripath import (
+    FORK,
+    TRIANGLE,
+    Tripath,
+    TripathBlock,
+    TripathSearcher,
+    find_tripath_for_query,
+    find_tripath_in_database,
+)
+from .db.fact_store import Block, Database, Repair
+from .db.generators import (
+    random_block_database,
+    random_solution_database,
+    scaled_workload,
+)
+from .db.repairs import count_repairs, iter_repairs, sample_repair, sample_repairs
+from .db.sqlite_backend import SqliteFactStore, certain_answer_via_sqlite
+from .logic.cnf import CnfFormula, Clause, Literal, random_restricted_three_sat
+from .logic.dpll import DpllSolver, is_satisfiable
+from .logic.encode import FalsifyingRepairEncoding, certain_via_sat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # terms / queries
+    "Atom", "Element", "Fact", "RelationSchema",
+    "TwoAtomQuery", "parse_atom", "parse_query", "paper_queries",
+    "homomorphism", "subsuming_homomorphism", "queries_isomorphic",
+    # database substrate
+    "Database", "Block", "Repair",
+    "iter_repairs", "count_repairs", "sample_repair", "sample_repairs",
+    "random_solution_database", "random_block_database", "scaled_workload",
+    "SqliteFactStore", "certain_answer_via_sqlite",
+    # algorithms
+    "CertK", "CertKResult", "cert_k", "cert_2", "delta_k",
+    "MatchingAlgorithm", "MatchingResult", "matching_algorithm", "certain_by_matching",
+    "SolutionGraph", "build_solution_graph", "q_connected_block_components",
+    # tripaths and classification
+    "BranchingTriple", "g_bar", "g_elements",
+    "Tripath", "TripathBlock", "TripathSearcher",
+    "find_tripath_for_query", "find_tripath_in_database", "FORK", "TRIANGLE",
+    "ClassificationResult", "Complexity", "Method", "classify",
+    # certain answering
+    "CertainEngine", "EngineReport",
+    "certain_bruteforce", "certain_exact", "certain_trivial", "find_falsifying_repair",
+    "SupportEstimate", "estimate_support", "exact_support", "probably_certain",
+    # reductions and logic substrate
+    "SelfJoinFreeQuery", "SjfComplexity", "sjf", "classify_sjf",
+    "reduce_sjf_database", "certain_sjf_bruteforce",
+    "SatReduction", "sat_reduction", "ReductionError",
+    "CnfFormula", "Clause", "Literal", "random_restricted_three_sat",
+    "DpllSolver", "is_satisfiable",
+    "FalsifyingRepairEncoding", "certain_via_sat",
+    "__version__",
+]

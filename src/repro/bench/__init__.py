@@ -1,0 +1,1 @@
+"""Benchmark harness: workloads, agreement checks, report rendering."""

@@ -1,0 +1,120 @@
+"""Benchmark harness: experiment runners shared by the ``benchmarks/`` scripts.
+
+Every benchmark in ``benchmarks/`` regenerates one figure, table or claim of
+the paper (see the experiment index in DESIGN.md).  The helpers here factor
+out the common structure: run a sweep, collect rows, render them as an
+aligned text table (so that the pytest-benchmark output also shows the
+qualitative result the paper reports), and compare algorithm answers against
+the exact oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.certain import certain_exact
+from ..core.query import TwoAtomQuery
+from ..db.fact_store import Database
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment report."""
+
+    values: Dict[str, object]
+
+
+@dataclass
+class ExperimentReport:
+    """A named collection of rows with a tabular rendering."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        self.rows.append(ExperimentRow(values))
+
+    def render(self) -> str:
+        widths = {column: len(column) for column in self.columns}
+        rendered_rows = []
+        for row in self.rows:
+            rendered = {
+                column: _render_cell(row.values.get(column, "")) for column in self.columns
+            }
+            for column, text in rendered.items():
+                widths[column] = max(widths[column], len(text))
+            rendered_rows.append(rendered)
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        separator = "  ".join("-" * widths[column] for column in self.columns)
+        lines = [self.title, header, separator]
+        for rendered in rendered_rows:
+            lines.append(
+                "  ".join(rendered[column].ljust(widths[column]) for column in self.columns)
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render())
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class AgreementResult:
+    """Outcome of comparing an algorithm against the exact oracle on a workload."""
+
+    total: int
+    agreements: int
+    false_negatives: int
+    false_positives: int
+    disagreement_examples: List[Database] = field(default_factory=list)
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreements / self.total if self.total else 1.0
+
+    @property
+    def sound(self) -> bool:
+        """True when the algorithm never answered "certain" on a non-certain input."""
+        return self.false_positives == 0
+
+
+def compare_with_oracle(
+    query: TwoAtomQuery,
+    algorithm: Callable[[Database], bool],
+    databases: Iterable[Database],
+    oracle: Optional[Callable[[Database], bool]] = None,
+    keep_examples: int = 3,
+) -> AgreementResult:
+    """Compare ``algorithm`` against the exact oracle on every database."""
+    oracle = oracle or (lambda database: certain_exact(query, database))
+    total = agreements = false_negatives = false_positives = 0
+    examples: List[Database] = []
+    for database in databases:
+        expected = oracle(database)
+        answer = algorithm(database)
+        total += 1
+        if answer == expected:
+            agreements += 1
+            continue
+        if expected and not answer:
+            false_negatives += 1
+        else:
+            false_positives += 1
+        if len(examples) < keep_examples:
+            examples.append(database)
+    return AgreementResult(total, agreements, false_negatives, false_positives, examples)
+
+
+def timed(function: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``function`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start

@@ -1,0 +1,48 @@
+"""Report rendering for the benchmark harness.
+
+The benchmarks both time their subject (pytest-benchmark) and print the
+qualitative result the paper reports (who wins, which class each query falls
+in, whether the reduction preserves satisfiability).  This module collects
+those printed reports so that a benchmark run leaves a single consolidated
+text summary that EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .harness import ExperimentReport
+
+PathLike = Union[str, Path]
+
+
+class ReportCollector:
+    """Accumulates experiment reports and optionally writes them to disk."""
+
+    def __init__(self) -> None:
+        self.reports: List[ExperimentReport] = []
+
+    def add(self, report: ExperimentReport) -> ExperimentReport:
+        self.reports.append(report)
+        return report
+
+    def render(self) -> str:
+        return "\n\n".join(report.render() for report in self.reports)
+
+    def write(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(self.render() + "\n", encoding="utf-8")
+        return path
+
+
+#: Module-level collector shared by a benchmark session.
+collector = ReportCollector()
+
+
+def emit(report: ExperimentReport, echo: bool = True) -> ExperimentReport:
+    """Register a report with the session collector and (by default) print it."""
+    collector.add(report)
+    if echo:  # pragma: no branch - printing is the point of the benchmarks
+        print("\n" + report.render())
+    return report

@@ -1,0 +1,86 @@
+"""Named workloads used by the benchmark scripts.
+
+Each workload is a deterministic function of its parameters (seeded RNG), so
+benchmark runs are reproducible and the EXPERIMENTS.md numbers can be
+regenerated exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.query import TwoAtomQuery, paper_queries
+from ..db.fact_store import Database
+from ..db.generators import random_solution_database
+from ..logic.cnf import CnfFormula, random_restricted_three_sat
+
+
+def agreement_workload(
+    query: TwoAtomQuery,
+    instance_count: int = 20,
+    solution_count: int = 5,
+    domain_size: int = 5,
+    noise_count: int = 3,
+    seed: int = 42,
+) -> List[Database]:
+    """Small random databases with a mix of certain and non-certain instances."""
+    databases = []
+    for index in range(instance_count):
+        rng = random.Random(seed + index)
+        databases.append(
+            random_solution_database(
+                query,
+                solution_count=solution_count,
+                noise_count=noise_count,
+                domain_size=domain_size,
+                rng=rng,
+            )
+        )
+    return databases
+
+
+def scaling_workload(
+    query: TwoAtomQuery,
+    sizes: Tuple[int, ...] = (10, 20, 40, 80),
+    seed: int = 2024,
+) -> List[Tuple[int, Database]]:
+    """Databases of growing size for the scaling benchmarks."""
+    workload = []
+    for index, size in enumerate(sizes):
+        rng = random.Random(seed + index)
+        domain = max(4, size // 2)
+        workload.append(
+            (
+                size,
+                random_solution_database(
+                    query,
+                    solution_count=size,
+                    noise_count=size // 4,
+                    domain_size=domain,
+                    rng=rng,
+                ),
+            )
+        )
+    return workload
+
+
+def sat_workload(
+    variable_counts: Tuple[int, ...] = (3, 4, 5, 6),
+    clause_factor: float = 1.5,
+    seed: int = 11,
+) -> List[CnfFormula]:
+    """Random restricted 3-SAT formulas for the Figure 2 / Lemma 9.2 experiment."""
+    formulas = []
+    for index, variables in enumerate(variable_counts):
+        rng = random.Random(seed + index)
+        clauses = max(2, int(clause_factor * variables))
+        formulas.append(
+            random_restricted_three_sat(variables, clauses, rng=rng, prefix="p")
+        )
+    return formulas
+
+
+def paper_query_workload() -> Dict[str, TwoAtomQuery]:
+    """The q1–q7 table workload."""
+    return paper_queries()

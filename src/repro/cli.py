@@ -1,0 +1,176 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``classify``
+    Classify one or more queries (or the paper's examples with ``--paper``).
+``certain``
+    Decide the certain answer of a query over facts loaded from a CSV file.
+``support``
+    Estimate the fraction of repairs satisfying the query (Monte-Carlo).
+``reduce``
+    Build the Section 9 gadget database ``D[φ]`` for a DIMACS-like formula
+    and report its size and certainty.
+
+The CLI is a thin veneer over the public API so that the library can be used
+without writing Python; every command prints a compact human-readable report
+and exits with a non-zero status on invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.approximate import estimate_support
+from .core.certain import CertainEngine, find_falsifying_repair
+from .core.classification import classify
+from .core.query import TwoAtomQuery, paper_queries, parse_query
+from .core.reduction import ReductionError, sat_reduction
+from .db.csvio import load_csv
+from .db.fact_store import Database
+from .logic.cnf import parse_dimacs_like
+from .logic.dpll import is_satisfiable
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Consistent query answering for two-atom self-join queries "
+        "(PODS 2024 dichotomy reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify_parser = subparsers.add_parser("classify", help="classify queries")
+    classify_parser.add_argument("queries", nargs="*", help='queries like "R(x,u|x,y) R(u,y|x,z)"')
+    classify_parser.add_argument("--paper", action="store_true",
+                                 help="classify the paper's example queries q1..q7")
+    classify_parser.add_argument("--depth", type=int, default=4,
+                                 help="tripath search depth (default 4)")
+
+    certain_parser = subparsers.add_parser("certain", help="certain answer over a CSV relation")
+    certain_parser.add_argument("query", help="the two-atom query")
+    certain_parser.add_argument("csv", help="CSV file with one column per position")
+    certain_parser.add_argument("--no-header", action="store_true",
+                                help="the CSV file has no header row")
+    certain_parser.add_argument("--witness", action="store_true",
+                                help="print a falsifying repair when the query is not certain")
+
+    support_parser = subparsers.add_parser("support", help="estimate the repair support")
+    support_parser.add_argument("query", help="the two-atom query")
+    support_parser.add_argument("csv", help="CSV file with one column per position")
+    support_parser.add_argument("--samples", type=int, default=500)
+    support_parser.add_argument("--no-header", action="store_true")
+
+    reduce_parser = subparsers.add_parser("reduce", help="build the Section 9 gadget D[phi]")
+    reduce_parser.add_argument("query", help="a query admitting a fork-tripath (e.g. q2)")
+    reduce_parser.add_argument(
+        "clauses",
+        nargs="+",
+        help='clauses as comma-separated signed integers, e.g. "-1,2,3"; '
+        'put "--" before the first clause so that leading minus signs are '
+        "not parsed as options",
+    )
+    return parser
+
+
+def _parse_query_argument(text: str) -> TwoAtomQuery:
+    named = paper_queries()
+    if text in named:
+        return named[text]
+    return parse_query(text)
+
+
+def _load_database(args) -> Database:
+    query = _parse_query_argument(args.query)
+    return load_csv(args.csv, query.schema, has_header=not args.no_header)
+
+
+def _run_classify(args) -> int:
+    queries = []
+    if args.paper:
+        queries.extend(paper_queries().items())
+    queries.extend((text, _parse_query_argument(text)) for text in args.queries)
+    if not queries:
+        print("nothing to classify: pass queries or --paper", file=sys.stderr)
+        return 2
+    for name, query in queries:
+        kwargs = {"tripath_depth": args.depth}
+        if query.schema.arity > 8:
+            kwargs.update(tripath_merges=1, max_candidates=2000)
+        result = classify(query, **kwargs)
+        print(f"{name}: {result.summary()}")
+    return 0
+
+
+def _run_certain(args) -> int:
+    query = _parse_query_argument(args.query)
+    database = _load_database(args)
+    engine = CertainEngine(query)
+    report = engine.explain(database)
+    print(f"query     : {query}")
+    print(f"database  : {database.describe()}")
+    print(f"certain   : {report.certain}")
+    print(f"algorithm : {report.algorithm}")
+    if args.witness and not report.certain:
+        witness = find_falsifying_repair(query, database)
+        print("falsifying repair:")
+        for fact in witness:
+            print(f"  {fact}")
+    return 0
+
+
+def _run_support(args) -> int:
+    query = _parse_query_argument(args.query)
+    database = _load_database(args)
+    estimate = estimate_support(query, database, samples=args.samples)
+    print(f"query            : {query}")
+    print(f"database         : {database.describe()}")
+    print(f"estimated support: {estimate.estimate:.3f} "
+          f"[{estimate.lower_bound:.3f}, {estimate.upper_bound:.3f}] "
+          f"({estimate.confidence:.0%} confidence, {estimate.samples} samples)")
+    if estimate.definitely_not_certain:
+        print("a falsifying repair was sampled: the query is definitely NOT certain")
+    return 0
+
+
+def _run_reduce(args) -> int:
+    query = _parse_query_argument(args.query)
+    rows: List[List[int]] = []
+    for clause_text in args.clauses:
+        try:
+            rows.append([int(token) for token in clause_text.split(",") if token.strip()])
+        except ValueError:
+            print(f"cannot parse clause {clause_text!r}", file=sys.stderr)
+            return 2
+    formula = parse_dimacs_like(rows)
+    try:
+        database = sat_reduction(query, formula)
+    except ReductionError as error:
+        print(f"reduction failed: {error}", file=sys.stderr)
+        return 1
+    engine = CertainEngine(query)
+    certain = engine.is_certain(database)
+    print(f"formula      : {formula}")
+    print(f"satisfiable  : {is_satisfiable(formula)}")
+    print(f"D[phi]       : {database.describe()}")
+    print(f"certain(q)   : {certain}")
+    print(f"Lemma 9.2    : {is_satisfiable(formula) == (not certain)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "classify": _run_classify,
+        "certain": _run_certain,
+        "support": _run_support,
+        "reduce": _run_reduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Core algorithms and models: the paper's primary contribution."""

@@ -1,0 +1,140 @@
+"""Branching facts, forks, triangles and the ``g(e)`` key selector (Section 7).
+
+For a 2way-determined query a fact can participate in at most two solutions
+within a repair (Lemma 7.1); when a fact ``e`` participates in two solutions
+they are necessarily of the form ``q(d e)`` and ``q(e f)``, and the triple
+``d e f`` is a *fork* unless additionally ``q(f d)`` holds, in which case it
+is a *triangle*.  The tuple ``g(e)`` selects key elements of the centre that
+must not leak into the keys of the extremal facts of a tripath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..db.fact_store import Database
+from .query import TwoAtomQuery
+from .terms import Element, Fact
+
+
+@dataclass(frozen=True)
+class BranchingTriple:
+    """A triple ``d, e, f`` with ``q(d e)`` and ``q(e f)``; ``e`` is the branching fact."""
+
+    left: Fact      # d
+    centre: Fact    # e
+    right: Fact     # f
+
+    def facts(self) -> Tuple[Fact, Fact, Fact]:
+        return (self.left, self.centre, self.right)
+
+
+def is_branching_triple(query: TwoAtomQuery, left: Fact, centre: Fact, right: Fact) -> bool:
+    """Whether ``q(left centre)`` and ``q(centre right)`` hold with pairwise distinct blocks.
+
+    The three facts of a tripath centre live in three distinct blocks, so we
+    additionally require them to be pairwise non key-equal (which also rules
+    out equal facts).
+    """
+    if left.key_equal(centre) or centre.key_equal(right) or left.key_equal(right):
+        return False
+    return query.matches_pair(left, centre) and query.matches_pair(centre, right)
+
+
+def triple_is_triangle(query: TwoAtomQuery, triple: BranchingTriple) -> bool:
+    """The centre ``d e f`` is a triangle when additionally ``q(f d)`` holds."""
+    return query.matches_pair(triple.right, triple.left)
+
+
+def triple_is_fork(query: TwoAtomQuery, triple: BranchingTriple) -> bool:
+    return not triple_is_triangle(query, triple)
+
+
+def g_bar(triple: BranchingTriple) -> Tuple[Element, ...]:
+    """The tuple ``ḡ(e)`` of Section 7, determined by key inclusions of the centre.
+
+    Writing ``d``, ``e``, ``f`` for the centre facts and ``key(·)`` for the
+    *set* of key elements:
+
+    * key(d) ⊆ key(e) and key(f) ⊈ key(e)          →  ḡ(e) = key-tuple(d)
+    * key(d) ⊈ key(e) and key(f) ⊆ key(e)          →  ḡ(e) = key-tuple(f)
+    * key(d) ⊆ key(f) ⊆ key(e)                     →  ḡ(e) = key-tuple(d)
+    * key(f) ⊆ key(d) ⊆ key(e)                     →  ḡ(e) = key-tuple(f)
+    * otherwise                                     →  ḡ(e) = key-tuple(e)
+    """
+    left, centre, right = triple.left, triple.centre, triple.right
+    key_d, key_e, key_f = left.key_elements, centre.key_elements, right.key_elements
+    if key_d <= key_e and not key_f <= key_e:
+        return left.key_tuple
+    if not key_d <= key_e and key_f <= key_e:
+        return right.key_tuple
+    if key_d <= key_f and key_f <= key_e:
+        return left.key_tuple
+    if key_f <= key_d and key_d <= key_e:
+        return right.key_tuple
+    return centre.key_tuple
+
+
+def g_elements(triple: BranchingTriple) -> frozenset:
+    """The set ``g(e)`` of elements occurring in ``ḡ(e)``; always ⊆ key(e)."""
+    return frozenset(g_bar(triple))
+
+
+def branching_triples(
+    query: TwoAtomQuery, facts: Iterable[Fact]
+) -> List[BranchingTriple]:
+    """All branching triples within the given facts."""
+    materialised = list(facts)
+    triples: List[BranchingTriple] = []
+    for centre in materialised:
+        lefts = [
+            fact
+            for fact in materialised
+            if not fact.key_equal(centre) and query.matches_pair(fact, centre)
+        ]
+        rights = [
+            fact
+            for fact in materialised
+            if not fact.key_equal(centre) and query.matches_pair(centre, fact)
+        ]
+        for left in lefts:
+            for right in rights:
+                if left.key_equal(right):
+                    continue
+                triples.append(BranchingTriple(left, centre, right))
+    return triples
+
+
+def solutions_of_fact_in_repair(
+    query: TwoAtomQuery, repair: Iterable[Fact], fact: Fact
+) -> List[Tuple[Fact, Fact]]:
+    """The solutions of the repair that involve ``fact`` (used to check Lemma 7.1)."""
+    materialised = list(repair)
+    involved = []
+    for first in materialised:
+        for second in materialised:
+            if fact not in (first, second):
+                continue
+            if query.matches_pair(first, second):
+                involved.append((first, second))
+    return involved
+
+
+def verify_lemma_7_1(
+    query: TwoAtomQuery, database: Database, first: Fact, second: Fact
+) -> bool:
+    """Check the two implications of Lemma 7.1 for a solution ``q(first second)``.
+
+    For a 2way-determined query and any facts ``a, b, c`` with ``q(a b)``:
+    ``q(a c)`` implies ``c ~ b`` and ``q(c b)`` implies ``c ~ a``.  Returns
+    ``True`` when no counterexample exists in ``database``.
+    """
+    if not query.matches_pair(first, second):
+        raise ValueError("expected a solution q(first, second)")
+    for candidate in database.facts():
+        if query.matches_pair(first, candidate) and not candidate.key_equal(second):
+            return False
+        if query.matches_pair(candidate, second) and not candidate.key_equal(first):
+            return False
+    return True

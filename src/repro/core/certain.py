@@ -1,0 +1,177 @@
+"""Exact oracles and the classification-driven certain-answer engine.
+
+Three exact ways of deciding ``certain(q)`` are provided:
+
+* :func:`certain_bruteforce` — enumerate every repair (exponential, the
+  simplest possible ground truth for tests);
+* :func:`certain_exact` — search for a falsifying repair through the SAT
+  encoding of :mod:`repro.logic.encode` (exact, scales much further);
+* :class:`CertainEngine` — the production entry point: it classifies the
+  query once (Sections 3–10) and then dispatches every database to the
+  cheapest *sound and complete* procedure for that class, falling back to
+  the SAT oracle only where the paper's polynomial algorithms require the
+  impractically large theoretical constant ``k`` (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..db.fact_store import Database, Repair
+from ..db.repairs import iter_repairs
+from ..logic.encode import FalsifyingRepairEncoding, certain_via_sat
+from .certk import CertK
+from .matching import MatchingAlgorithm
+from .query import TwoAtomQuery, subsuming_homomorphism
+from .terms import Fact
+
+
+def certain_bruteforce(
+    query: TwoAtomQuery, database: Database, limit: Optional[int] = None
+) -> bool:
+    """``certain(q)`` by enumerating repairs (exponential; testing ground truth).
+
+    ``limit`` optionally caps the number of repairs inspected; when the cap
+    is reached without finding a falsifying repair a ``RuntimeError`` is
+    raised rather than returning a possibly wrong answer.
+    """
+    inspected = 0
+    for repair in iter_repairs(database):
+        inspected += 1
+        if not query.satisfied_by(repair):
+            return False
+        if limit is not None and inspected >= limit:
+            raise RuntimeError(
+                f"brute-force oracle exceeded the limit of {limit} repairs"
+            )
+    return True
+
+
+def certain_exact(query: TwoAtomQuery, database: Database) -> bool:
+    """Exact ``certain(q)`` via the falsifying-repair SAT encoding."""
+    return certain_via_sat(query, database)
+
+
+def find_falsifying_repair(
+    query: TwoAtomQuery, database: Database
+) -> Optional[Repair]:
+    """A repair witnessing non-certainty, or ``None`` when the query is certain."""
+    return FalsifyingRepairEncoding(query, database).find_falsifying_repair()
+
+
+def certain_trivial(query: TwoAtomQuery, database: Database) -> bool:
+    """``certain(q)`` for queries equivalent to a one-atom query (Section 2).
+
+    If a (subsuming) homomorphism maps ``A`` to ``B`` the query is equivalent
+    to the single atom ``B``; if it maps ``B`` to ``A`` it is equivalent to
+    ``A``; if the two atoms have identical key tuples every solution inside a
+    repair uses a single fact matching both atoms.  In all three cases the
+    query is certain exactly when some block consists solely of facts with
+    the relevant property — a simple polynomial check.
+    """
+    if subsuming_homomorphism(query.atom_a, query.atom_b) is not None:
+        predicate: Callable[[Fact], bool] = lambda fact: query.atom_b.match(fact) is not None
+    elif subsuming_homomorphism(query.atom_b, query.atom_a) is not None:
+        predicate = lambda fact: query.atom_a.match(fact) is not None
+    elif query.keys_identical():
+        predicate = query.is_self_solution
+    else:
+        raise ValueError("certain_trivial called on a non-trivial query")
+    return any(
+        all(predicate(fact) for fact in block.facts) for block in database.blocks()
+    )
+
+
+@dataclass
+class EngineReport:
+    """How the engine answered one ``is_certain`` call."""
+
+    certain: bool
+    algorithm: str
+    exact: bool
+
+
+class CertainEngine:
+    """Classification-driven consistent query answering for one fixed query.
+
+    The engine mirrors the decision structure of the paper:
+
+    * trivial queries       → the one-atom check of Section 2;
+    * Theorem 6.1 queries   → ``Cert_2(q)`` (complete by the theorem);
+    * coNP-complete queries → the exact SAT oracle;
+    * remaining PTime cases → ``Cert_k(q) ∨ ¬matching(q)`` (Theorems 8.1 and
+      10.5) with a practical ``k``; because the theoretical ``k`` of
+      Proposition 8.2 is astronomically large, a *negative* answer of the
+      combined polynomial algorithms is confirmed with the exact SAT oracle
+      unless ``strict_polynomial`` is set, in which case the paper's
+      algorithm answer is returned as-is.
+    """
+
+    def __init__(
+        self,
+        query: TwoAtomQuery,
+        practical_k: int = 3,
+        strict_polynomial: bool = False,
+        classification: Optional[object] = None,
+    ) -> None:
+        # The import lives here to avoid a circular dependency: the
+        # classification module uses the algorithms of this package.
+        from .classification import ClassificationResult, Method, classify
+
+        self.query = query
+        self.practical_k = practical_k
+        self.strict_polynomial = strict_polynomial
+        self.classification: ClassificationResult = classification or classify(query)
+        self._method_enum = Method
+        self._cert2 = CertK(query, k=2)
+        self._certk = CertK(query, k=practical_k)
+        self._matching = MatchingAlgorithm(query)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def is_certain(self, database: Database) -> bool:
+        return self.explain(database).certain
+
+    def explain(self, database: Database) -> EngineReport:
+        """Answer ``certain(q)`` and report which algorithm produced the answer."""
+        method = self.classification.method
+        methods = self._method_enum
+        if method == methods.TRIVIAL:
+            return EngineReport(certain_trivial(self.query, database), "one-atom check", True)
+        if method == methods.SYNTACTIC_EASY:
+            return EngineReport(
+                self._cert2.is_certain(database), "Cert_2 (Theorem 6.1)", True
+            )
+        if method in (methods.SYNTACTIC_HARD, methods.FORK_TRIPATH):
+            return EngineReport(
+                certain_exact(self.query, database), "SAT oracle (coNP-complete query)", True
+            )
+        # Remaining polynomial cases: no tripath, or triangle-tripath only.
+        if self._certk.is_certain(database):
+            return EngineReport(True, f"Cert_{self.practical_k}", True)
+        if self._matching.certain_by_negation(database):
+            return EngineReport(True, "¬matching (Proposition 10.2)", True)
+        if self.strict_polynomial:
+            return EngineReport(
+                False,
+                f"Cert_{self.practical_k} ∨ ¬matching (paper algorithm, k below the "
+                "theoretical bound)",
+                False,
+            )
+        return EngineReport(
+            certain_exact(self.query, database),
+            "SAT oracle (confirming a negative polynomial-algorithm answer)",
+            True,
+        )
+
+    def paper_polynomial_answer(self, database: Database) -> bool:
+        """The answer of the paper's polynomial algorithm ``Cert_k ∨ ¬matching``.
+
+        Useful for the agreement benchmarks; this is an under-approximation
+        of ``certain(q)`` for any ``k`` (Section 5 and Proposition 10.2).
+        """
+        return self._certk.is_certain(database) or self._matching.certain_by_negation(
+            database
+        )

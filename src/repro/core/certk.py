@@ -1,0 +1,177 @@
+"""The greedy fixpoint algorithm ``Cert_k(q)`` (Section 5, from [3]).
+
+The algorithm computes an inflationary fixpoint ``Δ_k(q, D)`` of *k-sets*
+(sets of at most ``k`` facts extendable to a repair) with the invariant that
+every repair containing a member of ``Δ_k(q, D)`` satisfies ``q``.  It
+answers *yes* when the empty set enters the fixpoint; the answer is always an
+under-approximation of ``certain(q)`` and is exact on the query classes
+identified by Theorems 6.1, 8.1 and 10.5.
+
+Implementation notes
+--------------------
+``Δ_k`` is upward closed within k-sets, so only the antichain of minimal
+sets is stored; a k-set is *covered* when it contains a stored set.  The
+paper's constant ``k = 2^(2κ+1) + κ − 1`` (Proposition 8.2) is a proof
+artefact and far from optimal; the implementation accepts any ``k`` and
+defaults to ``k = 2``, which is the value used by Theorem 6.1 and is
+sufficient for every example query of the paper on the benchmark workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..db.fact_store import Database
+from .query import TwoAtomQuery
+from .terms import Fact
+
+KSet = FrozenSet[Fact]
+
+
+@dataclass
+class CertKResult:
+    """Outcome of running ``Cert_k(q)`` on a database."""
+
+    certain: bool
+    k: int
+    delta: Set[KSet] = field(default_factory=set)
+    iterations: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.certain
+
+
+class CertK:
+    """Runner for the greedy fixpoint algorithm for a fixed query and ``k``."""
+
+    def __init__(self, query: TwoAtomQuery, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.query = query
+        self.k = k
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self, database: Database) -> CertKResult:
+        """Execute the fixpoint computation and report the outcome."""
+        delta = self._initial_delta(database)
+        if frozenset() in delta:
+            return CertKResult(True, self.k, delta, 0)
+        candidates = self._candidate_ksets(database)
+        blocks = [block.facts for block in database.blocks()]
+        iterations = 0
+        changed = True
+        while changed:
+            changed = False
+            iterations += 1
+            for candidate in candidates:
+                if self._covered(candidate, delta):
+                    continue
+                if self._rule_fires(candidate, blocks, delta):
+                    self._insert_minimal(candidate, delta)
+                    changed = True
+            if self._covered(frozenset(), delta):
+                return CertKResult(True, self.k, delta, iterations)
+        return CertKResult(frozenset() in delta, self.k, delta, iterations)
+
+    def is_certain(self, database: Database) -> bool:
+        """Boolean wrapper for :meth:`run` (the paper's ``D |= Cert_k(q)``)."""
+        return self.run(database).certain
+
+    # ------------------------------------------------------------------ #
+    # fixpoint machinery
+    # ------------------------------------------------------------------ #
+    def _initial_delta(self, database: Database) -> Set[KSet]:
+        """Minimal k-sets satisfying the query: solution pairs and self-solutions."""
+        delta: Set[KSet] = set()
+        facts = database.facts()
+        for fact in facts:
+            if self.query.is_self_solution(fact):
+                delta.add(frozenset((fact,)))
+        if self.k >= 2:
+            for index, first in enumerate(facts):
+                assignment = self.query.atom_a.match(first)
+                if assignment is None:
+                    continue
+                for second in facts:
+                    if second == first or first.key_equal(second):
+                        continue
+                    if self.query._extends_to_b(assignment, second):
+                        delta.add(frozenset((first, second)))
+        return self._minimise(delta)
+
+    def _candidate_ksets(self, database: Database) -> List[KSet]:
+        """All k-sets of the database (at most one fact per block), smallest first."""
+        facts = database.facts()
+        candidates: List[KSet] = [frozenset()]
+        for size in range(1, self.k + 1):
+            if size > len(facts):
+                break
+            for subset in combinations(facts, size):
+                block_ids = {fact.block_id() for fact in subset}
+                if len(block_ids) == len(subset):
+                    candidates.append(frozenset(subset))
+        # Smaller sets first so that minimal sets are discovered before the
+        # larger sets they cover.
+        candidates.sort(key=len)
+        return candidates
+
+    def _rule_fires(
+        self, candidate: KSet, blocks: List[List[Fact]], delta: Set[KSet]
+    ) -> bool:
+        """The inductive rule of Section 5.
+
+        ``candidate`` enters ``Δ_k`` when some block ``B`` is such that for
+        every fact ``u`` of ``B`` some subset of ``candidate ∪ {u}`` already
+        belongs to ``Δ_k``.
+        """
+        for block_facts in blocks:
+            if all(
+                self._covered(candidate | {fact}, delta) for fact in block_facts
+            ):
+                return True
+        return False
+
+    def _covered(self, fact_set: FrozenSet[Fact], delta: Set[KSet]) -> bool:
+        """Whether some member of ``delta`` is included in ``fact_set``."""
+        if frozenset() in delta:
+            return True
+        members = list(fact_set)
+        max_size = min(len(members), self.k)
+        for size in range(1, max_size + 1):
+            for subset in combinations(members, size):
+                if frozenset(subset) in delta:
+                    return True
+        return False
+
+    def _insert_minimal(self, candidate: KSet, delta: Set[KSet]) -> None:
+        """Insert keeping ``delta`` an antichain of minimal sets."""
+        dominated = {stored for stored in delta if candidate < stored}
+        delta.difference_update(dominated)
+        delta.add(candidate)
+
+    @staticmethod
+    def _minimise(delta: Set[KSet]) -> Set[KSet]:
+        minimal: Set[KSet] = set()
+        for candidate in sorted(delta, key=len):
+            if not any(stored <= candidate for stored in minimal):
+                minimal.add(candidate)
+        return minimal
+
+
+def cert_k(query: TwoAtomQuery, database: Database, k: int = 2) -> bool:
+    """Convenience wrapper: ``D |= Cert_k(q)``."""
+    return CertK(query, k).is_certain(database)
+
+
+def cert_2(query: TwoAtomQuery, database: Database) -> bool:
+    """The ``k = 2`` instantiation used by Theorem 6.1."""
+    return cert_k(query, database, k=2)
+
+
+def delta_k(query: TwoAtomQuery, database: Database, k: int = 2) -> Set[KSet]:
+    """The computed antichain of minimal members of ``Δ_k(q, D)``."""
+    return CertK(query, k).run(database).delta

@@ -1,0 +1,213 @@
+"""The dichotomy classifier (Sections 3–10).
+
+Given a two-atom self-join query, :func:`classify` determines whether
+``certain(q)`` is in PTime or coNP-complete and which algorithm decides it,
+following exactly the decision procedure of Section 3:
+
+1. queries equivalent to a one-atom query are trivial;
+2. the syntactic condition of Theorem 4.2 gives coNP-completeness (via the
+   Kolaitis–Pema dichotomy for ``sjf(q)`` and Proposition 4.1);
+3. the syntactic condition of Theorem 6.1 gives PTime via ``Cert_2``;
+4. the remaining queries are 2way-determined and their complexity is decided
+   by the existence of tripaths: a fork-tripath gives coNP-completeness
+   (Theorem 9.1), otherwise the query is in PTime (Theorems 8.1 and 10.5).
+
+Step 4 relies on the chase-based tripath search of
+:mod:`repro.core.tripath`; the outcome records whether it is *exact* (backed
+by a verified witness or by an argument preserved under instantiation) or
+*bounded* (no witness found within the search budget).  See DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .query import TwoAtomQuery
+from .tripath import FORK, TRIANGLE, Tripath, TripathSearcher
+
+
+class Complexity(Enum):
+    """The two sides of the dichotomy."""
+
+    PTIME = "PTime"
+    CONP_COMPLETE = "coNP-complete"
+
+
+class Method(Enum):
+    """Which result of the paper determines the classification."""
+
+    TRIVIAL = "equivalent to a one-atom query (Section 2)"
+    SYNTACTIC_HARD = "Theorem 4.2 (hard self-join-free core)"
+    SYNTACTIC_EASY = "Theorem 6.1 (Cert_2 computes certainty)"
+    NO_TRIPATH = "Theorem 8.1 (no tripath, Cert_k computes certainty)"
+    FORK_TRIPATH = "Theorem 9.1 (fork-tripath, coNP-complete)"
+    TRIANGLE_ONLY = "Theorem 10.5 (triangle-tripath only, Cert_k ∨ ¬matching)"
+
+
+@dataclass
+class ClassificationResult:
+    """Outcome of classifying one query."""
+
+    query: TwoAtomQuery
+    complexity: Complexity
+    method: Method
+    algorithm: str
+    is_2way_determined: bool
+    exact: bool
+    tripath: Optional[Tripath] = None
+    notes: str = ""
+
+    @property
+    def is_ptime(self) -> bool:
+        return self.complexity == Complexity.PTIME
+
+    @property
+    def is_conp_complete(self) -> bool:
+        return self.complexity == Complexity.CONP_COMPLETE
+
+    def summary(self) -> str:
+        flag = "exact" if self.exact else "bounded search"
+        return (
+            f"{self.query}: {self.complexity.value} via {self.method.name} "
+            f"[{self.algorithm}] ({flag})"
+        )
+
+
+def classify(
+    query: TwoAtomQuery,
+    tripath_depth: int = 4,
+    tripath_merges: int = 2,
+    max_candidates: int = 20000,
+) -> ClassificationResult:
+    """Classify ``certain(q)`` for a two-atom self-join query.
+
+    ``tripath_depth``/``tripath_merges``/``max_candidates`` bound the
+    chase-based tripath search used for 2way-determined queries; see
+    :class:`~repro.core.tripath.TripathSearcher`.
+    """
+    if query.is_trivial():
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.PTIME,
+            method=Method.TRIVIAL,
+            algorithm="one-atom certainty check",
+            is_2way_determined=False,
+            exact=True,
+            notes="homomorphism between the atoms or identical key tuples",
+        )
+
+    if query.hardness_condition_one() and query.hardness_condition_two():
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.CONP_COMPLETE,
+            method=Method.SYNTACTIC_HARD,
+            algorithm="reduction from certain(sjf(q)) (Proposition 4.1)",
+            is_2way_determined=False,
+            exact=True,
+        )
+
+    if query.easy_condition():
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.PTIME,
+            method=Method.SYNTACTIC_EASY,
+            algorithm="Cert_2(q)",
+            is_2way_determined=False,
+            exact=True,
+        )
+
+    # Remaining case: 2way-determined queries (Section 7).
+    if not query.is_2way_determined():  # pragma: no cover - the three cases partition
+        raise AssertionError(
+            "classification reached the 2way-determined case for a query that is not"
+        )
+    return _classify_2way_determined(query, tripath_depth, tripath_merges, max_candidates)
+
+
+def _classify_2way_determined(
+    query: TwoAtomQuery,
+    tripath_depth: int,
+    tripath_merges: int,
+    max_candidates: int,
+) -> ClassificationResult:
+    searcher = TripathSearcher(
+        query,
+        max_depth=tripath_depth,
+        max_merges=tripath_merges,
+        max_candidates=max_candidates,
+    )
+
+    if not searcher.center_exists():
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.PTIME,
+            method=Method.NO_TRIPATH,
+            algorithm="Cert_k(q)",
+            is_2way_determined=True,
+            exact=True,
+            notes="no branching triple exists, hence no tripath",
+        )
+
+    every_center_is_triangle = searcher.generic_center_is_triangle() is True
+    if every_center_is_triangle:
+        triangle = searcher.search(TRIANGLE)
+        if triangle is not None:
+            return ClassificationResult(
+                query=query,
+                complexity=Complexity.PTIME,
+                method=Method.TRIANGLE_ONLY,
+                algorithm="Cert_k(q) ∨ ¬matching(q)",
+                is_2way_determined=True,
+                exact=True,
+                tripath=triangle,
+                notes="every centre is a triangle, so no fork-tripath exists",
+            )
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.PTIME,
+            method=Method.NO_TRIPATH,
+            algorithm="Cert_k(q)",
+            is_2way_determined=True,
+            exact=True,
+            notes=(
+                "every centre is a triangle (no fork-tripath); no triangle-tripath "
+                "found within the search bounds"
+            ),
+        )
+
+    fork = searcher.search(FORK)
+    if fork is not None:
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.CONP_COMPLETE,
+            method=Method.FORK_TRIPATH,
+            algorithm="3-SAT reduction through the fork-tripath (Section 9)",
+            is_2way_determined=True,
+            exact=True,
+            tripath=fork,
+        )
+
+    triangle = searcher.search(TRIANGLE)
+    if triangle is not None:
+        return ClassificationResult(
+            query=query,
+            complexity=Complexity.PTIME,
+            method=Method.TRIANGLE_ONLY,
+            algorithm="Cert_k(q) ∨ ¬matching(q)",
+            is_2way_determined=True,
+            exact=False,
+            tripath=triangle,
+            notes="no fork-tripath found within the search bounds",
+        )
+
+    return ClassificationResult(
+        query=query,
+        complexity=Complexity.PTIME,
+        method=Method.NO_TRIPATH,
+        algorithm="Cert_k(q)",
+        is_2way_determined=True,
+        exact=False,
+        notes="no tripath found within the search bounds",
+    )

@@ -1,0 +1,162 @@
+"""The bipartite-matching algorithm ``matching(q)`` (Section 10.1, from [3]).
+
+Given a database ``D`` the algorithm builds the solution graph ``G(D, q)``,
+computes for every fact its ``clique`` (its connected component when that
+component is a quasi-clique, the singleton otherwise), and forms the
+bipartite graph ``H(D, q)``:
+
+* left vertices ``V1`` — the blocks of ``D``;
+* right vertices ``V2`` — the cliques;
+* edge ``(block, clique)`` iff the block contains a fact ``a`` belonging to
+  the clique with ``D ⊭ q(a a)``.
+
+``matching(q)`` answers *yes* iff some matching of ``H(D, q)`` saturates
+``V1``.  Its negation ``¬matching(q)`` under-approximates ``certain(q)``
+(Proposition 10.2) and is exact on clique-databases (Proposition 10.3); the
+combination ``Cert_k(q) ∨ ¬matching(q)`` solves every 2way-determined query
+with no fork-tripath (Theorem 10.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..db.fact_store import Database, Repair
+from ..graphs.bipartite import BipartiteGraph, maximum_matching
+from .query import TwoAtomQuery
+from .solutions import SolutionGraph, build_solution_graph
+from .terms import Fact
+
+
+@dataclass
+class MatchingResult:
+    """Outcome of running ``matching(q)`` on a database."""
+
+    has_saturating_matching: bool
+    matching: Dict[object, FrozenSet[Fact]] = field(default_factory=dict)
+    solution_graph: Optional[SolutionGraph] = None
+    bipartite_graph: Optional[BipartiteGraph] = None
+
+    @property
+    def negation_certain(self) -> bool:
+        """The value of ``¬matching(q)`` (an under-approximation of certainty)."""
+        return not self.has_saturating_matching
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.has_saturating_matching
+
+
+class MatchingAlgorithm:
+    """Runner for ``matching(q)`` for a fixed query."""
+
+    def __init__(self, query: TwoAtomQuery) -> None:
+        self.query = query
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self, database: Database) -> MatchingResult:
+        graph = build_solution_graph(self.query, database)
+        cliques = self._cliques(graph)
+        bipartite = self._build_bipartite(database, graph, cliques)
+        matching = maximum_matching(bipartite)
+        saturating = len(matching) == database.block_count()
+        labelled = {block_id: clique for block_id, clique in matching.items()}
+        return MatchingResult(
+            has_saturating_matching=saturating,
+            matching=labelled,
+            solution_graph=graph,
+            bipartite_graph=bipartite,
+        )
+
+    def matches(self, database: Database) -> bool:
+        """The paper's ``D |= matching(q)``."""
+        return self.run(database).has_saturating_matching
+
+    def certain_by_negation(self, database: Database) -> bool:
+        """The value of ``¬matching(q)``; exact on clique-databases (Prop. 10.3)."""
+        return not self.matches(database)
+
+    def is_clique_database(self, database: Database) -> bool:
+        """Whether every component of ``G(D, q)`` is a quasi-clique."""
+        return build_solution_graph(self.query, database).is_clique_database()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _cliques(self, graph: SolutionGraph) -> Dict[Fact, FrozenSet[Fact]]:
+        """The paper's ``clique(a)`` for every fact, computed component-wise."""
+        cliques: Dict[Fact, FrozenSet[Fact]] = {}
+        for component in graph.components():
+            frozen = frozenset(component)
+            if graph.is_quasi_clique(component):
+                for fact in component:
+                    cliques[fact] = frozen
+            else:
+                for fact in component:
+                    cliques[fact] = frozenset((fact,))
+        return cliques
+
+    def _build_bipartite(
+        self,
+        database: Database,
+        graph: SolutionGraph,
+        cliques: Dict[Fact, FrozenSet[Fact]],
+    ) -> BipartiteGraph:
+        bipartite = BipartiteGraph()
+        for block in database.blocks():
+            bipartite.add_left(block.block_id)
+        for clique in set(cliques.values()):
+            bipartite.add_right(clique)
+        for block in database.blocks():
+            for fact in block.facts:
+                if self.query.is_self_solution(fact):
+                    continue
+                bipartite.add_edge(block.block_id, cliques[fact])
+        return bipartite
+
+
+def matching_algorithm(query: TwoAtomQuery, database: Database) -> bool:
+    """Convenience wrapper: the paper's ``D |= matching(q)``."""
+    return MatchingAlgorithm(query).matches(database)
+
+
+def certain_by_matching(query: TwoAtomQuery, database: Database) -> bool:
+    """``¬matching(q)`` as a certainty test (sound but incomplete in general)."""
+    return MatchingAlgorithm(query).certain_by_negation(database)
+
+
+def witness_repair_from_matching(
+    query: TwoAtomQuery, database: Database
+) -> Optional[Repair]:
+    """Try to extract a falsifying repair from a saturating matching.
+
+    On a clique-database for ``q`` a saturating matching assigns to every
+    block a clique from which its fact is picked; choosing, for each block,
+    a fact of the matched clique with no self-solution yields a repair with
+    no solution *provided* the database is a clique-database (the argument of
+    Proposition 10.3).  For other databases the function may return ``None``
+    even when a falsifying repair exists.
+    """
+    runner = MatchingAlgorithm(query)
+    result = runner.run(database)
+    if not result.has_saturating_matching:
+        return None
+    chosen: List[Fact] = []
+    for block in database.blocks():
+        clique = result.matching.get(block.block_id)
+        if clique is None:
+            return None
+        candidates = [
+            fact
+            for fact in block.facts
+            if fact in clique and not query.is_self_solution(fact)
+        ]
+        if not candidates:
+            return None
+        chosen.append(candidates[0])
+    repair = Repair(tuple(chosen))
+    if query.satisfied_by(repair):
+        return None
+    return repair

@@ -1,0 +1,263 @@
+"""The 3-SAT reduction of Section 9 (coNP-hardness for fork-tripath queries).
+
+Given a 2way-determined query ``q`` with a *nice* fork-tripath ``Θ`` and a
+3-SAT formula ``φ`` in which every variable occurs at most three times (at
+least once positively and at least once negatively), the reduction builds a
+database ``D[φ]`` such that
+
+    ``φ`` is satisfiable  ⇔  ``D[φ] ∉ certain(q)``          (Lemma 9.2)
+
+The construction instantiates one copy of ``Θ`` per literal occurrence.  The
+copy for variable ``l`` in clause ``C`` replaces the distinguished elements
+``x, y, z`` (variable-nice witnesses, in the keys of the centre facts) by
+copy-local tags and the elements ``u, v, w`` (unique to the keys of the root
+and the two leaves) by tags shared across copies: the root tag is the clause
+``C`` itself — so the roots of all copies of literals of ``C`` merge into a
+single *clause block* — and the leaf tags link the copy of the positive
+occurrence of ``l`` with the copies of its negative occurrences, so that a
+falsifying repair cannot simultaneously "use" ``l`` and ``¬l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..db.fact_store import Database
+from ..logic.cnf import Clause, CnfFormula, Literal
+from .query import TwoAtomQuery
+from .terms import Element, Fact
+from .tripath import FORK, NiceWitness, Tripath, find_tripath_for_query
+
+
+class ReductionError(ValueError):
+    """Raised when the inputs do not meet the preconditions of Section 9."""
+
+
+@dataclass(frozen=True)
+class _Occurrence:
+    """One literal occurrence: clause index and polarity of the variable."""
+
+    clause_index: int
+    positive: bool
+
+
+@dataclass
+class SatReduction:
+    """The Section 9 reduction for a fixed query and nice fork-tripath."""
+
+    query: TwoAtomQuery
+    tripath: Tripath
+    witness: NiceWitness = field(init=False)
+
+    def __post_init__(self) -> None:
+        violations = self.tripath.violations()
+        if violations:
+            raise ReductionError(f"not a tripath: {violations[0]}")
+        if not self.tripath.is_fork():
+            raise ReductionError("the Section 9 reduction needs a fork-tripath")
+        witness = self.tripath.nice_witness()
+        if witness is None:
+            raise ReductionError("the Section 9 reduction needs a *nice* fork-tripath")
+        self.witness = witness
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def build_database(self, formula: CnfFormula) -> Database:
+        """The database ``D[φ]`` of Section 9."""
+        self._check_formula(formula)
+        occurrences = self._occurrences(formula)
+        database = Database()
+        for variable, variable_occurrences in occurrences.items():
+            for copy in self._variable_gadget(variable, variable_occurrences):
+                database.add_all(copy.facts())
+        self._pad_singleton_blocks(database)
+        return database
+
+    def clause_block_key(self, formula: CnfFormula, clause_index: int) -> Tuple[Element, ...]:
+        """The key of the clause block of ``clause_index`` (for inspection/tests)."""
+        root_fact = self.tripath.extremal_facts()[0]
+        mapping = {self.witness.u: self._clause_tag(clause_index)}
+        return tuple(mapping.get(value, value) for value in root_fact.key_tuple)
+
+    # ------------------------------------------------------------------ #
+    # formula handling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_formula(formula: CnfFormula) -> None:
+        if not formula.has_at_most_three_occurrences():
+            raise ReductionError("every variable must occur at most three times")
+        if not formula.has_mixed_polarity():
+            raise ReductionError(
+                "every variable must occur at least once positively and once negatively"
+            )
+        for clause in formula:
+            if len(clause) < 2:
+                raise ReductionError(
+                    "clauses with a single literal are not supported by the gadget; "
+                    "apply unit propagation first"
+                )
+
+    @staticmethod
+    def _occurrences(formula: CnfFormula) -> Dict[str, List[_Occurrence]]:
+        occurrences: Dict[str, List[_Occurrence]] = {}
+        for clause_index, clause in enumerate(formula):
+            for literal in clause:
+                occurrences.setdefault(literal.variable, []).append(
+                    _Occurrence(clause_index, literal.positive)
+                )
+        return occurrences
+
+    # ------------------------------------------------------------------ #
+    # gadget construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _clause_tag(clause_index: int) -> Element:
+        return ("clause", clause_index)
+
+    @staticmethod
+    def _leaf_tag(first_clause: int, second_clause: int, variable: str) -> Element:
+        return ("link", first_clause, second_clause, variable)
+
+    @staticmethod
+    def _centre_tag(clause_index: int, variable: str, original: Element) -> Element:
+        return ("copy", clause_index, variable, original)
+
+    def _substitution(
+        self,
+        variable: str,
+        clause_index: int,
+        leaf_one_tag: Element,
+        leaf_two_tag: Element,
+    ) -> Dict[Element, Element]:
+        witness = self.witness
+        mapping: Dict[Element, Element] = {}
+        for original in (witness.x, witness.y, witness.z):
+            mapping[original] = self._centre_tag(clause_index, variable, original)
+        mapping[witness.u] = self._clause_tag(clause_index)
+        mapping[witness.v] = leaf_one_tag
+        mapping[witness.w] = leaf_two_tag
+        return mapping
+
+    def _variable_gadget(
+        self, variable: str, occurrences: Sequence[_Occurrence]
+    ) -> List[Tripath]:
+        """The copies of ``Θ`` forming ``D[l]`` for one variable ``l``."""
+        positives = [occ for occ in occurrences if occ.positive]
+        negatives = [occ for occ in occurrences if not occ.positive]
+        if not positives or not negatives:
+            raise ReductionError(f"variable {variable!r} does not occur with both polarities")
+        # Normalise so that the "singleton" polarity plays the positive role.
+        if len(positives) == 1:
+            single, others = positives[0], negatives
+        elif len(negatives) == 1:
+            single, others = negatives[0], positives
+        else:  # pragma: no cover - impossible with at most three occurrences
+            raise ReductionError(f"variable {variable!r} occurs more than three times")
+
+        clause_c = single.clause_index
+        copies: List[Tripath] = []
+        if len(others) == 2:
+            clause_c1, clause_c2 = others[0].clause_index, others[1].clause_index
+            copies.append(
+                self._copy(variable, clause_c,
+                           self._leaf_tag(clause_c, clause_c2, variable),
+                           self._leaf_tag(clause_c, clause_c1, variable))
+            )
+            copies.append(
+                self._copy(variable, clause_c1,
+                           self._leaf_tag(clause_c1, clause_c1, variable),
+                           self._leaf_tag(clause_c, clause_c1, variable))
+            )
+            copies.append(
+                self._copy(variable, clause_c2,
+                           self._leaf_tag(clause_c, clause_c2, variable),
+                           self._leaf_tag(clause_c2, clause_c2, variable))
+            )
+        else:
+            clause_cp = others[0].clause_index
+            copies.append(
+                self._copy(variable, clause_c,
+                           self._leaf_tag(clause_c, clause_c, variable),
+                           self._leaf_tag(clause_c, clause_cp, variable))
+            )
+            copies.append(
+                self._copy(variable, clause_cp,
+                           self._leaf_tag(clause_cp, clause_cp, variable),
+                           self._leaf_tag(clause_c, clause_cp, variable))
+            )
+        return copies
+
+    def _copy(
+        self,
+        variable: str,
+        clause_index: int,
+        leaf_one_tag: Element,
+        leaf_two_tag: Element,
+    ) -> Tripath:
+        mapping = self._substitution(variable, clause_index, leaf_one_tag, leaf_two_tag)
+        return self.tripath.substitute_elements(mapping)
+
+    # ------------------------------------------------------------------ #
+    # padding of singleton blocks
+    # ------------------------------------------------------------------ #
+    def _pad_singleton_blocks(self, database: Database) -> None:
+        """Add a harmless second fact to every block that has only one fact.
+
+        The added fact keeps the key of its block and uses globally fresh
+        elements elsewhere, and is checked not to create any solution with
+        the rest of the database (nor with itself).
+        """
+        counter = 0
+        for block in list(database.blocks()):
+            if block.size != 1:
+                continue
+            original = block.facts[0]
+            for attempt in range(4):
+                counter += 1
+                filler_values = list(original.values)
+                for position in range(original.schema.key_size, original.schema.arity):
+                    filler_values[position] = ("pad", counter, position, attempt)
+                filler = Fact(original.schema, tuple(filler_values))
+                if filler == original:
+                    continue
+                if self._is_harmless(filler, database):
+                    database.add(filler)
+                    break
+            else:  # pragma: no cover - defensive, never hit for the paper's queries
+                raise ReductionError(
+                    f"could not pad block {block.key_tuple} with a harmless fact"
+                )
+
+    def _is_harmless(self, filler: Fact, database: Database) -> bool:
+        if self.query.is_self_solution(filler):
+            return False
+        for fact in database.facts():
+            if self.query.matches_unordered(filler, fact):
+                return False
+        return True
+
+
+def sat_reduction(
+    query: TwoAtomQuery,
+    formula: CnfFormula,
+    tripath: Optional[Tripath] = None,
+    max_depth: int = 5,
+    max_merges: int = 2,
+) -> Database:
+    """Build ``D[φ]`` for ``query``, locating a nice fork-tripath if none is given."""
+    if tripath is None:
+        tripath = find_tripath_for_query(
+            query,
+            kind=FORK,
+            max_depth=max_depth,
+            max_merges=max_merges,
+            require_nice=True,
+        )
+        if tripath is None:
+            raise ReductionError(
+                "no nice fork-tripath found within the search bounds; "
+                "pass an explicit tripath"
+            )
+    return SatReduction(query, tripath).build_database(formula)

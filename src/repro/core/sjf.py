@@ -1,0 +1,205 @@
+"""Self-join-free two-atom queries: the Kolaitis–Pema dichotomy and Proposition 4.1.
+
+For a two-atom self-join query ``q = A B`` the canonical self-join-free query
+``sjf(q)`` uses two distinct relation symbols ``R1`` and ``R2`` in place of
+``R``.  The complexity of ``certain(sjf(q))`` is known from Kolaitis and Pema
+[5]; when it is coNP-hard, Proposition 4.1 transfers the hardness to
+``certain(q)`` through a polynomial-time reduction that tags every database
+element with the variable of the atom position it instantiates.
+
+This module implements:
+
+* :class:`SelfJoinFreeQuery` — two atoms over distinct relations, with the
+  same satisfaction machinery as :class:`~repro.core.query.TwoAtomQuery`;
+* :func:`sjf` — the canonical self-join-free query of a self-join query;
+* :func:`classify_sjf` — the Kolaitis–Pema classification;
+* :func:`reduce_sjf_database` — the database transformation of
+  Proposition 4.1 (``D`` over ``R1``/``R2`` → ``D'`` over ``R``);
+* a brute-force ``certain`` oracle for self-join-free queries used by the
+  tests to validate the reduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..db.fact_store import Database
+from .query import TwoAtomQuery
+from .terms import Atom, Element, Fact, RelationSchema
+
+
+class SjfComplexity(Enum):
+    """Complexity of ``certain`` for a self-join-free two-atom query ([5])."""
+
+    PTIME = "ptime"
+    CONP_COMPLETE = "conp-complete"
+
+
+@dataclass(frozen=True)
+class SelfJoinFreeQuery:
+    """A Boolean conjunctive query ``R1(A) ∧ R2(B)`` over two distinct relations."""
+
+    atom_one: Atom
+    atom_two: Atom
+
+    def __post_init__(self) -> None:
+        if self.atom_one.schema.name == self.atom_two.schema.name:
+            raise ValueError("a self-join-free query must use two distinct relation names")
+
+    @property
+    def shared_variables(self) -> frozenset:
+        return self.atom_one.all_variables & self.atom_two.all_variables
+
+    def matches_pair(self, first: Fact, second: Fact) -> bool:
+        """Whether ``first`` matches the first atom and ``second`` the second, jointly."""
+        assignment = self.atom_one.match(first)
+        if assignment is None:
+            return False
+        if second.schema != self.atom_two.schema:
+            return False
+        for variable, value in zip(self.atom_two.variables, second.values):
+            if variable in assignment and assignment[variable] != value:
+                return False
+            if variable not in assignment:
+                assignment = dict(assignment)
+                assignment[variable] = value
+        return True
+
+    def satisfied_by(self, facts: Iterable[Fact]) -> bool:
+        materialised = list(facts)
+        first_candidates = [fact for fact in materialised if fact.schema == self.atom_one.schema]
+        second_candidates = [fact for fact in materialised if fact.schema == self.atom_two.schema]
+        for first in first_candidates:
+            for second in second_candidates:
+                if self.matches_pair(first, second):
+                    return True
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.atom_one} ∧ {self.atom_two}"
+
+
+def sjf(query: TwoAtomQuery, first_name: str = None, second_name: str = None) -> SelfJoinFreeQuery:
+    """The canonical self-join-free query of ``query`` (Section 4).
+
+    The two atoms keep their variables; the relation symbol of the first atom
+    is renamed to ``R1`` and that of the second to ``R2`` (names configurable).
+    """
+    base = query.schema
+    first_name = first_name or f"{base.name}1"
+    second_name = second_name or f"{base.name}2"
+    schema_one = RelationSchema(first_name, base.arity, base.key_size)
+    schema_two = RelationSchema(second_name, base.arity, base.key_size)
+    return SelfJoinFreeQuery(
+        Atom(schema_one, query.atom_a.variables),
+        Atom(schema_two, query.atom_b.variables),
+    )
+
+
+def classify_sjf(query: SelfJoinFreeQuery) -> SjfComplexity:
+    """The Kolaitis–Pema classification of a self-join-free two-atom query [5].
+
+    ``certain`` is coNP-complete exactly when all of the following hold
+    (Theorem 4.2 states the same conditions for the self-join variant):
+
+    * vars(A) ∩ vars(B) ⊈ key(A) and vars(A) ∩ vars(B) ⊈ key(B);
+    * key(A) ⊈ key(B) and key(B) ⊈ key(A);
+    * key(A) ⊈ vars(B) or key(B) ⊈ vars(A).
+
+    Otherwise ``certain`` is in polynomial time.
+    """
+    atom_a, atom_b = query.atom_one, query.atom_two
+    shared = query.shared_variables
+    key_a, key_b = atom_a.key_variables, atom_b.key_variables
+    condition_one = (
+        not shared <= key_a
+        and not shared <= key_b
+        and not key_a <= key_b
+        and not key_b <= key_a
+    )
+    condition_two = (
+        not key_a <= atom_b.all_variables or not key_b <= atom_a.all_variables
+    )
+    if condition_one and condition_two:
+        return SjfComplexity.CONP_COMPLETE
+    return SjfComplexity.PTIME
+
+
+def reduce_sjf_database(query: TwoAtomQuery, database: Database) -> Database:
+    """The reduction of Proposition 4.1: ``D`` over ``R1``/``R2`` → ``D'`` over ``R``.
+
+    For every ``R1``-fact the element at position ``i`` is replaced by the
+    pair ``(variable at position i of A, element)``; ``R2``-facts are treated
+    analogously with atom ``B``.  The resulting facts all use the original
+    relation ``R`` of ``query``, and ``D |= certain(sjf(q))`` iff
+    ``D' |= certain(q)`` (provided ``q`` is not equivalent to a one-atom
+    query).
+    """
+    sjf_query = sjf(query)
+    schema = query.schema
+    reduced = Database()
+    for fact in database.facts():
+        if fact.schema.name == sjf_query.atom_one.schema.name:
+            atom = query.atom_a
+        elif fact.schema.name == sjf_query.atom_two.schema.name:
+            atom = query.atom_b
+        else:
+            raise ValueError(
+                f"fact {fact} uses relation {fact.schema.name!r}, expected "
+                f"{sjf_query.atom_one.schema.name!r} or {sjf_query.atom_two.schema.name!r}"
+            )
+        values = tuple(
+            (variable, value) for variable, value in zip(atom.variables, fact.values)
+        )
+        reduced.add(Fact(schema, values))
+    return reduced
+
+
+def certain_sjf_bruteforce(query: SelfJoinFreeQuery, database: Database) -> bool:
+    """Exact ``certain`` for a self-join-free query by enumerating repairs.
+
+    Exponential in the number of inconsistent blocks; used as ground truth on
+    the small instances exercised by the tests of Proposition 4.1.
+    """
+    blocks = [block.facts for block in database.blocks()]
+    if not blocks:
+        return False
+    for choice in itertools.product(*blocks):
+        if not query.satisfied_by(choice):
+            return False
+    return True
+
+
+def random_sjf_database(
+    query: SelfJoinFreeQuery,
+    block_count: int,
+    block_size: int,
+    domain_size: int,
+    rng,
+) -> Database:
+    """A random inconsistent database over the two relations of ``query``.
+
+    Used by the Proposition 4.1 round-trip tests: facts are generated by
+    instantiating each atom with random elements, grouped into blocks of the
+    requested size by sharing key values.
+    """
+    database = Database()
+    atoms = [query.atom_one, query.atom_two]
+    for _ in range(block_count):
+        atom = rng.choice(atoms)
+        key_values = [rng.randrange(domain_size) for _ in range(atom.schema.key_size)]
+        for _ in range(block_size):
+            assignment: Dict[str, Element] = {}
+            for position, variable in enumerate(atom.variables):
+                if position < atom.schema.key_size:
+                    value = key_values[position]
+                else:
+                    value = rng.randrange(domain_size)
+                if variable in assignment:
+                    value = assignment[variable]
+                assignment[variable] = value
+            database.add(atom.instantiate(assignment))
+    return database

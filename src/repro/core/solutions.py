@@ -1,0 +1,135 @@
+"""Solution graphs of a query over a database (Section 10).
+
+For a two-atom query the set of solutions over a database ``D`` is naturally
+an undirected graph ``G(D, q)``: vertices are the facts of ``D`` and an edge
+joins ``a`` and ``b`` whenever ``D |= q{a b}``.  The matching-based algorithm
+(Section 10.1) and the component decomposition of Proposition 10.6 are both
+phrased in terms of this graph, as are quasi-cliques and clique-databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..db.fact_store import Database
+from ..graphs.components import UnionFind
+from .query import TwoAtomQuery
+from .terms import Fact
+
+
+@dataclass
+class SolutionGraph:
+    """The undirected solution graph ``G(D, q)`` plus directed solution data.
+
+    ``edges`` holds the undirected adjacency (``q{a b}``, with ``a != b``),
+    ``directed`` the ordered solutions (``q(a b)``), and ``self_loops`` the
+    facts ``a`` with ``q(a a)``.
+    """
+
+    facts: List[Fact]
+    edges: Dict[Fact, Set[Fact]] = field(default_factory=dict)
+    directed: Set[Tuple[Fact, Fact]] = field(default_factory=set)
+    self_loops: Set[Fact] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # queries on the graph
+    # ------------------------------------------------------------------ #
+    def neighbours(self, fact: Fact) -> Set[Fact]:
+        return set(self.edges.get(fact, set()))
+
+    def has_edge(self, first: Fact, second: Fact) -> bool:
+        return second in self.edges.get(first, set())
+
+    def has_directed(self, first: Fact, second: Fact) -> bool:
+        return (first, second) in self.directed
+
+    def edge_count(self) -> int:
+        return sum(len(adjacent) for adjacent in self.edges.values()) // 2
+
+    def components(self) -> List[List[Fact]]:
+        """Connected components of the undirected graph (isolated facts included)."""
+        union_find: UnionFind[Fact] = UnionFind(self.facts)
+        for fact, adjacent in self.edges.items():
+            for other in adjacent:
+                union_find.union(fact, other)
+        return union_find.components()
+
+    def is_quasi_clique(self, component: Iterable[Fact]) -> bool:
+        """Quasi-clique test of Section 10.1.
+
+        A connected component ``C`` is a quasi-clique when every pair of
+        facts of ``C`` that are *not* key-equal is joined by an edge.
+        """
+        members = list(component)
+        for index, first in enumerate(members):
+            for second in members[index + 1:]:
+                if first.key_equal(second):
+                    continue
+                if not self.has_edge(first, second):
+                    return False
+        return True
+
+    def quasi_clique_components(self) -> List[List[Fact]]:
+        return [component for component in self.components() if self.is_quasi_clique(component)]
+
+    def is_clique_database(self) -> bool:
+        """Whether every connected component is a quasi-clique (Section 10.1)."""
+        return all(self.is_quasi_clique(component) for component in self.components())
+
+    def clique_of(self, fact: Fact) -> FrozenSet[Fact]:
+        """The paper's ``clique(a)``.
+
+        The connected component of ``a`` when that component is a
+        quasi-clique, the singleton ``{a}`` otherwise.
+        """
+        for component in self.components():
+            if fact in component:
+                if self.is_quasi_clique(component):
+                    return frozenset(component)
+                return frozenset((fact,))
+        raise KeyError(f"fact {fact} does not belong to the graph")
+
+
+def build_solution_graph(query: TwoAtomQuery, database: Database) -> SolutionGraph:
+    """Compute ``G(D, q)`` together with directed solutions and self-loops."""
+    facts = database.facts()
+    graph = SolutionGraph(facts=facts, edges={fact: set() for fact in facts})
+    for first in facts:
+        assignment = query.atom_a.match(first)
+        if assignment is None:
+            continue
+        for second in facts:
+            if query._extends_to_b(assignment, second):
+                graph.directed.add((first, second))
+                if first == second:
+                    graph.self_loops.add(first)
+                else:
+                    graph.edges[first].add(second)
+                    graph.edges[second].add(first)
+    return graph
+
+
+def q_connected_block_components(
+    query: TwoAtomQuery, database: Database
+) -> List[Database]:
+    """The ``q``-connected components of Proposition 10.6, as sub-databases.
+
+    Two blocks are ``q``-connected when some facts of theirs form a solution;
+    the partition is the reflexive-symmetric-transitive closure of that
+    relation.  Every returned component is the sub-database induced by the
+    blocks of one equivalence class (so the components partition ``D``).
+    """
+    graph = build_solution_graph(query, database)
+    union_find: UnionFind = UnionFind(block.block_id for block in database.blocks())
+    for fact, adjacent in graph.edges.items():
+        for other in adjacent:
+            union_find.union(fact.block_id(), other.block_id())
+    for fact in graph.self_loops:
+        union_find.add(fact.block_id())
+    components: Dict[object, Database] = {}
+    for block in database.blocks():
+        representative = union_find.find(block.block_id)
+        component = components.setdefault(representative, Database())
+        component.add_all(block.facts)
+    return list(components.values())

@@ -1,0 +1,198 @@
+"""Relational terms: signatures, atoms and facts.
+
+This module implements the term model of Section 2 of the paper.  A relation
+symbol ``R`` has a *signature* ``[k, l]``: arity ``k`` and a primary key made
+of the first ``l`` positions.  A *term* is ``R(t)`` where ``t`` is a tuple of
+length ``k``; it is an :class:`Atom` when the tuple contains variables and a
+:class:`Fact` when it contains elements (constants).
+
+Elements can be any hashable Python value; the reductions of the paper build
+composite elements (pairs and labelled tuples), which are represented here as
+ordinary Python tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence, Tuple
+
+Element = Hashable
+"""A database element (constant).  Any hashable value is accepted."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation symbol with signature ``[arity, key_size]``.
+
+    ``key_size`` may be anywhere between 0 and ``arity``; the paper assumes
+    ``key_size >= 1`` for the queries it studies, but the substrate supports
+    the degenerate cases as well (a key of size 0 means a single block, a key
+    covering all positions means every fact is its own block).
+    """
+
+    name: str
+    arity: int
+    key_size: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError(f"arity must be >= 1, got {self.arity}")
+        if not 0 <= self.key_size <= self.arity:
+            raise ValueError(
+                f"key_size must be between 0 and arity={self.arity}, "
+                f"got {self.key_size}"
+            )
+
+    @property
+    def key_positions(self) -> range:
+        """Positions forming the primary key (0-based)."""
+        return range(self.key_size)
+
+    @property
+    def nonkey_positions(self) -> range:
+        """Positions outside the primary key (0-based)."""
+        return range(self.key_size, self.arity)
+
+    def describe(self) -> str:
+        """Human readable description, e.g. ``R[4,2]``."""
+        return f"{self.name}[{self.arity},{self.key_size}]"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``R(x1, ..., xk)`` whose entries are variable names.
+
+    Variables are plain strings.  Repetitions are allowed and meaningful:
+    ``R(x, y, x)`` constrains the first and third position to be equal.
+    """
+
+    schema: RelationSchema
+    variables: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.variables) != self.schema.arity:
+            raise ValueError(
+                f"atom over {self.schema.describe()} needs "
+                f"{self.schema.arity} variables, got {len(self.variables)}"
+            )
+        for var in self.variables:
+            if not isinstance(var, str) or not var:
+                raise ValueError(f"variables must be non-empty strings, got {var!r}")
+
+    def __getitem__(self, position: int) -> str:
+        return self.variables[position]
+
+    @property
+    def key_tuple(self) -> Tuple[str, ...]:
+        """The tuple of variables in key positions (the paper's overlined key)."""
+        return self.variables[: self.schema.key_size]
+
+    @property
+    def key_variables(self) -> frozenset:
+        """The *set* of variables occurring in key positions (the paper's key)."""
+        return frozenset(self.key_tuple)
+
+    @property
+    def all_variables(self) -> frozenset:
+        """The set of all variables of the atom (the paper's vars)."""
+        return frozenset(self.variables)
+
+    def rename(self, mapping: dict) -> "Atom":
+        """Return a copy of the atom with variables renamed via ``mapping``.
+
+        Variables missing from ``mapping`` are kept unchanged.
+        """
+        return Atom(self.schema, tuple(mapping.get(v, v) for v in self.variables))
+
+    def instantiate(self, assignment: dict) -> "Fact":
+        """Apply a total variable assignment and return the resulting fact."""
+        missing = [v for v in self.variables if v not in assignment]
+        if missing:
+            raise KeyError(f"assignment misses variables {sorted(set(missing))}")
+        return Fact(self.schema, tuple(assignment[v] for v in self.variables))
+
+    def match(self, fact: "Fact") -> Optional[dict]:
+        """Match the atom against ``fact``.
+
+        Returns the (unique) assignment of the atom's variables realising the
+        match, or ``None`` when the fact is not an instance of the atom
+        (different schema, or a repeated variable mapped to two different
+        elements).
+        """
+        if fact.schema != self.schema:
+            return None
+        assignment: dict = {}
+        for var, value in zip(self.variables, fact.values):
+            if var in assignment and assignment[var] != value:
+                return None
+            assignment[var] = value
+        return assignment
+
+    def __str__(self) -> str:
+        key = ",".join(self.key_tuple)
+        rest = ",".join(self.variables[self.schema.key_size:])
+        if rest:
+            return f"{self.schema.name}({key}|{rest})"
+        return f"{self.schema.name}({key}|)"
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A fact ``R(e1, ..., ek)`` whose entries are elements (constants)."""
+
+    schema: RelationSchema
+    values: Tuple[Element, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.schema.arity:
+            raise ValueError(
+                f"fact over {self.schema.describe()} needs "
+                f"{self.schema.arity} values, got {len(self.values)}"
+            )
+
+    def __getitem__(self, position: int) -> Element:
+        return self.values[position]
+
+    @property
+    def key_tuple(self) -> Tuple[Element, ...]:
+        """The tuple of elements in key positions (identifies the block)."""
+        return self.values[: self.schema.key_size]
+
+    @property
+    def key_elements(self) -> frozenset:
+        """The set of elements occurring in key positions."""
+        return frozenset(self.key_tuple)
+
+    @property
+    def elements(self) -> frozenset:
+        """The set of all elements of the fact (the paper's adom)."""
+        return frozenset(self.values)
+
+    def key_equal(self, other: "Fact") -> bool:
+        """The paper's ``~`` relation: same schema and same key tuple."""
+        return self.schema == other.schema and self.key_tuple == other.key_tuple
+
+    def block_id(self) -> Tuple[str, Tuple[Element, ...]]:
+        """Identifier of the block this fact belongs to."""
+        return (self.schema.name, self.key_tuple)
+
+    def __str__(self) -> str:
+        key = ",".join(map(_render_element, self.key_tuple))
+        rest = ",".join(map(_render_element, self.values[self.schema.key_size:]))
+        return f"{self.schema.name}({key}|{rest})"
+
+
+def _render_element(value: Element) -> str:
+    if isinstance(value, tuple):
+        return "<" + ",".join(map(_render_element, value)) + ">"
+    return str(value)
+
+
+def key_equal(left: Fact, right: Fact) -> bool:
+    """Module-level convenience wrapper for :meth:`Fact.key_equal`."""
+    return left.key_equal(right)
+
+
+def make_facts(schema: RelationSchema, rows: Iterable[Sequence[Element]]) -> list:
+    """Build a list of facts over ``schema`` from an iterable of value rows."""
+    return [Fact(schema, tuple(row)) for row in rows]

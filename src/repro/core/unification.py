@@ -1,0 +1,190 @@
+"""First-order unification over flat atoms (variables and constants).
+
+The tripath machinery of Section 7 repeatedly needs "the most general pair
+of facts satisfying the query subject to some positions being fixed".  This
+module provides a tiny union-find based unifier for that purpose: terms are
+either variables (strings) or constants (arbitrary hashable elements wrapped
+in :class:`Const`), equations are solved by merging equivalence classes, and
+a solved system can be instantiated by assigning a fresh element to every
+class that contains no constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .terms import Atom, Element, Fact
+
+
+@dataclass(frozen=True)
+class Const:
+    """Wrapper marking a term as a constant (database element)."""
+
+    value: Element
+
+
+Term = Union[str, Const]
+"""A unification term: a variable name or a wrapped constant."""
+
+
+class UnificationError(Exception):
+    """Raised when two distinct constants are forced to be equal."""
+
+
+class Unifier:
+    """Union-find over variables, with at most one constant per class."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+        self._constant: Dict[str, Element] = {}
+
+    # ------------------------------------------------------------------ #
+    # core union-find
+    # ------------------------------------------------------------------ #
+    def _ensure(self, variable: str) -> None:
+        if variable not in self._parent:
+            self._parent[variable] = variable
+
+    def find(self, variable: str) -> str:
+        self._ensure(variable)
+        root = variable
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[variable] != root:
+            self._parent[variable], variable = root, self._parent[variable]
+        return root
+
+    def unify(self, left: Term, right: Term) -> None:
+        """Add the equation ``left = right``; raises on constant clash."""
+        if isinstance(left, Const) and isinstance(right, Const):
+            if left.value != right.value:
+                raise UnificationError(f"cannot unify {left.value!r} with {right.value!r}")
+            return
+        if isinstance(left, Const):
+            left, right = right, left
+        # left is a variable now.
+        root_left = self.find(left)
+        if isinstance(right, Const):
+            existing = self._constant.get(root_left)
+            if existing is not None and existing != right.value:
+                raise UnificationError(
+                    f"variable class of {left!r} already bound to {existing!r}, "
+                    f"cannot bind to {right.value!r}"
+                )
+            self._constant[root_left] = right.value
+            return
+        root_right = self.find(right)
+        if root_left == root_right:
+            return
+        const_left = self._constant.get(root_left)
+        const_right = self._constant.get(root_right)
+        if const_left is not None and const_right is not None and const_left != const_right:
+            raise UnificationError(
+                f"cannot merge classes bound to {const_left!r} and {const_right!r}"
+            )
+        self._parent[root_right] = root_left
+        if const_right is not None:
+            self._constant[root_left] = const_right
+
+    def unify_many(self, equations: Iterable[Tuple[Term, Term]]) -> None:
+        for left, right in equations:
+            self.unify(left, right)
+
+    # ------------------------------------------------------------------ #
+    # solution extraction
+    # ------------------------------------------------------------------ #
+    def value_of(self, variable: str, fresh: Dict[str, Element]) -> Element:
+        """Element assigned to the class of ``variable`` (constant or fresh)."""
+        root = self.find(variable)
+        if root in self._constant:
+            return self._constant[root]
+        return fresh[root]
+
+    def classes_without_constant(self, variables: Iterable[str]) -> List[str]:
+        """Representatives of the classes (among ``variables``) not bound to a constant."""
+        roots: Dict[str, None] = {}
+        for variable in variables:
+            root = self.find(variable)
+            if root not in self._constant:
+                roots.setdefault(root, None)
+        return list(roots)
+
+    def same_class(self, left: str, right: str) -> bool:
+        return self.find(left) == self.find(right)
+
+    def copy(self) -> "Unifier":
+        clone = Unifier()
+        clone._parent = dict(self._parent)
+        clone._constant = dict(self._constant)
+        return clone
+
+
+class FreshElements:
+    """Generator of fresh labelled-null elements, reproducible across runs."""
+
+    def __init__(self, prefix: str = "n") -> None:
+        self._prefix = prefix
+        self._counter = count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}{next(self._counter)}"
+
+    def assign(self, class_representatives: Sequence[str]) -> Dict[str, Element]:
+        return {representative: self.next() for representative in class_representatives}
+
+
+def instantiate_atoms(
+    atoms: Sequence[Tuple[Atom, str]],
+    unifier: Unifier,
+    fresh: FreshElements,
+) -> List[Fact]:
+    """Instantiate atoms (each tagged with a copy suffix) into facts.
+
+    Every atom variable ``v`` of a copy tagged ``suffix`` is treated as the
+    unification variable ``f"{v}{suffix}"``; classes without a constant get a
+    fresh element, shared across all atoms of the call.
+    """
+    tagged_variables = [
+        f"{variable}{suffix}" for atom, suffix in atoms for variable in atom.variables
+    ]
+    fresh_assignment = fresh.assign(unifier.classes_without_constant(tagged_variables))
+    facts = []
+    for atom, suffix in atoms:
+        values = tuple(
+            unifier.value_of(f"{variable}{suffix}", fresh_assignment)
+            for variable in atom.variables
+        )
+        facts.append(Fact(atom.schema, values))
+    return facts
+
+
+def atom_equations(left: Atom, left_suffix: str, right: Atom, right_suffix: str) -> List[Tuple[Term, Term]]:
+    """Equations stating that the two (suffixed) atoms denote the same fact."""
+    if left.schema != right.schema:
+        raise UnificationError("cannot equate atoms over different schemas")
+    return [
+        (f"{left_var}{left_suffix}", f"{right_var}{right_suffix}")
+        for left_var, right_var in zip(left.variables, right.variables)
+    ]
+
+
+def atom_fact_equations(atom: Atom, suffix: str, fact: Fact) -> List[Tuple[Term, Term]]:
+    """Equations stating that the (suffixed) atom matches the given fact."""
+    if atom.schema != fact.schema:
+        raise UnificationError("cannot match an atom against a fact of another schema")
+    return [
+        (f"{variable}{suffix}", Const(value))
+        for variable, value in zip(atom.variables, fact.values)
+    ]
+
+
+def atom_positions_equations(
+    atom: Atom, suffix: str, positions: Iterable[int], values: Sequence[Element]
+) -> List[Tuple[Term, Term]]:
+    """Equations forcing selected positions of the (suffixed) atom to given elements."""
+    equations = []
+    for position, value in zip(positions, values):
+        equations.append((f"{atom.variables[position]}{suffix}", Const(value)))
+    return equations

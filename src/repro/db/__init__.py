@@ -1,0 +1,1 @@
+"""Inconsistent-database substrate: fact store, repairs, generators, SQLite backend."""

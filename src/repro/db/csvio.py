@@ -1,0 +1,78 @@
+"""CSV import/export for databases.
+
+Small utility layer so that example applications can load inconsistent
+relations from plain CSV files (one column per position) and persist the
+repairs or diagnostics they compute.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..core.terms import Fact, RelationSchema
+from .fact_store import Database
+
+PathLike = Union[str, Path]
+
+
+def load_csv(
+    path: PathLike,
+    schema: RelationSchema,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> Database:
+    """Load a CSV file into a database of facts over ``schema``.
+
+    Every row must have exactly ``schema.arity`` columns; values are kept as
+    strings (elements only need equality).
+    """
+    database = Database()
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for index, row in enumerate(reader):
+            if has_header and index == 0:
+                continue
+            if not row:
+                continue
+            if len(row) != schema.arity:
+                raise ValueError(
+                    f"row {index} of {path} has {len(row)} columns, "
+                    f"expected {schema.arity}"
+                )
+            database.add(Fact(schema, tuple(value.strip() for value in row)))
+    return database
+
+
+def save_csv(
+    database: Database,
+    path: PathLike,
+    header: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+) -> int:
+    """Write all facts of ``database`` to a CSV file; returns the row count."""
+    schemas = database.schemas()
+    if len(schemas) > 1:
+        raise ValueError("save_csv supports databases over a single relation")
+    facts = database.facts()
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if header is not None:
+            writer.writerow(header)
+        for fact in facts:
+            writer.writerow([_render(value) for value in fact.values])
+    return len(facts)
+
+
+def facts_from_rows(
+    schema: RelationSchema, rows: Iterable[Sequence[str]]
+) -> List[Fact]:
+    """Convenience: build facts from in-memory string rows."""
+    return [Fact(schema, tuple(row)) for row in rows]
+
+
+def _render(value) -> str:
+    if isinstance(value, tuple):
+        return "(" + "|".join(_render(item) for item in value) + ")"
+    return str(value)

@@ -1,0 +1,249 @@
+"""In-memory inconsistent database: facts, blocks and repairs.
+
+A database is a finite set of facts (Section 2).  Facts sharing the same key
+form a *block*; a *repair* picks exactly one fact from every block.  The
+:class:`Database` class is the central substrate used by every algorithm in
+the library.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.terms import Element, Fact, RelationSchema
+
+BlockId = Tuple[str, Tuple[Element, ...]]
+
+
+@dataclass
+class Block:
+    """A maximal set of key-equal facts."""
+
+    block_id: BlockId
+    facts: List[Fact] = field(default_factory=list)
+
+    @property
+    def key_tuple(self) -> Tuple[Element, ...]:
+        return self.block_id[1]
+
+    @property
+    def size(self) -> int:
+        return len(self.facts)
+
+    def is_consistent(self) -> bool:
+        """A block is consistent when it contains a single fact."""
+        return len(self.facts) == 1
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self.facts
+
+
+class Database:
+    """A finite set of facts partitioned into blocks.
+
+    The insertion order of facts is preserved (it makes repair enumeration
+    and error messages deterministic), duplicates are ignored, and facts may
+    span several relation schemas — although the paper only ever needs one,
+    the reduction of Proposition 4.1 temporarily uses two.
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._facts: "OrderedDict[Fact, None]" = OrderedDict()
+        self._blocks: "OrderedDict[BlockId, Block]" = OrderedDict()
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, fact: Fact) -> bool:
+        """Insert a fact; returns False when it was already present."""
+        if fact in self._facts:
+            return False
+        self._facts[fact] = None
+        block = self._blocks.get(fact.block_id())
+        if block is None:
+            block = Block(fact.block_id())
+            self._blocks[fact.block_id()] = block
+        block.facts.append(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many facts; returns the number of new facts."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def remove(self, fact: Fact) -> bool:
+        """Remove a fact; returns False when it was not present."""
+        if fact not in self._facts:
+            return False
+        del self._facts[fact]
+        block = self._blocks[fact.block_id()]
+        block.facts.remove(fact)
+        if not block.facts:
+            del self._blocks[fact.block_id()]
+        return True
+
+    def copy(self) -> "Database":
+        return Database(self.facts())
+
+    @classmethod
+    def union(cls, *databases: "Database") -> "Database":
+        merged = cls()
+        for database in databases:
+            merged.add_all(database.facts())
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def facts(self) -> List[Fact]:
+        """All facts, in insertion order."""
+        return list(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return set(self._facts) == set(other._facts)
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash(frozenset(self._facts))
+
+    def schemas(self) -> List[RelationSchema]:
+        """The distinct relation schemas appearing in the database."""
+        seen: "OrderedDict[RelationSchema, None]" = OrderedDict()
+        for fact in self._facts:
+            seen.setdefault(fact.schema, None)
+        return list(seen)
+
+    def blocks(self) -> List[Block]:
+        """All blocks, in order of first insertion."""
+        return list(self._blocks.values())
+
+    def block_of(self, fact: Fact) -> Block:
+        """The block containing ``fact``."""
+        block = self._blocks.get(fact.block_id())
+        if block is None or fact not in block.facts:
+            raise KeyError(f"fact {fact} is not in the database")
+        return block
+
+    def block_by_id(self, block_id: BlockId) -> Optional[Block]:
+        return self._blocks.get(block_id)
+
+    def siblings(self, fact: Fact) -> List[Fact]:
+        """Facts key-equal to ``fact`` (including ``fact`` itself)."""
+        return list(self.block_of(fact).facts)
+
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def is_consistent(self) -> bool:
+        """No two distinct key-equal facts."""
+        return all(block.is_consistent() for block in self._blocks.values())
+
+    def inconsistent_blocks(self) -> List[Block]:
+        return [block for block in self._blocks.values() if not block.is_consistent()]
+
+    def active_domain(self) -> FrozenSet[Element]:
+        """All elements appearing anywhere in the database."""
+        elements: set = set()
+        for fact in self._facts:
+            elements.update(fact.values)
+        return frozenset(elements)
+
+    def restrict(self, facts: Iterable[Fact]) -> "Database":
+        """The sub-database induced by the given facts (must all be present)."""
+        subset = Database()
+        for fact in facts:
+            if fact not in self._facts:
+                raise KeyError(f"fact {fact} is not in the database")
+            subset.add(fact)
+        return subset
+
+    def repair_count(self) -> int:
+        """Number of repairs (the product of the block sizes)."""
+        count = 1
+        for block in self._blocks.values():
+            count *= block.size
+        return count
+
+    def max_block_size(self) -> int:
+        return max((block.size for block in self._blocks.values()), default=0)
+
+    def describe(self) -> str:
+        """A short human readable summary used by the benchmark reports."""
+        return (
+            f"Database(facts={len(self)}, blocks={self.block_count()}, "
+            f"max_block={self.max_block_size()}, repairs={self.repair_count()})"
+        )
+
+    def pretty(self) -> str:
+        """Multi-line rendering grouped by block."""
+        lines = []
+        for block in self._blocks.values():
+            rendered = ", ".join(str(fact) for fact in block.facts)
+            lines.append(f"  block {block.key_tuple}: {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A repair: one fact chosen from every block of the original database."""
+
+    facts: Tuple[Fact, ...]
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self.facts
+
+    def as_set(self) -> FrozenSet[Fact]:
+        return frozenset(self.facts)
+
+    def replace(self, old: Fact, new: Fact) -> "Repair":
+        """The paper's ``r[a -> a']`` operation (new must be key-equal to old)."""
+        if old not in self.facts:
+            raise KeyError(f"{old} is not part of the repair")
+        if not old.key_equal(new):
+            raise ValueError("replacement fact must be key-equal to the original")
+        return Repair(tuple(new if fact == old else fact for fact in self.facts))
+
+
+def is_repair_of(candidate: Sequence[Fact], database: Database) -> bool:
+    """Check that ``candidate`` is a repair of ``database``.
+
+    The candidate must be a subset of the database, contain exactly one fact
+    per block, and cover every block.
+    """
+    chosen: Dict[BlockId, Fact] = {}
+    for fact in candidate:
+        if fact not in database:
+            return False
+        block_id = fact.block_id()
+        if block_id in chosen and chosen[block_id] != fact:
+            return False
+        chosen[block_id] = fact
+    return len(chosen) == database.block_count() and len(candidate) == database.block_count()

@@ -1,0 +1,200 @@
+"""Synthetic inconsistent database generators.
+
+The paper evaluates no concrete datasets; the generators below produce the
+synthetic workloads used by the benchmark harness and the randomised tests
+(see DESIGN.md §5).  All generators are deterministic given a seeded
+``random.Random`` instance.
+
+Three families are provided:
+
+* *solution-aware* generators instantiate the query atoms with random
+  assignments so that the generated databases contain many solutions and a
+  rich block structure — these exercise the certain-answer algorithms on
+  both certain and non-certain instances;
+* *block-structured* generators ignore the query and control the block
+  size distribution directly — these exercise the repair machinery;
+* *adversarial* generators look for small databases on which two given
+  procedures disagree (used to exhibit the Theorem 10.1 counterexamples).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.query import TwoAtomQuery
+from ..core.terms import Element, Fact, RelationSchema
+from .fact_store import Database
+
+
+def random_solution_database(
+    query: TwoAtomQuery,
+    solution_count: int,
+    noise_count: int = 0,
+    domain_size: int = 8,
+    rng: Optional[random.Random] = None,
+) -> Database:
+    """A database seeded with random solutions of the query plus random noise facts.
+
+    Every solution contributes the pair ``μ(A), μ(B)`` for a random
+    assignment ``μ`` over a domain of ``domain_size`` elements; a small
+    domain yields overlapping keys, hence inconsistent blocks.
+    """
+    rng = rng or random.Random()
+    database = Database()
+    variables = sorted(query.variables)
+    for _ in range(solution_count):
+        assignment = {variable: rng.randrange(domain_size) for variable in variables}
+        database.add(query.atom_a.instantiate(assignment))
+        database.add(query.atom_b.instantiate(assignment))
+    for _ in range(noise_count):
+        database.add(random_fact(query.schema, domain_size, rng))
+    return database
+
+
+def random_fact(
+    schema: RelationSchema, domain_size: int, rng: random.Random
+) -> Fact:
+    """A uniformly random fact over ``schema`` with integer elements."""
+    return Fact(schema, tuple(rng.randrange(domain_size) for _ in range(schema.arity)))
+
+
+def random_block_database(
+    schema: RelationSchema,
+    block_count: int,
+    max_block_size: int = 3,
+    domain_size: int = 8,
+    rng: Optional[random.Random] = None,
+) -> Database:
+    """A database with ``block_count`` blocks of random sizes (1..max_block_size)."""
+    rng = rng or random.Random()
+    database = Database()
+    used_keys = set()
+    for _ in range(block_count):
+        key = tuple(rng.randrange(domain_size) for _ in range(schema.key_size))
+        for _ in range(20):
+            if key not in used_keys:
+                break
+            key = tuple(rng.randrange(domain_size) for _ in range(schema.key_size))
+        if key in used_keys:
+            continue
+        used_keys.add(key)
+        size = rng.randint(1, max_block_size)
+        attempts = 0
+        added = 0
+        while added < size and attempts < 10 * size:
+            attempts += 1
+            rest = tuple(
+                rng.randrange(domain_size)
+                for _ in range(schema.arity - schema.key_size)
+            )
+            if database.add(Fact(schema, key + rest)):
+                added += 1
+    return database
+
+
+def scaled_workload(
+    query: TwoAtomQuery,
+    sizes: Sequence[int],
+    domain_factor: float = 0.75,
+    noise_fraction: float = 0.25,
+    seed: int = 20240,
+) -> List[Tuple[int, Database]]:
+    """A deterministic family of databases of increasing size for scaling benches.
+
+    ``sizes`` is a list of target solution counts; the domain grows with the
+    size (``domain_factor * size``) so that block sizes stay moderate.
+    """
+    workload = []
+    for index, size in enumerate(sizes):
+        rng = random.Random(seed + index)
+        domain = max(3, int(domain_factor * size))
+        noise = int(noise_fraction * size)
+        database = random_solution_database(
+            query, solution_count=size, noise_count=noise, domain_size=domain, rng=rng
+        )
+        workload.append((size, database))
+    return workload
+
+
+def find_disagreement(
+    query: TwoAtomQuery,
+    first: Callable[[Database], bool],
+    second: Callable[[Database], bool],
+    attempts: int = 200,
+    solution_count: int = 4,
+    domain_size: int = 4,
+    seed: int = 7,
+    want_first: Optional[bool] = None,
+) -> Optional[Database]:
+    """Search for a small random database on which two procedures disagree.
+
+    Used to exhibit, e.g., the failure of ``Cert_k`` on triangle-tripath
+    queries (Theorem 10.1): ``first`` is the exact oracle, ``second`` the
+    algorithm under test, and ``want_first`` optionally requires the oracle
+    to answer a particular value on the returned database.
+    """
+    for attempt in range(attempts):
+        rng = random.Random(seed + attempt)
+        database = random_solution_database(
+            query,
+            solution_count=solution_count,
+            noise_count=rng.randint(0, solution_count),
+            domain_size=domain_size,
+            rng=rng,
+        )
+        first_answer = first(database)
+        if want_first is not None and first_answer != want_first:
+            continue
+        if first_answer != second(database):
+            return database
+    return None
+
+
+def certain_and_uncertain_samples(
+    query: TwoAtomQuery,
+    oracle: Callable[[Database], bool],
+    count_each: int = 5,
+    solution_count: int = 5,
+    domain_size: int = 5,
+    seed: int = 100,
+    max_attempts: int = 500,
+) -> Tuple[List[Database], List[Database]]:
+    """Collect random databases split by the oracle's answer (certain / not certain)."""
+    certain_samples: List[Database] = []
+    uncertain_samples: List[Database] = []
+    for attempt in range(max_attempts):
+        if len(certain_samples) >= count_each and len(uncertain_samples) >= count_each:
+            break
+        rng = random.Random(seed + attempt)
+        database = random_solution_database(
+            query,
+            solution_count=solution_count,
+            noise_count=rng.randint(0, solution_count),
+            domain_size=domain_size,
+            rng=rng,
+        )
+        if oracle(database):
+            if len(certain_samples) < count_each:
+                certain_samples.append(database)
+        elif len(uncertain_samples) < count_each:
+            uncertain_samples.append(database)
+    return certain_samples, uncertain_samples
+
+
+def solution_triangle(query: TwoAtomQuery, elements: Sequence[Element]) -> List[Fact]:
+    """Three facts forming a cycle of solutions for the clique query q6.
+
+    For ``q6 = R(x|y,z) ∧ R(z|x,y)`` and elements ``(a, b, c)`` the facts
+    ``R(a|b,c), R(c|a,b), R(b|c,a)`` satisfy ``q6`` pairwise in a cycle; such
+    triangles are the building blocks of the Section 10 workloads.
+    """
+    schema = query.schema
+    if schema.key_size != 1 or schema.arity != 3:
+        raise ValueError("solution_triangle expects an arity-3, key-1 schema")
+    first, second, third = elements
+    return [
+        Fact(schema, (first, second, third)),
+        Fact(schema, (third, first, second)),
+        Fact(schema, (second, third, first)),
+    ]

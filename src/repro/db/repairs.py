@@ -1,0 +1,125 @@
+"""Repair enumeration, sampling and counting.
+
+A repair picks exactly one fact from every block.  The number of repairs is
+the product of the block sizes, which is exponential in the number of
+inconsistent blocks; the helpers in this module therefore offer bounded
+enumeration and random sampling alongside exhaustive iteration, so that the
+exact (exponential) certain-answer oracle of :mod:`repro.core.certain` stays
+usable as ground truth on benchmark-sized inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..core.terms import Fact
+from .fact_store import Database, Repair
+
+
+def iter_repairs(database: Database, limit: Optional[int] = None) -> Iterator[Repair]:
+    """Iterate over the repairs of ``database`` in a deterministic order.
+
+    ``limit`` bounds the number of repairs produced (``None`` = all).  Blocks
+    are visited in insertion order and facts within a block in insertion
+    order, so the iteration order is reproducible.
+    """
+    blocks = [block.facts for block in database.blocks()]
+    if not blocks:
+        yield Repair(())
+        return
+    produced = 0
+    for choice in itertools.product(*blocks):
+        yield Repair(tuple(choice))
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def count_repairs(database: Database) -> int:
+    """The exact number of repairs (product of block sizes)."""
+    return database.repair_count()
+
+
+def sample_repair(database: Database, rng: Optional[random.Random] = None) -> Repair:
+    """Sample a repair uniformly at random."""
+    rng = rng or random.Random()
+    return Repair(tuple(rng.choice(block.facts) for block in database.blocks()))
+
+
+def sample_repairs(
+    database: Database, count: int, rng: Optional[random.Random] = None
+) -> List[Repair]:
+    """Sample ``count`` repairs independently and uniformly (with replacement)."""
+    rng = rng or random.Random()
+    return [sample_repair(database, rng) for _ in range(count)]
+
+
+def greedy_repair(database: Database, preferred: Iterable[Fact] = ()) -> Repair:
+    """Build a repair preferring the given facts when possible.
+
+    The ``preferred`` facts must be pairwise consistent (at most one per
+    block); every remaining block contributes its first fact.  Useful when a
+    falsifying assignment for a block has already been chosen and a full
+    repair extending it is needed.
+    """
+    chosen = {}
+    for fact in preferred:
+        block_id = fact.block_id()
+        if block_id in chosen and chosen[block_id] != fact:
+            raise ValueError("preferred facts contain two facts of the same block")
+        chosen[block_id] = fact
+    facts = []
+    for block in database.blocks():
+        facts.append(chosen.get(block.block_id, block.facts[0]))
+    return Repair(tuple(facts))
+
+
+def repairs_containing(
+    database: Database, required: Sequence[Fact], limit: Optional[int] = None
+) -> Iterator[Repair]:
+    """Iterate over repairs that contain all facts in ``required``.
+
+    The required facts must belong to pairwise distinct blocks, otherwise no
+    repair can contain them and the iterator is empty.
+    """
+    required_by_block = {}
+    for fact in required:
+        block_id = fact.block_id()
+        if block_id in required_by_block and required_by_block[block_id] != fact:
+            return iter(())
+        required_by_block[block_id] = fact
+
+    def generator() -> Iterator[Repair]:
+        blocks = []
+        for block in database.blocks():
+            if block.block_id in required_by_block:
+                blocks.append([required_by_block[block.block_id]])
+            else:
+                blocks.append(block.facts)
+        produced = 0
+        for choice in itertools.product(*blocks):
+            yield Repair(tuple(choice))
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    return generator()
+
+
+def extendable_to_repair(database: Database, facts: Sequence[Fact]) -> bool:
+    """Whether the set of facts can be extended to a repair.
+
+    This is the paper's notion of a *k-set*: it must contain at most one fact
+    per block (and all facts must belong to the database).
+    """
+    chosen = {}
+    for fact in facts:
+        if fact not in database:
+            return False
+        block_id = fact.block_id()
+        if block_id in chosen and chosen[block_id] != fact:
+            return False
+        chosen[block_id] = fact
+    return True

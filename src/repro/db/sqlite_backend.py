@@ -1,0 +1,223 @@
+"""SQLite-backed fact store and SQL evaluation of two-atom queries.
+
+The paper is engine-agnostic; this backend makes the library usable as a
+small consistent-query-answering system over relational data that actually
+lives in a database file.  It provides:
+
+* persistence: load/store the facts of a relation into a SQLite table whose
+  columns are the positions of the relation (``c0 ... c{k-1}``);
+* SQL evaluation of the two-atom query (a self-join with the equality
+  constraints induced by repeated variables);
+* SQL computation of the block structure (``GROUP BY`` on the key columns)
+  and of the solution pairs used by the solution graph;
+* a convenience pipeline that pulls the facts back into the in-memory
+  :class:`~repro.db.fact_store.Database` so that any of the certain-answer
+  algorithms can run on top of SQLite-resident data.
+
+Elements are stored as text; composite elements (tuples created by the
+reductions) are serialised to a canonical string form.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.query import TwoAtomQuery
+from ..core.terms import Element, Fact, RelationSchema
+from .fact_store import Database
+
+
+def _encode_element(value: Element) -> str:
+    """Serialise an element to text (tuples get a canonical nested rendering)."""
+    if isinstance(value, tuple):
+        return "(" + "|".join(_encode_element(item) for item in value) + ")"
+    return f"{type(value).__name__}:{value}"
+
+
+def _decode_element(text: str) -> Element:
+    """Best-effort inverse of :func:`_encode_element` for scalar elements.
+
+    Nested tuples are returned as their canonical string (they round-trip as
+    identifiers, which is all the algorithms need: elements are only ever
+    compared for equality).
+    """
+    if text.startswith("("):
+        return text
+    kind, _, payload = text.partition(":")
+    if kind == "int":
+        return int(payload)
+    if kind == "bool":
+        return payload == "True"
+    return payload
+
+
+class SqliteFactStore:
+    """Facts of one relation schema stored in a SQLite table."""
+
+    def __init__(self, schema: RelationSchema, path: str = ":memory:") -> None:
+        self.schema = schema
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        self._create_table()
+
+    # ------------------------------------------------------------------ #
+    # schema / loading
+    # ------------------------------------------------------------------ #
+    @property
+    def table_name(self) -> str:
+        return f"facts_{self.schema.name}"
+
+    def _columns(self) -> List[str]:
+        return [f"c{position}" for position in range(self.schema.arity)]
+
+    def _create_table(self) -> None:
+        columns = ", ".join(f"{column} TEXT NOT NULL" for column in self._columns())
+        unique = ", ".join(self._columns())
+        with self.connection:
+            self.connection.execute(
+                f"CREATE TABLE IF NOT EXISTS {self.table_name} "
+                f"({columns}, UNIQUE ({unique}))"
+            )
+
+    def clear(self) -> None:
+        with self.connection:
+            self.connection.execute(f"DELETE FROM {self.table_name}")
+
+    def insert_facts(self, facts: Iterable[Fact]) -> int:
+        """Insert facts (duplicates ignored); returns the number inserted."""
+        rows = []
+        for fact in facts:
+            if fact.schema != self.schema:
+                raise ValueError(f"fact {fact} does not match schema {self.schema.describe()}")
+            rows.append(tuple(_encode_element(value) for value in fact.values))
+        placeholders = ", ".join("?" for _ in range(self.schema.arity))
+        with self.connection:
+            before = self.count()
+            self.connection.executemany(
+                f"INSERT OR IGNORE INTO {self.table_name} VALUES ({placeholders})", rows
+            )
+            return self.count() - before
+
+    def load_database(self, database: Database) -> int:
+        return self.insert_facts(database.facts())
+
+    def count(self) -> int:
+        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {self.table_name}")
+        return int(cursor.fetchone()[0])
+
+    def fetch_facts(self) -> List[Fact]:
+        cursor = self.connection.execute(
+            f"SELECT {', '.join(self._columns())} FROM {self.table_name}"
+        )
+        return [
+            Fact(self.schema, tuple(_decode_element(text) for text in row))
+            for row in cursor.fetchall()
+        ]
+
+    def to_database(self) -> Database:
+        return Database(self.fetch_facts())
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteFactStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # SQL analyses
+    # ------------------------------------------------------------------ #
+    def key_columns(self) -> List[str]:
+        return self._columns()[: self.schema.key_size]
+
+    def block_sizes(self) -> Dict[Tuple[str, ...], int]:
+        """Block structure via ``GROUP BY`` on the key columns."""
+        key_cols = ", ".join(self.key_columns())
+        cursor = self.connection.execute(
+            f"SELECT {key_cols}, COUNT(*) FROM {self.table_name} GROUP BY {key_cols}"
+        )
+        return {tuple(row[:-1]): int(row[-1]) for row in cursor.fetchall()}
+
+    def inconsistent_block_count(self) -> int:
+        return sum(1 for size in self.block_sizes().values() if size > 1)
+
+    def evaluate_query(self, query: TwoAtomQuery, limit: Optional[int] = None) -> List[Tuple[Fact, Fact]]:
+        """All ordered solutions of ``query`` computed with a SQL self-join."""
+        sql, _ = self.query_sql(query, limit=limit)
+        cursor = self.connection.execute(sql)
+        arity = self.schema.arity
+        solutions = []
+        for row in cursor.fetchall():
+            first = Fact(self.schema, tuple(_decode_element(text) for text in row[:arity]))
+            second = Fact(self.schema, tuple(_decode_element(text) for text in row[arity:]))
+            solutions.append((first, second))
+        return solutions
+
+    def satisfies(self, query: TwoAtomQuery) -> bool:
+        """Whether the stored facts satisfy the (existential) query."""
+        return bool(self.evaluate_query(query, limit=1))
+
+    def query_sql(self, query: TwoAtomQuery, limit: Optional[int] = None) -> Tuple[str, str]:
+        """The SQL translation of the two-atom query (returned for inspection).
+
+        The query becomes a self-join of the fact table with one equality per
+        repeated variable occurrence; the second component of the result is a
+        human-readable rendering of the join condition.
+        """
+        if query.schema != self.schema:
+            raise ValueError("query schema does not match the store schema")
+        conditions: List[str] = []
+        seen: Dict[str, str] = {}
+        for alias, atom in (("a", query.atom_a), ("b", query.atom_b)):
+            for position, variable in enumerate(atom.variables):
+                column = f"{alias}.c{position}"
+                if variable in seen:
+                    conditions.append(f"{seen[variable]} = {column}")
+                else:
+                    seen[variable] = column
+        where = " AND ".join(conditions) if conditions else "1 = 1"
+        columns = ", ".join(
+            [f"a.c{position}" for position in range(self.schema.arity)]
+            + [f"b.c{position}" for position in range(self.schema.arity)]
+        )
+        sql = (
+            f"SELECT {columns} FROM {self.table_name} AS a, {self.table_name} AS b "
+            f"WHERE {where}"
+        )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return sql, where
+
+    def solution_edges(self, query: TwoAtomQuery) -> List[Tuple[Fact, Fact]]:
+        """Unordered solution-graph edges ``{a, b}`` with ``a != b`` (via SQL)."""
+        edges = []
+        seen = set()
+        for first, second in self.evaluate_query(query):
+            if first == second:
+                continue
+            pair = frozenset((first, second))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            edges.append((first, second))
+        return edges
+
+
+def certain_answer_via_sqlite(
+    query: TwoAtomQuery,
+    store: SqliteFactStore,
+    engine_factory=None,
+) -> bool:
+    """End-to-end pipeline: facts in SQLite → in-memory algorithms → certain(q).
+
+    ``engine_factory`` defaults to :class:`repro.core.certain.CertainEngine`;
+    it receives the query and must expose ``is_certain(database)``.
+    """
+    from ..core.certain import CertainEngine
+
+    database = store.to_database()
+    engine = (engine_factory or CertainEngine)(query)
+    return engine.is_certain(database)

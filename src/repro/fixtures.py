@@ -1,0 +1,91 @@
+"""Fixtures reproducing the concrete objects printed in the paper.
+
+* the example queries q1–q7 (re-exported from :mod:`repro.core.query`);
+* the Figure 1b database (a fork-tripath of q2 that is *not* nice);
+* the Figure 1c tripath (a *nice* fork-tripath of q2), with its explicit
+  block/tree structure;
+* the Figure 2 3-SAT formula.
+
+These objects are used by the test-suite and by the benchmarks that
+regenerate Figure 1 and Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .core.query import TwoAtomQuery, paper_queries, parse_query
+from .core.terms import Fact, RelationSchema
+from .core.tripath import Tripath, TripathBlock
+from .db.fact_store import Database
+from .logic.cnf import CnfFormula, paper_example_formula
+
+#: The relation schema used by the Figure 1 examples (arity 4, key size 2).
+FIGURE1_SCHEMA = RelationSchema("R", arity=4, key_size=2)
+
+
+def query_q2() -> TwoAtomQuery:
+    """The running example ``q2 = R(x,u | x,y) ∧ R(u,y | x,z)``."""
+    return parse_query("R(x,u|x,y) R(u,y|x,z)")
+
+
+def _fact(values: str) -> Fact:
+    """Build a Figure 1 fact from a compact four-letter string such as ``"abaa"``."""
+    return Fact(FIGURE1_SCHEMA, tuple(values))
+
+
+def figure_1b_database() -> Database:
+    """The Figure 1b database: a fork-tripath of q2 that is not solution-nice."""
+    rows = [
+        "bcad",  # root block
+        "abac", "abaa",  # branching block (e = R(a,b,a,a))
+        "aaab", "aaad",  # block of d = R(a,a,a,b)
+        "adae", "adaa",  # next block of the d-branch
+        "deaa",          # leaf of the d-branch
+        "bafa", "baaa",  # block of f = R(b,a,a,a)
+        "fbfa",          # leaf of the f-branch
+    ]
+    return Database(_fact(row) for row in rows)
+
+
+def figure_1c_tripath() -> Tripath:
+    """The Figure 1c *nice* fork-tripath of q2, with its explicit tree structure."""
+    blocks = [
+        TripathBlock(a_fact=_fact("hcha"), b_fact=None, parent=None),          # 0 root
+        TripathBlock(a_fact=_fact("cacb"), b_fact=_fact("caha"), parent=0),    # 1
+        TripathBlock(a_fact=_fact("abaa"), b_fact=_fact("abca"), parent=1),    # 2 branching (e)
+        TripathBlock(a_fact=_fact("aada"), b_fact=_fact("aaab"), parent=2),    # 3 (d branch)
+        TripathBlock(a_fact=_fact("daea"), b_fact=_fact("dada"), parent=3),    # 4
+        TripathBlock(a_fact=None, b_fact=_fact("edea"), parent=4),             # 5 leaf
+        TripathBlock(a_fact=_fact("bafa"), b_fact=_fact("baaa"), parent=2),    # 6 (f branch)
+        TripathBlock(a_fact=None, b_fact=_fact("fbfa"), parent=6),             # 7 leaf
+    ]
+    return Tripath(query_q2(), blocks)
+
+
+def figure_1c_database() -> Database:
+    """The Figure 1c fact set as a plain database."""
+    return figure_1c_tripath().database()
+
+
+def figure_2_formula() -> CnfFormula:
+    """The Figure 2 formula (¬s ∨ t ∨ u) ∧ (¬s ∨ ¬t ∨ u) ∧ (s ∨ ¬t ∨ ¬u)."""
+    return paper_example_formula()
+
+
+def example_queries() -> Dict[str, TwoAtomQuery]:
+    """The named example queries q1–q7 of the paper."""
+    return paper_queries()
+
+
+def expected_classifications() -> Dict[str, str]:
+    """The complexity the paper assigns to each example query (for the table bench)."""
+    return {
+        "q1": "coNP-complete",
+        "q2": "coNP-complete",
+        "q3": "PTime",
+        "q4": "PTime",
+        "q5": "PTime",
+        "q6": "PTime",
+        "q7": "PTime",
+    }

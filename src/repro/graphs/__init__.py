@@ -1,0 +1,1 @@
+"""Graph substrate: union-find components and Hopcroft-Karp bipartite matching."""

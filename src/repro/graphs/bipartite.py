@@ -1,0 +1,148 @@
+"""Maximum bipartite matching (Hopcroft–Karp).
+
+The ``matching(q)`` algorithm of Section 10.1 asks for a matching of a
+bipartite graph ``H(D, q) = (V1 ∪ V2, E)`` that *saturates* ``V1`` (every
+block of the database is matched).  This module implements the
+Hopcroft–Karp algorithm [4] from scratch so that the core library has no
+external graph dependency; :mod:`networkx` is only used in the test-suite to
+cross-check the implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
+
+_INFINITY = float("inf")
+
+
+class BipartiteGraph:
+    """An undirected bipartite graph with named left and right vertices."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Hashable, Set[Hashable]] = {}
+        self._right: Set[Hashable] = set()
+
+    def add_left(self, vertex: Hashable) -> None:
+        self._adjacency.setdefault(vertex, set())
+
+    def add_right(self, vertex: Hashable) -> None:
+        self._right.add(vertex)
+
+    def add_edge(self, left: Hashable, right: Hashable) -> None:
+        self.add_left(left)
+        self.add_right(right)
+        self._adjacency[left].add(right)
+
+    @property
+    def left_vertices(self) -> List[Hashable]:
+        return list(self._adjacency)
+
+    @property
+    def right_vertices(self) -> List[Hashable]:
+        return list(self._right)
+
+    def neighbours(self, left: Hashable) -> Set[Hashable]:
+        return set(self._adjacency.get(left, set()))
+
+    def edge_count(self) -> int:
+        return sum(len(neigh) for neigh in self._adjacency.values())
+
+
+def maximum_matching(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
+    """Maximum matching as a map from left vertices to right vertices.
+
+    Implements Hopcroft–Karp: repeatedly find a maximal set of shortest
+    vertex-disjoint augmenting paths via BFS + DFS until no augmenting path
+    remains.  Runs in ``O(E * sqrt(V))``.
+    """
+    match_left: Dict[Hashable, Optional[Hashable]] = {
+        left: None for left in graph.left_vertices
+    }
+    match_right: Dict[Hashable, Optional[Hashable]] = {
+        right: None for right in graph.right_vertices
+    }
+    distance: Dict[Hashable, float] = {}
+
+    def bfs() -> bool:
+        queue = deque()
+        for left, matched in match_left.items():
+            if matched is None:
+                distance[left] = 0
+                queue.append(left)
+            else:
+                distance[left] = _INFINITY
+        found_augmenting = False
+        while queue:
+            left = queue.popleft()
+            for right in graph.neighbours(left):
+                partner = match_right.get(right)
+                if partner is None:
+                    found_augmenting = True
+                elif distance[partner] == _INFINITY:
+                    distance[partner] = distance[left] + 1
+                    queue.append(partner)
+        return found_augmenting
+
+    def dfs(left: Hashable) -> bool:
+        for right in graph.neighbours(left):
+            partner = match_right.get(right)
+            if partner is None or (
+                distance.get(partner) == distance[left] + 1 and dfs(partner)
+            ):
+                match_left[left] = right
+                match_right[right] = left
+                return True
+        distance[left] = _INFINITY
+        return False
+
+    while bfs():
+        for left, matched in list(match_left.items()):
+            if matched is None:
+                dfs(left)
+
+    return {left: right for left, right in match_left.items() if right is not None}
+
+
+def has_saturating_matching(graph: BipartiteGraph) -> bool:
+    """Whether a matching saturating *all* left vertices exists."""
+    matching = maximum_matching(graph)
+    return len(matching) == len(graph.left_vertices)
+
+
+def saturating_matching(graph: BipartiteGraph) -> Optional[Dict[Hashable, Hashable]]:
+    """A matching saturating the left side, or ``None`` when none exists."""
+    matching = maximum_matching(graph)
+    if len(matching) == len(graph.left_vertices):
+        return matching
+    return None
+
+
+def build_bipartite_graph(
+    left_vertices: Iterable[Hashable],
+    right_vertices: Iterable[Hashable],
+    edges: Iterable[Sequence[Hashable]],
+) -> BipartiteGraph:
+    """Convenience constructor from explicit vertex and edge collections."""
+    graph = BipartiteGraph()
+    for vertex in left_vertices:
+        graph.add_left(vertex)
+    for vertex in right_vertices:
+        graph.add_right(vertex)
+    for left, right in edges:
+        graph.add_edge(left, right)
+    return graph
+
+
+def verify_matching(
+    graph: BipartiteGraph, matching: Mapping[Hashable, Hashable]
+) -> bool:
+    """Validate that ``matching`` is a matching of ``graph`` (edges exist, no vertex reused)."""
+    used_right: Set[Hashable] = set()
+    for left, right in matching.items():
+        if right not in graph.neighbours(left):
+            return False
+        if right in used_right:
+            return False
+        used_right.add(right)
+    return True

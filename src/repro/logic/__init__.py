@@ -1,0 +1,1 @@
+"""Propositional logic substrate: CNF model, DPLL solver, falsifying-repair encoding."""

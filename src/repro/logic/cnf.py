@@ -1,0 +1,235 @@
+"""Propositional CNF formulas and 3-SAT instances.
+
+The coNP-hardness proof of Section 9 reduces from 3-SAT restricted to
+formulas in which every variable occurs at most three times, at least once
+positively and at least once negatively.  This module provides:
+
+* :class:`Literal`, :class:`Clause`, :class:`CnfFormula` — a small CNF model;
+* :func:`to_at_most_three_occurrences` — the classical normalisation that
+  rewrites an arbitrary 3-CNF into the restricted form by chaining fresh
+  copies of a variable with implication clauses;
+* random 3-SAT generators used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A propositional literal: a variable name and a polarity."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals."""
+
+    literals: Tuple[Literal, ...]
+
+    def variables(self) -> Set[str]:
+        return {literal.variable for literal in self.literals}
+
+    def is_satisfied(self, assignment: Dict[str, bool]) -> bool:
+        return any(
+            assignment.get(literal.variable) == literal.positive
+            for literal in self.literals
+        )
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(literal) for literal in self.literals) + ")"
+
+
+@dataclass
+class CnfFormula:
+    """A conjunction of clauses."""
+
+    clauses: List[Clause] = field(default_factory=list)
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        self.clauses.append(Clause(tuple(literals)))
+
+    def variables(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for clause in self.clauses:
+            for literal in clause:
+                seen.setdefault(literal.variable, None)
+        return list(seen)
+
+    def occurrence_counts(self) -> Dict[str, Tuple[int, int]]:
+        """Per variable: (number of positive occurrences, number of negative ones)."""
+        counts: Dict[str, Tuple[int, int]] = {}
+        for clause in self.clauses:
+            for literal in clause:
+                positive, negative = counts.get(literal.variable, (0, 0))
+                if literal.positive:
+                    counts[literal.variable] = (positive + 1, negative)
+                else:
+                    counts[literal.variable] = (positive, negative + 1)
+        return counts
+
+    def is_satisfied(self, assignment: Dict[str, bool]) -> bool:
+        return all(clause.is_satisfied(assignment) for clause in self.clauses)
+
+    def is_three_cnf(self) -> bool:
+        return all(1 <= len(clause) <= 3 for clause in self.clauses)
+
+    def has_at_most_three_occurrences(self) -> bool:
+        """Every variable occurs at most three times (positive + negative)."""
+        return all(
+            positive + negative <= 3
+            for positive, negative in self.occurrence_counts().values()
+        )
+
+    def has_mixed_polarity(self) -> bool:
+        """Every variable occurs at least once positively and once negatively."""
+        return all(
+            positive >= 1 and negative >= 1
+            for positive, negative in self.occurrence_counts().values()
+        )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(clause) for clause in self.clauses)
+
+
+def parse_dimacs_like(rows: Sequence[Sequence[int]], prefix: str = "x") -> CnfFormula:
+    """Build a formula from DIMACS-style integer clauses (sign = polarity)."""
+    formula = CnfFormula()
+    for row in rows:
+        literals = [Literal(f"{prefix}{abs(value)}", value > 0) for value in row]
+        formula.add_clause(literals)
+    return formula
+
+
+def paper_example_formula() -> CnfFormula:
+    """The formula of Figure 2: (¬s ∨ t ∨ u) ∧ (¬s ∨ ¬t ∨ u) ∧ (s ∨ ¬t ∨ ¬u)."""
+    formula = CnfFormula()
+    formula.add_clause([Literal("s", False), Literal("t", True), Literal("u", True)])
+    formula.add_clause([Literal("s", False), Literal("t", False), Literal("u", True)])
+    formula.add_clause([Literal("s", True), Literal("t", False), Literal("u", False)])
+    return formula
+
+
+def to_at_most_three_occurrences(formula: CnfFormula) -> CnfFormula:
+    """Rewrite so that every variable occurs at most three times.
+
+    A variable ``p`` occurring ``m > 3`` times is replaced by fresh copies
+    ``p_1 ... p_m`` (one per occurrence) chained by the implication cycle
+    ``p_1 -> p_2 -> ... -> p_m -> p_1`` (clauses ``(¬p_i ∨ p_{i+1})``), which
+    preserves satisfiability and gives every copy exactly one positive, one
+    negative and one clause occurrence.
+    """
+    counts = {var: pos + neg for var, (pos, neg) in formula.occurrence_counts().items()}
+    next_copy: Dict[str, int] = {}
+    rewritten = CnfFormula()
+    chains: Dict[str, List[str]] = {}
+
+    def occurrence_name(variable: str) -> str:
+        if counts[variable] <= 3:
+            return variable
+        index = next_copy.get(variable, 0)
+        next_copy[variable] = index + 1
+        copy_name = f"{variable}__c{index}"
+        chains.setdefault(variable, []).append(copy_name)
+        return copy_name
+
+    for clause in formula.clauses:
+        rewritten.add_clause(
+            Literal(occurrence_name(literal.variable), literal.positive)
+            for literal in clause
+        )
+    for copies in chains.values():
+        for index, copy_name in enumerate(copies):
+            successor = copies[(index + 1) % len(copies)]
+            rewritten.add_clause([Literal(copy_name, False), Literal(successor, True)])
+    return rewritten
+
+
+def ensure_mixed_polarity(formula: CnfFormula) -> CnfFormula:
+    """Make every variable occur at least once positively and once negatively.
+
+    A variable occurring with a single polarity can be set greedily, so we
+    simply drop the clauses it satisfies (standard pure-literal elimination);
+    this preserves satisfiability and yields the normal form assumed by the
+    Section 9 reduction.  The elimination is iterated until a fixpoint.
+    """
+    clauses = list(formula.clauses)
+    while True:
+        current = CnfFormula(list(clauses))
+        counts = current.occurrence_counts()
+        pure = {
+            variable: positive > 0
+            for variable, (positive, negative) in counts.items()
+            if positive == 0 or negative == 0
+        }
+        if not pure:
+            return current
+        clauses = [
+            clause
+            for clause in clauses
+            if not any(
+                literal.variable in pure and literal.positive == pure[literal.variable]
+                for literal in clause
+            )
+        ]
+        if not clauses:
+            return CnfFormula([])
+
+
+def random_three_sat(
+    variable_count: int,
+    clause_count: int,
+    rng: Optional[random.Random] = None,
+    prefix: str = "p",
+) -> CnfFormula:
+    """A uniformly random 3-CNF with the given numbers of variables and clauses."""
+    rng = rng or random.Random()
+    if variable_count < 3:
+        raise ValueError("need at least three variables for 3-SAT clauses")
+    formula = CnfFormula()
+    names = [f"{prefix}{index}" for index in range(variable_count)]
+    for _ in range(clause_count):
+        chosen = rng.sample(names, 3)
+        formula.add_clause(Literal(name, rng.random() < 0.5) for name in chosen)
+    return formula
+
+
+def random_restricted_three_sat(
+    variable_count: int,
+    clause_count: int,
+    rng: Optional[random.Random] = None,
+    prefix: str = "p",
+) -> CnfFormula:
+    """Random 3-SAT already normalised for the Section 9 reduction.
+
+    The result has at most three occurrences per variable, each variable
+    occurring with both polarities; it is obtained by generating a random
+    3-CNF and applying the two normalisation passes.
+    """
+    formula = random_three_sat(variable_count, clause_count, rng=rng, prefix=prefix)
+    formula = to_at_most_three_occurrences(formula)
+    formula = ensure_mixed_polarity(formula)
+    return formula

@@ -1,0 +1,180 @@
+"""A small DPLL SAT solver.
+
+Used for two purposes:
+
+* deciding satisfiability of the 3-SAT formulas fed to the Section 9
+  reduction (so that Lemma 9.2 — ``φ`` satisfiable iff ``D[φ]`` is not
+  certain — can be checked experimentally);
+* the SAT-based exact oracle for ``certain(q)``: the existence of a
+  falsifying repair is encoded as a CNF (see :mod:`repro.logic.encode`) and
+  decided here, which scales far beyond brute-force repair enumeration.
+
+The solver implements unit propagation, pure-literal elimination and
+branching on the most frequent unassigned variable.  It is deliberately
+simple and dependency-free but entirely adequate for the benchmark sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .cnf import CnfFormula, Literal
+
+IntClause = FrozenSet[int]
+
+
+class DpllSolver:
+    """DPLL over integer-encoded clauses (positive int = positive literal)."""
+
+    def __init__(self) -> None:
+        self.statistics = {"decisions": 0, "propagations": 0}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def solve_formula(self, formula: CnfFormula) -> Optional[Dict[str, bool]]:
+        """Satisfying assignment of a :class:`CnfFormula`, or ``None`` if UNSAT."""
+        variables = formula.variables()
+        index_of = {name: index + 1 for index, name in enumerate(variables)}
+        clauses = []
+        for clause in formula.clauses:
+            encoded = frozenset(
+                index_of[literal.variable] * (1 if literal.positive else -1)
+                for literal in clause
+            )
+            clauses.append(encoded)
+        model = self.solve_clauses(clauses)
+        if model is None:
+            return None
+        assignment = {}
+        for name, index in index_of.items():
+            assignment[name] = model.get(index, True)
+        return assignment
+
+    def solve_clauses(self, clauses: Sequence[IntClause]) -> Optional[Dict[int, bool]]:
+        """Satisfying assignment of integer clauses, or ``None`` if UNSAT."""
+        normalised: List[IntClause] = []
+        for clause in clauses:
+            clause = frozenset(clause)
+            if any(-literal in clause for literal in clause):
+                continue  # tautology
+            normalised.append(clause)
+        return self._search(normalised, {})
+
+    def is_satisfiable(self, formula: CnfFormula) -> bool:
+        return self.solve_formula(formula) is not None
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def _search(
+        self, clauses: List[IntClause], assignment: Dict[int, bool]
+    ) -> Optional[Dict[int, bool]]:
+        clauses, assignment = self._propagate(clauses, dict(assignment))
+        if clauses is None:
+            return None
+        if not clauses:
+            return assignment
+        variable = self._choose_variable(clauses)
+        self.statistics["decisions"] += 1
+        for value in (True, False):
+            literal = variable if value else -variable
+            result = self._search(clauses + [frozenset([literal])], assignment)
+            if result is not None:
+                return result
+        return None
+
+    def _propagate(
+        self, clauses: List[IntClause], assignment: Dict[int, bool]
+    ) -> Tuple[Optional[List[IntClause]], Dict[int, bool]]:
+        """Unit propagation + pure literal elimination until fixpoint."""
+        working = list(clauses)
+        changed = True
+        while changed:
+            changed = False
+            # Unit clauses.
+            units = [next(iter(clause)) for clause in working if len(clause) == 1]
+            for literal in units:
+                variable, value = abs(literal), literal > 0
+                if variable in assignment and assignment[variable] != value:
+                    return None, assignment
+                if variable not in assignment:
+                    assignment[variable] = value
+                    self.statistics["propagations"] += 1
+                    changed = True
+            if changed:
+                reduced = self._reduce(working, assignment)
+                if reduced is None:
+                    return None, assignment
+                working = reduced
+                continue
+            # Pure literals.
+            polarity: Dict[int, Set[bool]] = {}
+            for clause in working:
+                for literal in clause:
+                    polarity.setdefault(abs(literal), set()).add(literal > 0)
+            pures = {
+                variable: next(iter(values))
+                for variable, values in polarity.items()
+                if len(values) == 1 and variable not in assignment
+            }
+            if pures:
+                assignment.update(pures)
+                self.statistics["propagations"] += len(pures)
+                reduced = self._reduce(working, assignment)
+                if reduced is None:
+                    return None, assignment
+                working = reduced
+                changed = True
+        return working, assignment
+
+    @staticmethod
+    def _reduce(
+        clauses: List[IntClause], assignment: Dict[int, bool]
+    ) -> Optional[List[IntClause]]:
+        """Simplify clauses under the partial assignment; ``None`` on conflict."""
+        reduced: List[IntClause] = []
+        for clause in clauses:
+            satisfied = False
+            remaining = []
+            for literal in clause:
+                variable, value = abs(literal), literal > 0
+                if variable in assignment:
+                    if assignment[variable] == value:
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            reduced.append(frozenset(remaining))
+        return reduced
+
+    @staticmethod
+    def _choose_variable(clauses: List[IntClause]) -> int:
+        """Branch on the variable with the most occurrences."""
+        counts: Dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+        return max(counts, key=counts.get)
+
+
+def is_satisfiable(formula: CnfFormula) -> bool:
+    """Module-level convenience wrapper."""
+    return DpllSolver().is_satisfiable(formula)
+
+
+def brute_force_satisfiable(formula: CnfFormula) -> bool:
+    """Exponential truth-table check, used to validate the DPLL solver in tests."""
+    variables = formula.variables()
+    total = 1 << len(variables)
+    for mask in range(total):
+        assignment = {
+            variable: bool(mask >> index & 1) for index, variable in enumerate(variables)
+        }
+        if formula.is_satisfied(assignment):
+            return True
+    return not formula.clauses if not variables else False

@@ -1,0 +1,133 @@
+"""SAT encoding of the falsifying-repair problem.
+
+``certain(q)`` is in coNP because a certificate for *non*-certainty is a
+repair falsifying the query (Section 2).  For a two-atom query that repair
+exists iff one can pick one fact per block such that no picked pair (and no
+single picked fact) forms a solution to ``q``.  This is naturally a CNF:
+
+* one propositional variable per fact ("the repair picks this fact");
+* per block: at least one fact picked, at most one fact picked;
+* per fact ``a`` with ``q(a a)``: the fact cannot be picked;
+* per solution ``q{a b}`` with ``a``, ``b`` in different blocks: not both
+  picked.
+
+The encoding is decided with the DPLL solver of :mod:`repro.logic.dpll` and
+serves as the scalable exact oracle used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.query import TwoAtomQuery
+from ..core.terms import Fact
+from ..db.fact_store import Database, Repair
+from .dpll import DpllSolver
+
+IntClause = FrozenSet[int]
+
+
+class FalsifyingRepairEncoding:
+    """CNF encoding of "there exists a repair of ``D`` falsifying ``q``"."""
+
+    def __init__(self, query: TwoAtomQuery, database: Database) -> None:
+        self.query = query
+        self.database = database
+        self._facts = database.facts()
+        self._index: Dict[Fact, int] = {
+            fact: position + 1 for position, fact in enumerate(self._facts)
+        }
+        self.clauses: List[IntClause] = []
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        self._encode_blocks()
+        self._encode_solutions()
+
+    def _encode_blocks(self) -> None:
+        for block in self.database.blocks():
+            variables = [self._index[fact] for fact in block.facts]
+            # At least one fact of the block is kept.
+            self.clauses.append(frozenset(variables))
+            # At most one fact of the block is kept.
+            for first, second in combinations(variables, 2):
+                self.clauses.append(frozenset((-first, -second)))
+
+    def _encode_solutions(self) -> None:
+        facts = self._facts
+        for fact in facts:
+            if self.query.is_self_solution(fact):
+                self.clauses.append(frozenset((-self._index[fact],)))
+        for position, first in enumerate(facts):
+            for second in facts[position + 1:]:
+                if first.key_equal(second):
+                    continue  # never co-selected; the block constraints handle it
+                if self.query.matches_unordered(first, second):
+                    self.clauses.append(
+                        frozenset((-self._index[first], -self._index[second]))
+                    )
+
+    # ------------------------------------------------------------------ #
+    # solving
+    # ------------------------------------------------------------------ #
+    def variable_count(self) -> int:
+        return len(self._facts)
+
+    def clause_count(self) -> int:
+        return len(self.clauses)
+
+    def find_falsifying_repair(self) -> Optional[Repair]:
+        """A repair of the database falsifying the query, or ``None``."""
+        solver = DpllSolver()
+        model = solver.solve_clauses(self.clauses)
+        if model is None:
+            return None
+        picked = [fact for fact in self._facts if model.get(self._index[fact], False)]
+        # Blocks whose choice is unconstrained may be left unassigned by the
+        # solver; complete them with an arbitrary fact that keeps the repair
+        # falsifying (any fact not forming a solution with picked ones).
+        chosen = {fact.block_id(): fact for fact in picked}
+        for block in self.database.blocks():
+            if block.block_id in chosen:
+                continue
+            candidate = self._complete_block(block.facts, list(chosen.values()))
+            if candidate is None:
+                return None
+            chosen[block.block_id] = candidate
+        repair = Repair(tuple(chosen[block.block_id] for block in self.database.blocks()))
+        if self.query.satisfied_by(repair):
+            # The completion heuristic failed (should not happen: the model
+            # satisfies all pairwise constraints); fall back to reporting no
+            # witness rather than a wrong one.
+            return None
+        return repair
+
+    def _complete_block(
+        self, candidates: List[Fact], already_chosen: List[Fact]
+    ) -> Optional[Fact]:
+        for candidate in candidates:
+            if self.query.is_self_solution(candidate):
+                continue
+            conflict = any(
+                self.query.matches_unordered(candidate, other)
+                for other in already_chosen
+            )
+            if not conflict:
+                return candidate
+        return None
+
+
+def exists_falsifying_repair(query: TwoAtomQuery, database: Database) -> bool:
+    """Whether some repair of ``database`` falsifies ``query``."""
+    encoding = FalsifyingRepairEncoding(query, database)
+    solver = DpllSolver()
+    return solver.solve_clauses(encoding.clauses) is not None
+
+
+def certain_via_sat(query: TwoAtomQuery, database: Database) -> bool:
+    """Exact ``certain(q)`` decided through the SAT encoding."""
+    return not exists_falsifying_repair(query, database)

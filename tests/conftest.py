@@ -1,0 +1,91 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    Fact,
+    RelationSchema,
+    paper_queries,
+    parse_query,
+)
+from repro.fixtures import (
+    figure_1b_database,
+    figure_1c_tripath,
+    figure_2_formula,
+    query_q2,
+)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    """The paper's example queries q1..q7."""
+    return paper_queries()
+
+
+@pytest.fixture(scope="session")
+def q2():
+    return query_q2()
+
+
+@pytest.fixture(scope="session")
+def q3(queries):
+    return queries["q3"]
+
+
+@pytest.fixture(scope="session")
+def q5(queries):
+    return queries["q5"]
+
+
+@pytest.fixture(scope="session")
+def q6(queries):
+    return queries["q6"]
+
+
+@pytest.fixture(scope="session")
+def fig1b_db():
+    return figure_1b_database()
+
+
+@pytest.fixture(scope="session")
+def fig1c_tripath():
+    return figure_1c_tripath()
+
+
+@pytest.fixture(scope="session")
+def fig2_formula():
+    return figure_2_formula()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20240614)
+
+
+@pytest.fixture(scope="session")
+def schema21():
+    return RelationSchema("R", arity=2, key_size=1)
+
+
+@pytest.fixture(scope="session")
+def schema42():
+    return RelationSchema("R", arity=4, key_size=2)
+
+
+@pytest.fixture
+def small_q3_db(schema21):
+    """A tiny inconsistent database for q3 = R(x|y) ∧ R(y|z)."""
+    return Database(
+        [
+            Fact(schema21, (1, 2)),
+            Fact(schema21, (1, 5)),
+            Fact(schema21, (2, 3)),
+            Fact(schema21, (2, 4)),
+            Fact(schema21, (5, 1)),
+        ]
+    )

@@ -1,0 +1,97 @@
+"""Unit tests for the Monte-Carlo support estimator."""
+
+import random
+
+import pytest
+
+from repro import Database, Fact, certain_bruteforce, parse_query
+from repro.core.approximate import (
+    estimate_support,
+    exact_support,
+    probably_certain,
+    _normal_quantile,
+)
+from repro.db.generators import random_solution_database
+
+
+@pytest.fixture
+def q3():
+    return parse_query("R(x|y) R(y|z)")
+
+
+def f(query, *values):
+    return Fact(query.schema, values)
+
+
+class TestExactSupport:
+    def test_certain_database_has_support_one(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        assert exact_support(q3, db) == 1.0
+
+    def test_empty_database_has_support_zero(self, q3):
+        assert exact_support(q3, Database()) == 0.0
+
+    def test_half_support(self, q3):
+        # Block {1} has two choices; only one of them completes a solution.
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        assert exact_support(q3, db) == 0.5
+
+    def test_support_one_iff_certain(self, q3):
+        for seed in range(6):
+            rng = random.Random(seed)
+            db = random_solution_database(q3, 3, 3, 4, rng)
+            assert (exact_support(q3, db) == 1.0) == certain_bruteforce(q3, db)
+
+
+class TestEstimateSupport:
+    def test_estimate_matches_exact_on_extremes(self, q3):
+        certain_db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        result = estimate_support(q3, certain_db, samples=50, rng=random.Random(0))
+        assert result.estimate == 1.0
+        assert result.falsifying_repair is None
+
+    def test_estimate_close_to_exact(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        result = estimate_support(q3, db, samples=400, rng=random.Random(1))
+        assert abs(result.estimate - 0.5) < 0.15
+        assert result.lower_bound <= result.estimate <= result.upper_bound
+        assert result.definitely_not_certain
+
+    def test_invalid_parameters(self, q3):
+        db = Database([f(q3, 1, 2)])
+        with pytest.raises(ValueError):
+            estimate_support(q3, db, samples=0)
+        with pytest.raises(ValueError):
+            estimate_support(q3, db, confidence=1.5)
+
+    def test_reproducible_with_seeded_rng(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        first = estimate_support(q3, db, samples=100, rng=random.Random(7))
+        second = estimate_support(q3, db, samples=100, rng=random.Random(7))
+        assert first.estimate == second.estimate
+
+
+class TestProbablyCertain:
+    def test_definite_negative(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        # With enough samples a falsifying repair is found almost surely.
+        assert not probably_certain(q3, db, samples=200, rng=random.Random(2))
+
+    def test_positive_on_certain_database(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        assert probably_certain(q3, db, samples=50, rng=random.Random(3))
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "probability,expected",
+        [(0.5, 0.0), (0.975, 1.959964), (0.995, 2.575829), (0.025, -1.959964), (0.01, -2.326348)],
+    )
+    def test_known_quantiles(self, probability, expected):
+        assert _normal_quantile(probability) == pytest.approx(expected, abs=1e-4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            _normal_quantile(1.0)

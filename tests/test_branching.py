@@ -1,0 +1,123 @@
+"""Unit tests for branching triples, forks, triangles and g(e) (Section 7)."""
+
+import random
+
+import pytest
+
+from repro import Database, Fact, g_bar, g_elements, parse_query
+from repro.core.branching import (
+    BranchingTriple,
+    branching_triples,
+    is_branching_triple,
+    solutions_of_fact_in_repair,
+    triple_is_fork,
+    triple_is_triangle,
+    verify_lemma_7_1,
+)
+from repro.db.generators import random_solution_database, solution_triangle
+from repro.db.repairs import iter_repairs
+
+
+@pytest.fixture
+def q2():
+    return parse_query("R(x,u|x,y) R(u,y|x,z)")
+
+
+@pytest.fixture
+def q6():
+    return parse_query("R(x|y,z) R(z|x,y)")
+
+
+def f(query, values):
+    return Fact(query.schema, tuple(values))
+
+
+class TestBranchingTriples:
+    def test_figure1_center_is_branching(self, q2):
+        d, e, fk = f(q2, "aaab"), f(q2, "abaa"), f(q2, "baaa")
+        assert is_branching_triple(q2, d, e, fk)
+        triple = BranchingTriple(d, e, fk)
+        assert triple_is_fork(q2, triple)
+        assert not triple_is_triangle(q2, triple)
+
+    def test_branching_requires_distinct_blocks(self, q2):
+        d, e = f(q2, "aaab"), f(q2, "abaa")
+        same_block_as_d = f(q2, "aaxy")
+        assert not is_branching_triple(q2, d, e, same_block_as_d)
+
+    def test_q6_triangle(self, q6):
+        a, c, b = solution_triangle(q6, ("a", "b", "c"))
+        triple = BranchingTriple(a, c, b)
+        assert is_branching_triple(q6, a, c, b)
+        assert triple_is_triangle(q6, triple)
+
+    def test_branching_triples_enumeration(self, q2):
+        facts = [f(q2, "aaab"), f(q2, "abaa"), f(q2, "baaa")]
+        triples = branching_triples(q2, facts)
+        assert len(triples) == 1
+        assert triples[0].centre == f(q2, "abaa")
+
+    def test_branching_triples_empty_when_no_solutions(self, q2):
+        facts = [f(q2, "aaab"), f(q2, "zzzz")]
+        assert branching_triples(q2, facts) == []
+
+
+class TestGSelector:
+    def test_paper_example_g(self, q2):
+        # Figure 1b caption: g(R(a,b,a,a)) = {a}.
+        triple = BranchingTriple(f(q2, "aaab"), f(q2, "abaa"), f(q2, "baaa"))
+        assert g_bar(triple) == ("a", "a")
+        assert g_elements(triple) == {"a"}
+
+    def test_g_defaults_to_centre_key(self, q6):
+        a, c, b = solution_triangle(q6, ("a", "b", "c"))
+        triple = BranchingTriple(a, c, b)
+        # Keys are singletons {a}, {c}, {b}: no inclusion holds, so g = key(e).
+        assert g_bar(triple) == c.key_tuple
+        assert g_elements(triple) == set(c.key_tuple)
+
+    def test_g_case_left_included(self, q2):
+        # key(d) ⊆ key(e), key(f) ⊄ key(e): g = key-tuple of d.
+        d = f(q2, ("a", "a", "a", "b"))
+        e = f(q2, ("a", "b", "a", "c"))
+        fk = f(q2, ("b", "c", "a", "d"))
+        triple = BranchingTriple(d, e, fk)
+        assert g_bar(triple) == ("a", "a")
+
+    def test_g_is_subset_of_centre_key(self, q2):
+        for _ in range(5):
+            rng = random.Random(_)
+            db = random_solution_database(q2, 4, 2, 4, rng)
+            for triple in branching_triples(q2, db.facts()):
+                assert g_elements(triple) <= triple.centre.key_elements
+
+
+class TestLemma71:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma_7_1_on_random_databases(self, q2, seed):
+        """For 2way-determined queries the two implications of Lemma 7.1 hold."""
+        rng = random.Random(seed)
+        db = random_solution_database(q2, 5, 3, 4, rng)
+        for first, second in q2.solutions(db.facts()):
+            assert verify_lemma_7_1(q2, db, first, second)
+
+    def test_lemma_7_1_rejects_non_solutions(self, q2):
+        db = Database([f(q2, "aaab"), f(q2, "abaa")])
+        with pytest.raises(ValueError):
+            verify_lemma_7_1(q2, db, f(q2, "abaa"), f(q2, "aaab"))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_at_most_two_solutions_per_fact_in_a_repair(self, q2, seed):
+        """Consequence of Lemma 7.1: within a repair a fact joins at most two solutions."""
+        rng = random.Random(seed)
+        db = random_solution_database(q2, 4, 2, 3, rng)
+        for repair in list(iter_repairs(db, limit=16)):
+            for target in repair:
+                involved = solutions_of_fact_in_repair(q2, repair, target)
+                distinct_partners = {
+                    other
+                    for pair in involved
+                    for other in pair
+                    if other != target
+                }
+                assert len(distinct_partners) <= 2

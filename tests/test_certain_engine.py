@@ -1,0 +1,158 @@
+"""Unit tests for the exact oracles and the classification-driven engine."""
+
+import random
+
+import pytest
+
+from repro import (
+    CertainEngine,
+    Database,
+    Fact,
+    certain_bruteforce,
+    certain_exact,
+    certain_trivial,
+    find_falsifying_repair,
+    parse_query,
+)
+from repro.db.generators import random_solution_database
+
+
+def f(query, *values):
+    return Fact(query.schema, values)
+
+
+class TestBruteForceOracle:
+    def test_simple_certain(self):
+        q3 = parse_query("R(x|y) R(y|z)")
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        assert certain_bruteforce(q3, db)
+
+    def test_simple_not_certain(self):
+        q3 = parse_query("R(x|y) R(y|z)")
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        assert not certain_bruteforce(q3, db)
+
+    def test_empty_database(self):
+        q3 = parse_query("R(x|y) R(y|z)")
+        assert not certain_bruteforce(q3, Database())
+
+    def test_limit_guard(self):
+        q3 = parse_query("R(x|y) R(y|z)")
+        facts = []
+        for key in range(6):
+            facts.append(f(q3, key, key + 1))
+            facts.append(f(q3, key, key + 2))
+        db = Database(facts)
+        with pytest.raises(RuntimeError):
+            certain_bruteforce(q3, db, limit=3)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_sat_oracle(self, seed):
+        q2 = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        rng = random.Random(seed)
+        db = random_solution_database(q2, 4, 3, 4, rng)
+        assert certain_bruteforce(q2, db) == certain_exact(q2, db)
+
+
+class TestFalsifyingRepair:
+    def test_witness_for_not_certain(self):
+        q3 = parse_query("R(x|y) R(y|z)")
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        witness = find_falsifying_repair(q3, db)
+        assert witness is not None
+        assert not q3.satisfied_by(witness)
+
+    def test_no_witness_for_certain(self):
+        q3 = parse_query("R(x|y) R(y|z)")
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        assert find_falsifying_repair(q3, db) is None
+
+
+class TestTrivialQueries:
+    def test_homomorphism_case(self):
+        query = parse_query("R(x|y) R(x|x)")
+        # Certain iff some block consists solely of facts matching R(x|x).
+        db = Database([f(query, 1, 1), f(query, 2, 1), f(query, 2, 2)])
+        assert certain_trivial(query, db)
+        assert certain_bruteforce(query, db)
+
+    def test_homomorphism_case_not_certain(self):
+        query = parse_query("R(x|y) R(x|x)")
+        db = Database([f(query, 1, 1), f(query, 1, 2), f(query, 2, 3)])
+        assert not certain_trivial(query, db)
+        assert not certain_bruteforce(query, db)
+
+    def test_identical_keys_case(self):
+        query = parse_query("R(x,y|u) R(x,y|v)")
+        db = Database([f(query, 1, 2, 3), f(query, 1, 2, 4)])
+        assert certain_trivial(query, db) == certain_bruteforce(query, db)
+
+    def test_non_trivial_query_rejected(self):
+        query = parse_query("R(x|y) R(y|z)")
+        with pytest.raises(ValueError):
+            certain_trivial(query, Database())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_trivial_agrees_with_bruteforce(self, seed):
+        query = parse_query("R(x|y) R(x|x)")
+        rng = random.Random(seed)
+        db = random_solution_database(query, 4, 3, 3, rng)
+        assert certain_trivial(query, db) == certain_bruteforce(query, db)
+
+
+class TestCertainEngine:
+    @pytest.mark.parametrize("name", ["q2", "q3", "q5", "q6"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_engine_is_exact_on_paper_queries(self, queries, name, seed):
+        query = queries[name]
+        engine = CertainEngine(query)
+        rng = random.Random(seed)
+        db = random_solution_database(query, 4, 2, 4, rng)
+        assert engine.is_certain(db) == certain_exact(query, db)
+
+    def test_engine_reports_algorithm(self, queries):
+        engine = CertainEngine(queries["q3"])
+        db = random_solution_database(queries["q3"], 4, 2, 4, random.Random(0))
+        report = engine.explain(db)
+        assert "Cert_2" in report.algorithm
+        assert report.exact
+
+    def test_engine_uses_sat_oracle_for_hard_queries(self, queries):
+        engine = CertainEngine(queries["q2"])
+        db = random_solution_database(queries["q2"], 3, 2, 4, random.Random(1))
+        report = engine.explain(db)
+        assert "SAT" in report.algorithm
+
+    def test_engine_trivial_query(self):
+        query = parse_query("R(x|y) R(x|x)")
+        engine = CertainEngine(query)
+        db = Database([f(query, 1, 1)])
+        report = engine.explain(db)
+        assert report.certain
+        assert "one-atom" in report.algorithm
+
+    def test_paper_polynomial_answer_is_sound(self, queries):
+        query = queries["q6"]
+        engine = CertainEngine(query)
+        for seed in range(6):
+            db = random_solution_database(query, 4, 2, 3, random.Random(seed))
+            if engine.paper_polynomial_answer(db):
+                assert certain_exact(query, db)
+
+    def test_strict_polynomial_mode_reports_inexact_negative(self, queries):
+        query = queries["q6"]
+        engine = CertainEngine(query, strict_polynomial=True)
+        for seed in range(10):
+            db = random_solution_database(query, 4, 2, 3, random.Random(seed))
+            report = engine.explain(db)
+            if not report.certain and not report.exact:
+                assert "paper algorithm" in report.algorithm
+                return
+        # Every sampled database was answered exactly, which is also fine.
+
+    def test_engine_accepts_precomputed_classification(self, queries):
+        from repro import classify
+
+        result = classify(queries["q3"])
+        engine = CertainEngine(queries["q3"], classification=result)
+        assert engine.classification is result

@@ -1,0 +1,133 @@
+"""Unit tests for the greedy fixpoint algorithm Cert_k (Section 5)."""
+
+import random
+
+import pytest
+
+from repro import CertK, Database, Fact, cert_2, cert_k, certain_bruteforce, delta_k, parse_query
+from repro.db.generators import random_solution_database
+
+
+@pytest.fixture
+def q3():
+    return parse_query("R(x|y) R(y|z)")
+
+
+def f(query, *values):
+    return Fact(query.schema, values)
+
+
+class TestCertKBasics:
+    def test_invalid_k(self, q3):
+        with pytest.raises(ValueError):
+            CertK(q3, k=0)
+
+    def test_empty_database_is_not_certain(self, q3):
+        assert not cert_2(q3, Database())
+
+    def test_consistent_database_satisfying_query(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        assert cert_2(q3, db)
+
+    def test_consistent_database_not_satisfying_query(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 3, 4)])
+        assert not cert_2(q3, db)
+
+    def test_initial_delta_contains_solution_pairs(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        initial = CertK(q3, 2)._initial_delta(db)
+        assert frozenset({f(q3, 1, 2), f(q3, 2, 3)}) in initial
+        # Once the fixpoint runs on this consistent database the empty set is
+        # derived, so the final antichain collapses to {∅}.
+        assert frozenset() in delta_k(q3, db, k=2)
+
+    def test_self_solution_seeds_singleton(self, q3):
+        db = Database([f(q3, 1, 1)])
+        initial = CertK(q3, 2)._initial_delta(db)
+        assert frozenset({f(q3, 1, 1)}) in initial
+        assert cert_2(q3, db)
+
+    def test_solution_within_a_block_is_not_a_k_set(self, q3):
+        # R(1,1) and R(1,2): key-equal, so the pair cannot seed Δ; the block
+        # still makes the query certain only through the inductive rule when
+        # both choices lead to a solution, which is not the case here.
+        db = Database([f(q3, 1, 1), f(q3, 1, 2)])
+        assert not cert_2(q3, db)
+
+    def test_result_object(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 2, 3)])
+        result = CertK(q3, 2).run(db)
+        assert result.certain
+        assert result.k == 2
+        assert bool(result)
+        assert result.iterations >= 1
+
+
+class TestCertKInductiveRule:
+    def test_block_with_all_alternatives_solving(self, q3):
+        # Block {2 -> 3, 2 -> 1}: together with R(1,2) and R(3,1) every choice
+        # yields a solution, so the query is certain and Cert_2 finds it.
+        db = Database([f(q3, 1, 2), f(q3, 2, 3), f(q3, 2, 1), f(q3, 3, 1)])
+        assert certain_bruteforce(q3, db)
+        assert cert_2(q3, db)
+
+    def test_not_certain_database_rejected(self, q3):
+        db = Database([f(q3, 1, 2), f(q3, 1, 5), f(q3, 2, 3)])
+        assert not certain_bruteforce(q3, db)
+        assert not cert_2(q3, db)
+
+    def test_chain_requiring_two_rounds(self, q3):
+        # Two inconsistent blocks; every combination of choices satisfies q3.
+        db = Database(
+            [
+                f(q3, 1, 2),
+                f(q3, 1, 3),
+                f(q3, 2, 4),
+                f(q3, 2, 5),
+                f(q3, 3, 4),
+                f(q3, 3, 6),
+                f(q3, 4, 1),
+                f(q3, 5, 1),
+                f(q3, 6, 1),
+            ]
+        )
+        assert certain_bruteforce(q3, db)
+        assert cert_2(q3, db)
+
+    def test_under_approximation_never_overclaims(self, q3):
+        for seed in range(10):
+            rng = random.Random(seed)
+            db = random_solution_database(q3, 4, 3, 4, rng)
+            if cert_2(q3, db):
+                assert certain_bruteforce(q3, db)
+
+    def test_monotone_in_k(self, q3):
+        for seed in range(6):
+            rng = random.Random(100 + seed)
+            db = random_solution_database(q3, 4, 2, 4, rng)
+            if cert_k(q3, db, k=1):
+                assert cert_k(q3, db, k=2)
+            if cert_k(q3, db, k=2):
+                assert cert_k(q3, db, k=3)
+
+
+class TestTheorem61:
+    """certain(q) = Cert_2(q) when key(A) ⊆ key(B) or shared vars ⊆ key(B)."""
+
+    @pytest.mark.parametrize("query_text", ["R(x|y) R(y|z)", "R(x,x|u,v) R(x,y|u,x)"])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_with_bruteforce(self, query_text, seed):
+        query = parse_query(query_text)
+        assert query.easy_condition()
+        rng = random.Random(seed)
+        db = random_solution_database(query, 4, 3, 3, rng)
+        if db.repair_count() > 4096:
+            pytest.skip("workload unexpectedly large")
+        assert cert_2(query, db) == certain_bruteforce(query, db)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_on_sparser_instances(self, seed):
+        query = parse_query("R(x|y) R(y|z)")
+        rng = random.Random(1000 + seed)
+        db = random_solution_database(query, 3, 5, 6, rng)
+        assert cert_2(query, db) == certain_bruteforce(query, db)

@@ -1,0 +1,116 @@
+"""Unit tests for the dichotomy classifier (Sections 3-10)."""
+
+import pytest
+
+from repro import Complexity, Method, classify, parse_query
+from repro.fixtures import expected_classifications
+
+
+class TestPaperQueries:
+    """The classifier must reproduce the paper's classification of q1-q7."""
+
+    def test_q1_conp_complete_via_theorem_42(self, queries):
+        result = classify(queries["q1"])
+        assert result.complexity == Complexity.CONP_COMPLETE
+        assert result.method == Method.SYNTACTIC_HARD
+        assert result.exact
+
+    def test_q2_conp_complete_via_fork_tripath(self, queries):
+        result = classify(queries["q2"])
+        assert result.complexity == Complexity.CONP_COMPLETE
+        assert result.method == Method.FORK_TRIPATH
+        assert result.exact
+        assert result.tripath is not None
+        assert result.tripath.is_fork()
+
+    def test_q3_ptime_via_theorem_61(self, queries):
+        result = classify(queries["q3"])
+        assert result.complexity == Complexity.PTIME
+        assert result.method == Method.SYNTACTIC_EASY
+        assert result.exact
+
+    def test_q4_ptime_via_theorem_61(self, queries):
+        result = classify(queries["q4"])
+        assert result.complexity == Complexity.PTIME
+        assert result.method == Method.SYNTACTIC_EASY
+
+    def test_q5_ptime_no_tripath(self, queries):
+        result = classify(queries["q5"])
+        assert result.complexity == Complexity.PTIME
+        assert result.method == Method.NO_TRIPATH
+        assert result.exact
+        assert result.is_2way_determined
+
+    def test_q6_ptime_triangle_only(self, queries):
+        result = classify(queries["q6"])
+        assert result.complexity == Complexity.PTIME
+        assert result.method == Method.TRIANGLE_ONLY
+        assert result.exact
+        assert result.tripath is not None
+        assert result.tripath.is_triangle()
+
+    def test_q7_ptime(self, queries):
+        result = classify(queries["q7"], tripath_depth=3, tripath_merges=1, max_candidates=2000)
+        assert result.complexity == Complexity.PTIME
+        assert result.is_2way_determined
+
+    def test_all_expected_classifications(self, queries):
+        expected = expected_classifications()
+        for name, query in queries.items():
+            if name == "q7":
+                result = classify(query, tripath_depth=3, tripath_merges=1, max_candidates=2000)
+            else:
+                result = classify(query)
+            assert result.complexity.value == expected[name], name
+
+
+class TestOtherQueries:
+    def test_trivial_query_identical_keys(self):
+        result = classify(parse_query("R(x,y|u) R(x,y|v)"))
+        assert result.complexity == Complexity.PTIME
+        assert result.method == Method.TRIVIAL
+
+    def test_trivial_query_homomorphism(self):
+        result = classify(parse_query("R(x|y) R(x|x)"))
+        assert result.method == Method.TRIVIAL
+
+    def test_simple_key_to_key_query(self):
+        # key(A) = {x} ⊆ key(B) = {x}: identical keys, trivial.
+        result = classify(parse_query("R(x|y) R(x|z)"))
+        assert result.complexity == Complexity.PTIME
+
+    def test_hard_condition_requires_both_parts(self):
+        # Shares variables outside keys but keys are included in vars of the
+        # other atom, so Theorem 4.2 does not apply; the query is
+        # 2way-determined and handled by the tripath analysis.
+        query = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        result = classify(query)
+        assert result.method in (Method.FORK_TRIPATH, Method.TRIANGLE_ONLY, Method.NO_TRIPATH)
+
+    def test_summary_renders(self, queries):
+        result = classify(queries["q3"])
+        summary = result.summary()
+        assert "PTime" in summary and "SYNTACTIC_EASY" in summary
+
+    def test_result_flags(self, queries):
+        ptime = classify(queries["q3"])
+        hard = classify(queries["q1"])
+        assert ptime.is_ptime and not ptime.is_conp_complete
+        assert hard.is_conp_complete and not hard.is_ptime
+
+    def test_swapped_query_gets_same_complexity(self, queries):
+        for name in ("q2", "q3", "q5", "q6"):
+            original = classify(queries[name])
+            swapped = classify(queries[name].swapped())
+            assert original.complexity == swapped.complexity, name
+
+    def test_variable_renaming_does_not_change_class(self, queries):
+        q2 = queries["q2"]
+        renamed = q2.rename({"x": "v1", "u": "v2", "y": "v3", "z": "v4"})
+        assert classify(renamed).complexity == Complexity.CONP_COMPLETE
+
+    def test_classifier_rejects_nothing(self, queries):
+        # Every two-atom query gets classified into one of the two classes.
+        for query in queries.values():
+            result = classify(query, tripath_depth=3, tripath_merges=1, max_candidates=1000)
+            assert result.complexity in (Complexity.PTIME, Complexity.CONP_COMPLETE)

@@ -1,0 +1,85 @@
+"""Unit tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def hr_csv(tmp_path):
+    path = tmp_path / "assignments.csv"
+    path.write_text(
+        "employee,manager,project\n"
+        "alice,bob,apollo\n"
+        "alice,carol,hermes\n"
+        "bob,alice,apollo\n"
+        "bob,dave,zephyr\n"
+        "carol,alice,hermes\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+HR_QUERY = "Assignment(e|m,p) Assignment(m|e,p)"
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_classify_arguments(self):
+        args = build_parser().parse_args(["classify", "--paper", "--depth", "3"])
+        assert args.paper and args.depth == 3
+
+
+class TestClassifyCommand:
+    def test_classify_paper_queries(self, capsys):
+        assert main(["classify", "--paper", "--depth", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "q1" in output and "coNP-complete" in output and "PTime" in output
+
+    def test_classify_named_query(self, capsys):
+        assert main(["classify", "q3"]) == 0
+        assert "PTime" in capsys.readouterr().out
+
+    def test_classify_inline_query(self, capsys):
+        assert main(["classify", "R(x|y) R(y|z)"]) == 0
+        assert "SYNTACTIC_EASY" in capsys.readouterr().out
+
+    def test_classify_without_arguments_fails(self, capsys):
+        assert main(["classify"]) == 2
+
+
+class TestCertainCommand:
+    def test_certain_over_csv(self, capsys, hr_csv):
+        assert main(["certain", HR_QUERY, hr_csv]) == 0
+        output = capsys.readouterr().out
+        assert "certain   : False" in output
+
+    def test_certain_with_witness(self, capsys, hr_csv):
+        assert main(["certain", HR_QUERY, hr_csv, "--witness"]) == 0
+        output = capsys.readouterr().out
+        assert "falsifying repair" in output
+        assert "Assignment(" in output
+
+
+class TestSupportCommand:
+    def test_support_over_csv(self, capsys, hr_csv):
+        assert main(["support", HR_QUERY, hr_csv, "--samples", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "estimated support" in output
+
+
+class TestReduceCommand:
+    def test_reduce_with_named_query(self, capsys):
+        clauses = ["-1,2,3", "-1,-2,3", "1,-2,-3"]
+        assert main(["reduce", "q2", "--"] + clauses) == 0
+        output = capsys.readouterr().out
+        assert "Lemma 9.2    : True" in output
+
+    def test_reduce_rejects_bad_clause(self, capsys):
+        assert main(["reduce", "q2", "--", "not-a-clause"]) == 2
+
+    def test_reduce_fails_for_query_without_fork_tripath(self, capsys):
+        assert main(["reduce", "q5", "--", "-1,2,3", "1,-2,-3"]) == 1
+        assert "reduction failed" in capsys.readouterr().err

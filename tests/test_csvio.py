@@ -1,0 +1,85 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro import Database, Fact, RelationSchema
+from repro.db.csvio import facts_from_rows, load_csv, save_csv
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("Emp", arity=3, key_size=1)
+
+
+class TestLoadCsv:
+    def test_load_with_header(self, schema, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text("id,name,dept\n1,alice,sales\n1,alice,hr\n2,bob,it\n", encoding="utf-8")
+        db = load_csv(path, schema)
+        assert len(db) == 3
+        assert db.block_count() == 2
+        assert not db.is_consistent()
+
+    def test_load_without_header(self, schema, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text("1,alice,sales\n2,bob,it\n", encoding="utf-8")
+        db = load_csv(path, schema, has_header=False)
+        assert len(db) == 2
+
+    def test_load_strips_whitespace(self, schema, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text("1, alice , sales\n", encoding="utf-8")
+        db = load_csv(path, schema, has_header=False)
+        assert Fact(schema, ("1", "alice", "sales")) in db
+
+    def test_load_rejects_wrong_arity(self, schema, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text("1,alice\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_csv(path, schema, has_header=False)
+
+    def test_load_skips_empty_lines(self, schema, tmp_path):
+        path = tmp_path / "emp.csv"
+        path.write_text("1,alice,sales\n\n2,bob,it\n", encoding="utf-8")
+        assert len(load_csv(path, schema, has_header=False)) == 2
+
+    def test_custom_delimiter(self, schema, tmp_path):
+        path = tmp_path / "emp.tsv"
+        path.write_text("1\talice\tsales\n", encoding="utf-8")
+        db = load_csv(path, schema, has_header=False, delimiter="\t")
+        assert len(db) == 1
+
+
+class TestSaveCsv:
+    def test_round_trip(self, schema, tmp_path):
+        db = Database(
+            [
+                Fact(schema, ("1", "alice", "sales")),
+                Fact(schema, ("1", "alice", "hr")),
+                Fact(schema, ("2", "bob", "it")),
+            ]
+        )
+        path = tmp_path / "out.csv"
+        written = save_csv(db, path, header=["id", "name", "dept"])
+        assert written == 3
+        assert load_csv(path, schema) == db
+
+    def test_save_composite_elements(self, schema, tmp_path):
+        db = Database([Fact(schema, (("k", 1), "alice", "sales"))])
+        path = tmp_path / "out.csv"
+        save_csv(db, path)
+        text = path.read_text(encoding="utf-8")
+        assert "(k|1)" in text
+
+    def test_save_rejects_multi_relation_databases(self, schema, tmp_path):
+        other = RelationSchema("Dept", 2, 1)
+        db = Database([Fact(schema, ("1", "a", "b")), Fact(other, ("x", "y"))])
+        with pytest.raises(ValueError):
+            save_csv(db, tmp_path / "out.csv")
+
+
+class TestFactsFromRows:
+    def test_basic(self, schema):
+        facts = facts_from_rows(schema, [("1", "a", "b"), ("2", "c", "d")])
+        assert len(facts) == 2
+        assert facts[0].key_tuple == ("1",)

@@ -1,0 +1,122 @@
+"""Unit tests for the paper fixtures and the benchmark harness utilities."""
+
+import pytest
+
+from repro import certain_exact, classify, is_satisfiable
+from repro.bench.harness import AgreementResult, ExperimentReport, compare_with_oracle, timed
+from repro.bench.reporting import ReportCollector
+from repro.bench.workloads import (
+    agreement_workload,
+    paper_query_workload,
+    sat_workload,
+    scaling_workload,
+)
+from repro.fixtures import (
+    example_queries,
+    expected_classifications,
+    figure_1b_database,
+    figure_1c_database,
+    figure_1c_tripath,
+    figure_2_formula,
+    query_q2,
+)
+
+
+class TestFixtures:
+    def test_figure_1b_has_eleven_facts(self):
+        assert len(figure_1b_database()) == 11
+
+    def test_figure_1c_has_thirteen_facts(self):
+        assert len(figure_1c_database()) == 13
+
+    def test_figure_2_formula_is_satisfiable(self):
+        assert is_satisfiable(figure_2_formula())
+
+    def test_expected_classifications_cover_all_queries(self):
+        assert set(expected_classifications()) == set(example_queries())
+
+    def test_query_q2_matches_paper_queries(self):
+        assert str(query_q2()) == str(example_queries()["q2"])
+
+    def test_figure_1c_tripath_is_reusable(self):
+        # Building the fixture twice yields equal databases.
+        assert figure_1c_tripath().database() == figure_1c_tripath().database()
+
+
+class TestWorkloads:
+    def test_agreement_workload_is_deterministic(self, q3):
+        first = agreement_workload(q3, instance_count=3, seed=1)
+        second = agreement_workload(q3, instance_count=3, seed=1)
+        assert first == second
+
+    def test_agreement_workload_size(self, q3):
+        assert len(agreement_workload(q3, instance_count=4)) == 4
+
+    def test_scaling_workload_sizes(self, q3):
+        workload = scaling_workload(q3, sizes=(5, 10))
+        assert [size for size, _ in workload] == [5, 10]
+
+    def test_sat_workload_normal_form(self):
+        for formula in sat_workload(variable_counts=(3, 4)):
+            assert formula.has_at_most_three_occurrences()
+            assert formula.has_mixed_polarity()
+
+    def test_paper_query_workload(self):
+        assert set(paper_query_workload()) == {f"q{i}" for i in range(1, 8)}
+
+
+class TestHarness:
+    def test_experiment_report_rendering(self):
+        report = ExperimentReport("demo", ["query", "class"])
+        report.add(query="q3", **{"class": "PTime"})
+        report.add(query="q2", **{"class": "coNP-complete"})
+        text = report.render()
+        assert "demo" in text and "q3" in text and "coNP-complete" in text
+
+    def test_experiment_report_handles_missing_cells(self):
+        report = ExperimentReport("demo", ["a", "b"])
+        report.add(a=1)
+        assert "1" in report.render()
+
+    def test_compare_with_oracle_perfect_agreement(self, q3):
+        workload = agreement_workload(q3, instance_count=4, seed=2)
+        result = compare_with_oracle(q3, lambda db: certain_exact(q3, db), workload)
+        assert result.agreement_rate == 1.0
+        assert result.sound
+        assert result.total == 4
+
+    def test_compare_with_oracle_detects_unsound_algorithm(self, q3):
+        workload = agreement_workload(q3, instance_count=5, solution_count=3,
+                                      domain_size=8, noise_count=6, seed=3)
+        result = compare_with_oracle(q3, lambda db: True, workload)
+        assert result.total == 5
+        # Answering "certain" everywhere is unsound as soon as a non-certain
+        # instance appears in the workload.
+        if result.false_positives:
+            assert not result.sound
+
+    def test_agreement_result_rate_on_empty(self):
+        assert AgreementResult(0, 0, 0, 0).agreement_rate == 1.0
+
+    def test_timed_returns_result_and_duration(self):
+        value, elapsed = timed(lambda: 21 * 2)
+        assert value == 42
+        assert elapsed >= 0.0
+
+    def test_report_collector_write(self, tmp_path):
+        collector = ReportCollector()
+        report = ExperimentReport("demo", ["x"])
+        report.add(x=1)
+        collector.add(report)
+        path = collector.write(tmp_path / "report.txt")
+        assert "demo" in path.read_text(encoding="utf-8")
+
+
+class TestClassificationTable:
+    def test_classification_table_matches_paper(self):
+        expected = expected_classifications()
+        for name, query in example_queries().items():
+            kwargs = {}
+            if name == "q7":
+                kwargs = dict(tripath_depth=3, tripath_merges=1, max_candidates=1000)
+            assert classify(query, **kwargs).complexity.value == expected[name], name

@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic database generators."""
+
+import random
+
+import pytest
+
+from repro import RelationSchema, certain_exact, parse_query, random_block_database, random_solution_database, scaled_workload
+from repro.db.generators import certain_and_uncertain_samples, find_disagreement, random_fact, solution_triangle
+
+
+@pytest.fixture
+def q3():
+    return parse_query("R(x|y) R(y|z)")
+
+
+@pytest.fixture
+def q6():
+    return parse_query("R(x|y,z) R(z|x,y)")
+
+
+class TestSolutionDatabases:
+    def test_contains_requested_solutions(self, q3):
+        rng = random.Random(0)
+        db = random_solution_database(q3, solution_count=5, noise_count=0, domain_size=50, rng=rng)
+        # With a large domain the assignments rarely collide, so the database
+        # holds roughly two facts per solution and satisfies the query.
+        assert len(db) >= 5
+        assert q3.satisfied_by(db.facts())
+
+    def test_small_domain_creates_inconsistent_blocks(self, q3):
+        rng = random.Random(1)
+        db = random_solution_database(q3, solution_count=20, noise_count=10, domain_size=3, rng=rng)
+        assert not db.is_consistent()
+
+    def test_reproducible(self, q3):
+        first = random_solution_database(q3, 5, 5, 4, random.Random(7))
+        second = random_solution_database(q3, 5, 5, 4, random.Random(7))
+        assert first == second
+
+    def test_noise_facts_use_schema(self, q3):
+        db = random_solution_database(q3, 0, 10, 4, random.Random(2))
+        assert all(fact.schema == q3.schema for fact in db)
+
+    def test_random_fact(self, q3):
+        fact = random_fact(q3.schema, 5, random.Random(3))
+        assert fact.schema == q3.schema
+        assert all(0 <= value < 5 for value in fact.values)
+
+
+class TestBlockDatabases:
+    def test_block_count_and_sizes(self):
+        schema = RelationSchema("R", 3, 1)
+        db = random_block_database(schema, block_count=10, max_block_size=3, domain_size=20,
+                                   rng=random.Random(4))
+        assert db.block_count() <= 10
+        assert db.max_block_size() <= 3
+
+    def test_reproducible(self):
+        schema = RelationSchema("R", 3, 1)
+        first = random_block_database(schema, 5, 2, 6, random.Random(9))
+        second = random_block_database(schema, 5, 2, 6, random.Random(9))
+        assert first == second
+
+
+class TestScaledWorkload:
+    def test_sizes_grow(self, q3):
+        workload = scaled_workload(q3, sizes=[5, 10, 20])
+        assert [size for size, _ in workload] == [5, 10, 20]
+        fact_counts = [len(db) for _, db in workload]
+        assert fact_counts[0] < fact_counts[-1]
+
+    def test_deterministic(self, q3):
+        first = scaled_workload(q3, sizes=[5, 10])
+        second = scaled_workload(q3, sizes=[5, 10])
+        assert [db for _, db in first] == [db for _, db in second]
+
+
+class TestAdversarialHelpers:
+    def test_solution_triangle_forms_cycle(self, q6):
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        assert q6.matches_pair(facts[0], facts[1])
+        assert q6.matches_pair(facts[1], facts[2])
+        assert q6.matches_pair(facts[2], facts[0])
+
+    def test_solution_triangle_wrong_schema(self, q3):
+        with pytest.raises(ValueError):
+            solution_triangle(q3, ("a", "b", "c"))
+
+    def test_find_disagreement_between_identical_procedures_is_none(self, q3):
+        oracle = lambda db: certain_exact(q3, db)
+        assert find_disagreement(q3, oracle, oracle, attempts=5) is None
+
+    def test_find_disagreement_detects_contradictory_procedures(self, q3):
+        oracle = lambda db: certain_exact(q3, db)
+        opposite = lambda db: not certain_exact(q3, db)
+        found = find_disagreement(q3, oracle, opposite, attempts=5)
+        assert found is not None
+
+    def test_certain_and_uncertain_samples(self, q6):
+        oracle = lambda db: certain_exact(q6, db)
+        certain_dbs, uncertain_dbs = certain_and_uncertain_samples(
+            q6, oracle, count_each=2, solution_count=4, domain_size=3, max_attempts=200
+        )
+        assert len(uncertain_dbs) >= 1
+        for db in certain_dbs:
+            assert oracle(db)
+        for db in uncertain_dbs:
+            assert not oracle(db)

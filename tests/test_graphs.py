@@ -1,0 +1,146 @@
+"""Unit tests for the graph substrate: union-find and Hopcroft–Karp matching."""
+
+import pytest
+
+from repro.graphs.bipartite import (
+    BipartiteGraph,
+    build_bipartite_graph,
+    has_saturating_matching,
+    maximum_matching,
+    saturating_matching,
+    verify_matching,
+)
+from repro.graphs.components import UnionFind, connected_components
+
+
+class TestUnionFind:
+    def test_initial_components_are_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert len(uf) == 3
+        assert len(uf.components()) == 3
+
+    def test_union_and_find(self):
+        uf = UnionFind([1, 2, 3, 4])
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+        assert not uf.union(2, 1)
+
+    def test_transitivity(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+        assert sorted(len(c) for c in uf.components()) == [2, 3]
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert len(uf) == 1
+
+    def test_find_unknown_node(self):
+        uf = UnionFind()
+        with pytest.raises(KeyError):
+            uf.find("missing")
+
+    def test_connected_components_helper(self):
+        components = connected_components([1, 2, 3, 4, 5], [(1, 2), (2, 3), (4, 5)])
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [2, 3]
+
+    def test_connected_components_with_isolated_nodes(self):
+        components = connected_components([1, 2, 3], [])
+        assert len(components) == 3
+
+    def test_edges_introduce_unknown_nodes(self):
+        components = connected_components([], [("a", "b")])
+        assert len(components) == 1
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        graph = build_bipartite_graph(
+            ["l1", "l2", "l3"],
+            ["r1", "r2", "r3"],
+            [("l1", "r1"), ("l1", "r2"), ("l2", "r2"), ("l3", "r3")],
+        )
+        matching = maximum_matching(graph)
+        assert len(matching) == 3
+        assert verify_matching(graph, matching)
+        assert has_saturating_matching(graph)
+
+    def test_no_saturating_matching(self):
+        # Two left vertices forced onto a single right vertex.
+        graph = build_bipartite_graph(
+            ["l1", "l2"], ["r1"], [("l1", "r1"), ("l2", "r1")]
+        )
+        matching = maximum_matching(graph)
+        assert len(matching) == 1
+        assert not has_saturating_matching(graph)
+        assert saturating_matching(graph) is None
+
+    def test_isolated_left_vertex(self):
+        graph = BipartiteGraph()
+        graph.add_left("l1")
+        graph.add_left("l2")
+        graph.add_right("r1")
+        graph.add_edge("l1", "r1")
+        assert not has_saturating_matching(graph)
+
+    def test_augmenting_path_needed(self):
+        # Greedy matching l1->r1 must be augmented so that l2 gets r1.
+        graph = build_bipartite_graph(
+            ["l1", "l2"],
+            ["r1", "r2"],
+            [("l1", "r1"), ("l1", "r2"), ("l2", "r1")],
+        )
+        matching = maximum_matching(graph)
+        assert len(matching) == 2
+        assert verify_matching(graph, matching)
+
+    def test_larger_random_graph_agrees_with_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        import random
+
+        rng = random.Random(5)
+        graph = BipartiteGraph()
+        nx_graph = networkx.Graph()
+        left = [f"l{i}" for i in range(12)]
+        right = [f"r{i}" for i in range(10)]
+        for vertex in left:
+            graph.add_left(vertex)
+            nx_graph.add_node(vertex, bipartite=0)
+        for vertex in right:
+            graph.add_right(vertex)
+            nx_graph.add_node(vertex, bipartite=1)
+        for l in left:
+            for r in right:
+                if rng.random() < 0.3:
+                    graph.add_edge(l, r)
+                    nx_graph.add_edge(l, r)
+        ours = maximum_matching(graph)
+        theirs = networkx.bipartite.maximum_matching(nx_graph, top_nodes=left)
+        assert len(ours) == len(theirs) // 2
+        assert verify_matching(graph, ours)
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph()
+        assert maximum_matching(graph) == {}
+        assert has_saturating_matching(graph)
+
+    def test_verify_matching_rejects_bad_pairs(self):
+        graph = build_bipartite_graph(["l1"], ["r1", "r2"], [("l1", "r1")])
+        assert not verify_matching(graph, {"l1": "r2"})
+
+    def test_verify_matching_rejects_reused_right_vertex(self):
+        graph = build_bipartite_graph(
+            ["l1", "l2"], ["r1"], [("l1", "r1"), ("l2", "r1")]
+        )
+        assert not verify_matching(graph, {"l1": "r1", "l2": "r1"})
+
+    def test_edge_count(self):
+        graph = build_bipartite_graph(["l1"], ["r1", "r2"], [("l1", "r1"), ("l1", "r2")])
+        assert graph.edge_count() == 2

@@ -1,0 +1,180 @@
+"""Unit tests for the propositional logic substrate (CNF, DPLL, encoding)."""
+
+import random
+
+import pytest
+
+from repro import CnfFormula, Database, DpllSolver, Fact, Literal, RelationSchema, is_satisfiable, parse_query
+from repro.logic.cnf import (
+    Clause,
+    ensure_mixed_polarity,
+    parse_dimacs_like,
+    paper_example_formula,
+    random_restricted_three_sat,
+    random_three_sat,
+    to_at_most_three_occurrences,
+)
+from repro.logic.dpll import brute_force_satisfiable
+from repro.logic.encode import FalsifyingRepairEncoding, certain_via_sat, exists_falsifying_repair
+
+
+class TestCnfModel:
+    def test_literal_negation(self):
+        literal = Literal("p", True)
+        assert literal.negate() == Literal("p", False)
+        assert str(literal) == "p"
+        assert str(literal.negate()) == "¬p"
+
+    def test_clause_satisfaction(self):
+        clause = Clause((Literal("p"), Literal("q", False)))
+        assert clause.is_satisfied({"p": True, "q": True})
+        assert clause.is_satisfied({"p": False, "q": False})
+        assert not clause.is_satisfied({"p": False, "q": True})
+
+    def test_formula_satisfaction_and_variables(self):
+        formula = parse_dimacs_like([[1, -2], [2, 3]])
+        assert formula.variables() == ["x1", "x2", "x3"]
+        assert formula.is_satisfied({"x1": True, "x2": True, "x3": False})
+        assert not formula.is_satisfied({"x1": False, "x2": False, "x3": False})
+
+    def test_occurrence_counts(self):
+        formula = paper_example_formula()
+        counts = formula.occurrence_counts()
+        assert counts["s"] == (1, 2)
+        assert counts["t"] == (1, 2)
+        assert counts["u"] == (2, 1)
+
+    def test_paper_formula_normal_form(self):
+        formula = paper_example_formula()
+        assert formula.is_three_cnf()
+        assert formula.has_at_most_three_occurrences()
+        assert formula.has_mixed_polarity()
+
+    def test_str(self):
+        formula = paper_example_formula()
+        assert "∨" in str(formula) and "∧" in str(formula)
+
+
+class TestNormalisation:
+    def test_to_at_most_three_occurrences(self):
+        rng = random.Random(0)
+        formula = random_three_sat(4, 12, rng=rng)
+        rewritten = to_at_most_three_occurrences(formula)
+        assert rewritten.has_at_most_three_occurrences()
+        assert is_satisfiable(formula) == is_satisfiable(rewritten)
+
+    def test_normalisation_preserves_unsatisfiability(self):
+        import itertools
+
+        formula = CnfFormula()
+        for signs in itertools.product([True, False], repeat=3):
+            formula.add_clause(
+                [Literal("a", signs[0]), Literal("b", signs[1]), Literal("c", signs[2])]
+            )
+        assert not is_satisfiable(formula)
+        rewritten = ensure_mixed_polarity(to_at_most_three_occurrences(formula))
+        assert rewritten.has_at_most_three_occurrences()
+        assert rewritten.has_mixed_polarity()
+        assert not is_satisfiable(rewritten)
+
+    def test_ensure_mixed_polarity_removes_pure_literals(self):
+        formula = CnfFormula()
+        formula.add_clause([Literal("p"), Literal("q")])
+        formula.add_clause([Literal("q", False), Literal("r")])
+        normalised = ensure_mixed_polarity(formula)
+        assert normalised.has_mixed_polarity()
+        assert is_satisfiable(normalised)
+
+    def test_random_restricted_three_sat_normal_form(self):
+        formula = random_restricted_three_sat(6, 9, rng=random.Random(3))
+        assert formula.has_at_most_three_occurrences()
+        assert formula.has_mixed_polarity()
+
+
+class TestDpll:
+    def test_simple_satisfiable(self):
+        formula = parse_dimacs_like([[1, 2], [-1, 2], [1, -2]])
+        model = DpllSolver().solve_formula(formula)
+        assert model is not None
+        assert formula.is_satisfied(model)
+
+    def test_simple_unsatisfiable(self):
+        formula = parse_dimacs_like([[1], [-1]])
+        assert DpllSolver().solve_formula(formula) is None
+
+    def test_empty_formula_is_satisfiable(self):
+        assert is_satisfiable(CnfFormula())
+
+    def test_model_is_returned_complete(self):
+        formula = parse_dimacs_like([[1, 2, 3]])
+        model = DpllSolver().solve_formula(formula)
+        assert set(model) == {"x1", "x2", "x3"}
+
+    def test_tautological_clause_ignored(self):
+        solver = DpllSolver()
+        assert solver.solve_clauses([frozenset({1, -1})]) is not None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_truth_table(self, seed):
+        rng = random.Random(seed)
+        formula = random_three_sat(5, rng.randint(3, 16), rng=rng)
+        assert is_satisfiable(formula) == brute_force_satisfiable(formula)
+
+    def test_statistics_recorded(self):
+        solver = DpllSolver()
+        solver.solve_formula(parse_dimacs_like([[1, 2], [-1, 2], [1, -2], [-1, -2, 3]]))
+        assert solver.statistics["propagations"] >= 0
+
+
+class TestFalsifyingRepairEncoding:
+    def setup_method(self):
+        self.q3 = parse_query("R(x|y) R(y|z)")
+        self.schema = self.q3.schema
+
+    def fact(self, *values):
+        return Fact(self.schema, values)
+
+    def test_certain_database_has_no_falsifying_repair(self):
+        # Block {1} -> both facts point to 2; block {2} -> both point to 3 or 1.
+        database = Database(
+            [self.fact(1, 2), self.fact(2, 3), self.fact(2, 1), self.fact(3, 1)]
+        )
+        assert not exists_falsifying_repair(self.q3, database)
+        assert certain_via_sat(self.q3, database)
+
+    def test_not_certain_database(self):
+        database = Database([self.fact(1, 2), self.fact(1, 5), self.fact(2, 3)])
+        assert exists_falsifying_repair(self.q3, database)
+        assert not certain_via_sat(self.q3, database)
+
+    def test_falsifying_repair_witness_is_a_repair_and_falsifies(self):
+        database = Database([self.fact(1, 2), self.fact(1, 5), self.fact(2, 3)])
+        encoding = FalsifyingRepairEncoding(self.q3, database)
+        witness = encoding.find_falsifying_repair()
+        assert witness is not None
+        assert len(witness) == database.block_count()
+        assert not self.q3.satisfied_by(witness)
+
+    def test_certain_database_returns_no_witness(self):
+        database = Database(
+            [self.fact(1, 2), self.fact(2, 3), self.fact(2, 1), self.fact(3, 1)]
+        )
+        assert FalsifyingRepairEncoding(self.q3, database).find_falsifying_repair() is None
+
+    def test_self_solution_fact_excluded(self):
+        database = Database([self.fact(1, 1)])
+        # The single repair contains R(1,1) which satisfies q(a a).
+        assert certain_via_sat(self.q3, database)
+
+    def test_self_solution_with_alternative(self):
+        database = Database([self.fact(1, 1), self.fact(1, 3)])
+        assert not certain_via_sat(self.q3, database)
+
+    def test_empty_database_not_certain(self):
+        assert not certain_via_sat(self.q3, Database())
+
+    def test_encoding_sizes(self):
+        database = Database([self.fact(1, 2), self.fact(1, 5), self.fact(2, 3)])
+        encoding = FalsifyingRepairEncoding(self.q3, database)
+        assert encoding.variable_count() == 3
+        assert encoding.clause_count() >= 3

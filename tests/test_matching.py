@@ -1,0 +1,138 @@
+"""Unit tests for the matching(q) algorithm (Section 10.1)."""
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    Fact,
+    MatchingAlgorithm,
+    certain_bruteforce,
+    certain_by_matching,
+    matching_algorithm,
+    parse_query,
+)
+from repro.core.matching import witness_repair_from_matching
+from repro.db.generators import random_solution_database, solution_triangle
+
+
+@pytest.fixture
+def q6():
+    return parse_query("R(x|y,z) R(z|x,y)")
+
+
+def f(query, *values):
+    return Fact(query.schema, values)
+
+
+class TestMatchingAlgorithm:
+    def test_single_triangle_is_certain(self, q6):
+        # A consistent database forming one solution triangle: the only repair
+        # is the database itself and it satisfies the query.
+        db = Database(solution_triangle(q6, ("a", "b", "c")))
+        assert certain_bruteforce(q6, db)
+        assert not matching_algorithm(q6, db)
+        assert certain_by_matching(q6, db)
+
+    def test_blocks_with_escape_facts_are_not_certain(self, q6):
+        # Add to each block a second fact that participates in no solution:
+        # picking those escapes every solution, so the query is not certain.
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        escapes = [
+            f(q6, "a", "e1", "e2"),
+            f(q6, "b", "e3", "e4"),
+            f(q6, "c", "e5", "e6"),
+        ]
+        db = Database(facts + escapes)
+        assert not certain_bruteforce(q6, db)
+        assert matching_algorithm(q6, db)
+
+    def test_two_triangles_sharing_blocks(self, q6):
+        # Each block offers a fact of triangle 1 and a fact of triangle 2 over
+        # the same keys; the solution graph has two quasi-cliques but only
+        # three blocks, so a saturating matching exists (not certain is
+        # plausible) — compare directly against the brute-force oracle.
+        first = solution_triangle(q6, ("a", "b", "c"))
+        second = [
+            f(q6, "a", "c", "b"),
+            f(q6, "b", "a", "c"),
+            f(q6, "c", "b", "a"),
+        ]
+        db = Database(first + second)
+        assert certain_by_matching(q6, db) == certain_bruteforce(q6, db)
+
+    def test_result_object_contents(self, q6):
+        db = Database(solution_triangle(q6, ("a", "b", "c")))
+        result = MatchingAlgorithm(q6).run(db)
+        assert result.solution_graph is not None
+        assert result.bipartite_graph is not None
+        assert result.negation_certain == (not result.has_saturating_matching)
+
+    def test_clique_database_detection(self, q6):
+        db = Database(solution_triangle(q6, ("a", "b", "c")))
+        assert MatchingAlgorithm(q6).is_clique_database(db)
+
+    def test_empty_database(self, q6):
+        # No blocks: the empty matching saturates V1, so matching(q) holds and
+        # ¬matching does not claim certainty (indeed the empty repair
+        # falsifies the query).
+        db = Database()
+        assert matching_algorithm(q6, db)
+        assert not certain_by_matching(q6, db)
+
+    def test_self_solution_facts_get_no_edge(self, q6):
+        # A fact with q(a a) cannot be used to falsify the query, so its block
+        # must find another clique; here it cannot, hence no saturating
+        # matching and the query is certain.
+        loop = f(q6, "a", "a", "a")
+        db = Database([loop])
+        assert q6.is_self_solution(loop)
+        assert not matching_algorithm(q6, db)
+        assert certain_by_matching(q6, db)
+        assert certain_bruteforce(q6, db)
+
+
+class TestProposition102:
+    """¬matching(q) is a sound under-approximation of certain(q)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_soundness_on_random_databases(self, q6, seed):
+        rng = random.Random(seed)
+        db = random_solution_database(q6, 4, 2, 3, rng)
+        if certain_by_matching(q6, db):
+            assert certain_bruteforce(q6, db)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_soundness_for_q2(self, seed):
+        q2 = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        rng = random.Random(50 + seed)
+        db = random_solution_database(q2, 4, 2, 4, rng)
+        if certain_by_matching(q2, db):
+            assert certain_bruteforce(q2, db)
+
+
+class TestProposition103:
+    """On clique-databases ¬matching(q) is exact."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exactness_on_clique_databases(self, q6, seed):
+        rng = random.Random(seed)
+        db = random_solution_database(q6, 4, 2, 3, rng)
+        runner = MatchingAlgorithm(q6)
+        if not runner.is_clique_database(db):
+            pytest.skip("random instance is not a clique database")
+        assert runner.certain_by_negation(db) == certain_bruteforce(q6, db)
+
+    def test_witness_repair_on_clique_database(self, q6):
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        escapes = [f(q6, "a", "e1", "e2"), f(q6, "b", "e3", "e4"), f(q6, "c", "e5", "e6")]
+        db = Database(facts + escapes)
+        witness = witness_repair_from_matching(q6, db)
+        assert witness is not None
+        assert not q6.satisfied_by(witness)
+        assert len(witness) == db.block_count()
+
+    def test_witness_repair_none_when_certain(self, q6):
+        db = Database(solution_triangle(q6, ("a", "b", "c")))
+        assert witness_repair_from_matching(q6, db) is None

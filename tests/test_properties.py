@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on the core invariants of the paper."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    Database,
+    Fact,
+    RelationSchema,
+    build_solution_graph,
+    cert_2,
+    cert_k,
+    certain_bruteforce,
+    certain_by_matching,
+    certain_exact,
+    parse_query,
+)
+from repro.core.branching import branching_triples, g_elements
+from repro.db.fact_store import is_repair_of
+from repro.db.repairs import iter_repairs
+from repro.logic.cnf import random_restricted_three_sat, random_three_sat
+from repro.logic.dpll import brute_force_satisfiable, is_satisfiable
+
+Q3 = parse_query("R(x|y) R(y|z)")
+Q2 = parse_query("R(x,u|x,y) R(u,y|x,z)")
+Q6 = parse_query("R(x|y,z) R(z|x,y)")
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def q3_database(values):
+    return Database(Fact(Q3.schema, (a, b)) for a, b in values)
+
+
+def q2_database(values):
+    return Database(Fact(Q2.schema, tuple(row)) for row in values)
+
+
+def q6_database(values):
+    return Database(Fact(Q6.schema, tuple(row)) for row in values)
+
+
+q3_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=8
+)
+q2_rows = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+    min_size=0,
+    max_size=7,
+)
+q6_rows = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+    min_size=0,
+    max_size=7,
+)
+
+
+class TestRepairInvariants:
+    @_SETTINGS
+    @given(q3_rows)
+    def test_repair_count_matches_enumeration(self, rows):
+        db = q3_database(rows)
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == db.repair_count()
+
+    @_SETTINGS
+    @given(q3_rows)
+    def test_every_repair_is_consistent_and_maximal(self, rows):
+        db = q3_database(rows)
+        for repair in iter_repairs(db):
+            assert is_repair_of(list(repair), db)
+            assert Database(repair).is_consistent()
+
+    @_SETTINGS
+    @given(q3_rows)
+    def test_blocks_partition_facts(self, rows):
+        db = q3_database(rows)
+        total = sum(block.size for block in db.blocks())
+        assert total == len(db)
+        keys = [block.key_tuple for block in db.blocks()]
+        assert len(keys) == len(set(keys))
+
+
+class TestSolutionGraphInvariants:
+    @_SETTINGS
+    @given(q2_rows)
+    def test_edges_are_symmetric_and_match_semantics(self, rows):
+        db = q2_database(rows)
+        graph = build_solution_graph(Q2, db)
+        for fact in db:
+            for other in graph.neighbours(fact):
+                assert fact in graph.neighbours(other)
+                assert Q2.matches_unordered(fact, other)
+
+    @_SETTINGS
+    @given(q6_rows)
+    def test_components_partition_facts(self, rows):
+        db = q6_database(rows)
+        graph = build_solution_graph(Q6, db)
+        facts_in_components = [fact for component in graph.components() for fact in component]
+        assert sorted(map(str, facts_in_components)) == sorted(map(str, db.facts()))
+
+    @_SETTINGS
+    @given(q2_rows)
+    def test_g_is_subset_of_centre_key(self, rows):
+        db = q2_database(rows)
+        for triple in branching_triples(Q2, db.facts()):
+            assert g_elements(triple) <= triple.centre.key_elements
+
+
+class TestAlgorithmSoundness:
+    @_SETTINGS
+    @given(q3_rows)
+    def test_cert2_exact_for_theorem_61_query(self, rows):
+        db = q3_database(rows)
+        assert cert_2(Q3, db) == certain_bruteforce(Q3, db)
+
+    @_SETTINGS
+    @given(q2_rows)
+    def test_certk_is_an_under_approximation(self, rows):
+        db = q2_database(rows)
+        if cert_k(Q2, db, k=2):
+            assert certain_bruteforce(Q2, db)
+
+    @_SETTINGS
+    @given(q6_rows)
+    def test_negated_matching_is_an_under_approximation(self, rows):
+        db = q6_database(rows)
+        if certain_by_matching(Q6, db):
+            assert certain_bruteforce(Q6, db)
+
+    @_SETTINGS
+    @given(q6_rows)
+    def test_combined_algorithm_exact_for_q6(self, rows):
+        # Theorem 10.4/10.5: q6 is a clique query, Cert_k ∨ ¬matching is exact.
+        db = q6_database(rows)
+        combined = cert_k(Q6, db, k=2) or certain_by_matching(Q6, db)
+        assert combined == certain_bruteforce(Q6, db)
+
+    @_SETTINGS
+    @given(q2_rows)
+    def test_sat_oracle_matches_bruteforce(self, rows):
+        db = q2_database(rows)
+        assert certain_exact(Q2, db) == certain_bruteforce(Q2, db)
+
+
+class TestSatSubstrate:
+    @_SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_dpll_agrees_with_truth_table(self, seed):
+        rng = random.Random(seed)
+        variable_count = rng.randint(3, 5)
+        clause_count = rng.randint(1, 10)
+        formula = random_three_sat(variable_count, clause_count, rng=rng)
+        assert is_satisfiable(formula) == brute_force_satisfiable(formula)
+
+    @_SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_restricted_generator_normal_form(self, seed):
+        rng = random.Random(seed)
+        formula = random_restricted_three_sat(rng.randint(3, 6), rng.randint(1, 8), rng=rng)
+        assert formula.has_at_most_three_occurrences()
+        assert formula.has_mixed_polarity()

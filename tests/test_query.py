@@ -1,0 +1,254 @@
+"""Unit tests for two-atom queries: parsing, semantics and syntactic properties."""
+
+import pytest
+
+from repro import (
+    Atom,
+    Fact,
+    RelationSchema,
+    TwoAtomQuery,
+    homomorphism,
+    paper_queries,
+    parse_atom,
+    parse_query,
+    queries_isomorphic,
+    subsuming_homomorphism,
+)
+
+
+class TestParser:
+    def test_parse_atom_with_key_separator(self):
+        atom = parse_atom("R(x,u|x,y)")
+        assert atom.schema.arity == 4
+        assert atom.schema.key_size == 2
+        assert atom.variables == ("x", "u", "x", "y")
+
+    def test_parse_atom_without_separator_means_all_key(self):
+        atom = parse_atom("R(x,y)")
+        assert atom.schema.key_size == 2
+        assert atom.schema.arity == 2
+
+    def test_parse_atom_empty_nonkey(self):
+        atom = parse_atom("R(x,y|)")
+        assert atom.schema.key_size == 2
+        assert atom.schema.arity == 2
+
+    def test_parse_atom_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_atom("not an atom")
+
+    def test_parse_atom_against_mismatching_schema(self):
+        schema = RelationSchema("R", 3, 1)
+        with pytest.raises(ValueError):
+            parse_atom("R(x,u|x,y)", schema=schema)
+
+    def test_parse_atom_against_wrong_relation_name(self):
+        schema = RelationSchema("S", 4, 2)
+        with pytest.raises(ValueError):
+            parse_atom("R(x,u|x,y)", schema=schema)
+
+    def test_parse_query_q2(self):
+        query = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        assert query.atom_a.variables == ("x", "u", "x", "y")
+        assert query.atom_b.variables == ("u", "y", "x", "z")
+        assert query.schema.key_size == 2
+
+    def test_parse_query_requires_two_atoms(self):
+        with pytest.raises(ValueError):
+            parse_query("R(x|y)")
+        with pytest.raises(ValueError):
+            parse_query("R(x|y) R(y|z) R(z|w)")
+
+    def test_parse_query_requires_consistent_signature(self):
+        with pytest.raises(ValueError):
+            parse_query("R(x|y) R(x,y|z)")
+
+    def test_round_trip_rendering(self):
+        query = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        assert str(query) == "R(x,u|x,y) ∧ R(u,y|x,z)"
+
+
+class TestQueryConstruction:
+    def test_atoms_must_share_schema(self):
+        a = Atom(RelationSchema("R", 2, 1), ("x", "y"))
+        b = Atom(RelationSchema("S", 2, 1), ("y", "z"))
+        with pytest.raises(ValueError):
+            TwoAtomQuery(a, b)
+
+    def test_swapped(self):
+        query = parse_query("R(x|y) R(y|z)")
+        swapped = query.swapped()
+        assert swapped.atom_a == query.atom_b
+        assert swapped.atom_b == query.atom_a
+
+    def test_rename(self):
+        query = parse_query("R(x|y) R(y|z)")
+        renamed = query.rename({"x": "a", "y": "b", "z": "c"})
+        assert renamed.atom_a.variables == ("a", "b")
+        assert renamed.atom_b.variables == ("b", "c")
+
+    def test_variables_and_shared(self):
+        query = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        assert query.variables == {"x", "u", "y", "z"}
+        assert query.shared_variables == {"x", "u", "y"}
+
+    def test_canonical_variable_order(self):
+        query = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        assert query.canonical_variable_order() == ("x", "u", "y", "z")
+
+
+class TestSemantics:
+    def setup_method(self):
+        self.q3 = parse_query("R(x|y) R(y|z)")
+        self.schema = self.q3.schema
+
+    def fact(self, *values):
+        return Fact(self.schema, values)
+
+    def test_matches_pair_directed(self):
+        assert self.q3.matches_pair(self.fact(1, 2), self.fact(2, 3))
+        assert not self.q3.matches_pair(self.fact(2, 3), self.fact(1, 2))
+
+    def test_matches_unordered(self):
+        assert self.q3.matches_unordered(self.fact(2, 3), self.fact(1, 2))
+
+    def test_self_solution(self):
+        assert self.q3.is_self_solution(self.fact(1, 1))
+        assert not self.q3.is_self_solution(self.fact(1, 2))
+
+    def test_satisfied_by(self):
+        assert self.q3.satisfied_by([self.fact(1, 2), self.fact(2, 3)])
+        assert not self.q3.satisfied_by([self.fact(1, 2), self.fact(3, 4)])
+        assert not self.q3.satisfied_by([])
+
+    def test_find_solution_returns_ordered_pair(self):
+        facts = [self.fact(1, 2), self.fact(2, 3)]
+        solution = self.q3.find_solution(facts)
+        assert solution == (self.fact(1, 2), self.fact(2, 3))
+
+    def test_solutions_enumerates_all(self):
+        facts = [self.fact(1, 2), self.fact(2, 3), self.fact(2, 2)]
+        solutions = set(self.q3.solutions(facts))
+        assert (self.fact(1, 2), self.fact(2, 3)) in solutions
+        assert (self.fact(1, 2), self.fact(2, 2)) in solutions
+        assert (self.fact(2, 2), self.fact(2, 2)) in solutions
+        assert (self.fact(2, 2), self.fact(2, 3)) in solutions
+        assert (self.fact(2, 3), self.fact(1, 2)) not in solutions
+
+    def test_q2_semantics_match_figure_1(self):
+        q2 = parse_query("R(x,u|x,y) R(u,y|x,z)")
+        schema = q2.schema
+        d = Fact(schema, tuple("aaab"))
+        e = Fact(schema, tuple("abaa"))
+        f = Fact(schema, tuple("baaa"))
+        assert q2.matches_pair(d, e)
+        assert q2.matches_pair(e, f)
+        assert not q2.matches_pair(f, d)
+
+    def test_solution_with_wrong_schema_fact(self):
+        other = Fact(RelationSchema("S", 2, 1), (1, 2))
+        assert not self.q3.satisfied_by([other, self.fact(2, 3)])
+
+
+class TestHomomorphisms:
+    def test_plain_homomorphism(self):
+        a = parse_atom("R(x|y)")
+        b = parse_atom("R(y|z)", schema=a.schema)
+        assert homomorphism(a, b) == {"x": "y", "y": "z"}
+
+    def test_plain_homomorphism_conflict(self):
+        a = parse_atom("R(x|x)")
+        b = parse_atom("R(y|z)", schema=a.schema)
+        assert homomorphism(a, b) is None
+
+    def test_subsuming_homomorphism_requires_identity_on_shared(self):
+        # q3 = R(x|y) R(y|z): the plain homomorphism x->y, y->z exists but is
+        # not the identity on the shared variable y, so q3 is NOT trivial.
+        a = parse_atom("R(x|y)")
+        b = parse_atom("R(y|z)", schema=a.schema)
+        assert subsuming_homomorphism(a, b) is None
+
+    def test_subsuming_homomorphism_accepts_fresh_variables(self):
+        a = parse_atom("R(x|y)")
+        b = parse_atom("R(x|x)", schema=a.schema)
+        assert subsuming_homomorphism(a, b) == {"x": "x", "y": "x"}
+
+    def test_homomorphism_wrong_schema(self):
+        a = parse_atom("R(x|y)")
+        b = parse_atom("S(x|y)")
+        assert homomorphism(a, b) is None
+
+
+class TestTriviality:
+    def test_identical_keys_is_trivial(self):
+        query = parse_query("R(x,y|u) R(x,y|v)")
+        assert query.keys_identical()
+        assert query.is_trivial()
+
+    def test_homomorphic_atom_is_trivial(self):
+        query = parse_query("R(x|y) R(x|x)")
+        assert query.is_trivial()
+
+    def test_paper_queries_are_not_trivial(self):
+        for name, query in paper_queries().items():
+            assert not query.is_trivial(), name
+
+    def test_q3_not_trivial(self):
+        assert not parse_query("R(x|y) R(y|z)").is_trivial()
+
+
+class TestSyntacticConditions:
+    def test_q1_satisfies_theorem_42(self, queries=None):
+        q1 = paper_queries()["q1"]
+        assert q1.hardness_condition_one()
+        assert q1.hardness_condition_two()
+
+    def test_q2_fails_condition_two(self):
+        q2 = paper_queries()["q2"]
+        assert q2.hardness_condition_one()
+        assert not q2.hardness_condition_two()
+
+    def test_q3_q4_satisfy_theorem_61(self):
+        queries = paper_queries()
+        assert queries["q3"].easy_condition()
+        assert queries["q4"].easy_condition()
+
+    def test_easy_condition_is_negation_of_condition_one(self):
+        for name, query in paper_queries().items():
+            assert query.easy_condition() == (not query.hardness_condition_one()), name
+
+    def test_2way_determined_queries(self):
+        queries = paper_queries()
+        for name in ("q2", "q5", "q6", "q7"):
+            assert queries[name].is_2way_determined(), name
+        for name in ("q1", "q3", "q4"):
+            assert not queries[name].is_2way_determined(), name
+
+    def test_2way_determined_definition(self):
+        q2 = paper_queries()["q2"]
+        key_a, key_b = q2.atom_a.key_variables, q2.atom_b.key_variables
+        assert not key_a <= key_b and not key_b <= key_a
+        assert key_a <= q2.atom_b.all_variables
+        assert key_b <= q2.atom_a.all_variables
+
+
+class TestIsomorphism:
+    def test_same_query_different_names(self):
+        first = parse_query("R(x|y) R(y|z)")
+        second = parse_query("R(a|b) R(b|c)")
+        assert queries_isomorphic(first, second)
+
+    def test_atom_order_ignored(self):
+        first = parse_query("R(x|y) R(y|z)")
+        second = parse_query("R(b|c) R(a|b)")
+        assert queries_isomorphic(first, second)
+
+    def test_different_queries(self):
+        first = parse_query("R(x|y) R(y|z)")
+        second = parse_query("R(x|y) R(x|z)")
+        assert not queries_isomorphic(first, second)
+
+    def test_different_signatures(self):
+        first = parse_query("R(x|y) R(y|z)")
+        second = parse_query("R(x,y|) R(y,z|)")
+        assert not queries_isomorphic(first, second)

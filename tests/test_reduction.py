@@ -1,0 +1,147 @@
+"""Unit tests for the Section 9 reduction (3-SAT → database, Lemma 9.2)."""
+
+import random
+
+import pytest
+
+from repro import (
+    CnfFormula,
+    Literal,
+    ReductionError,
+    SatReduction,
+    certain_exact,
+    is_satisfiable,
+    sat_reduction,
+)
+from repro.fixtures import figure_1c_tripath, figure_2_formula, query_q2
+from repro.logic.cnf import (
+    ensure_mixed_polarity,
+    random_restricted_three_sat,
+    to_at_most_three_occurrences,
+)
+
+
+@pytest.fixture(scope="module")
+def q2():
+    return query_q2()
+
+
+@pytest.fixture(scope="module")
+def reduction(q2):
+    return SatReduction(q2, figure_1c_tripath())
+
+
+class TestPreconditions:
+    def test_requires_fork_tripath(self, q2):
+        from repro import TRIANGLE, find_tripath_for_query, parse_query
+
+        q6 = parse_query("R(x|y,z) R(z|x,y)")
+        triangle = find_tripath_for_query(q6, kind=TRIANGLE, max_depth=4, max_merges=1)
+        with pytest.raises(ReductionError):
+            SatReduction(q6, triangle)
+
+    def test_requires_valid_tripath(self, q2):
+        from repro.core.tripath import Tripath, TripathBlock
+        from repro.core.terms import Fact
+
+        broken = Tripath(q2, [TripathBlock(Fact(q2.schema, tuple("aaaa")), None, None)])
+        with pytest.raises(ReductionError):
+            SatReduction(q2, broken)
+
+    def test_rejects_too_many_occurrences(self, reduction):
+        formula = CnfFormula()
+        for _ in range(4):
+            formula.add_clause([Literal("p"), Literal("q", False)])
+        formula.add_clause([Literal("p", False), Literal("q")])
+        with pytest.raises(ReductionError):
+            reduction.build_database(formula)
+
+    def test_rejects_pure_polarity(self, reduction):
+        formula = CnfFormula()
+        formula.add_clause([Literal("p"), Literal("q")])
+        formula.add_clause([Literal("p"), Literal("q", False)])
+        with pytest.raises(ReductionError):
+            reduction.build_database(formula)
+
+    def test_rejects_unit_clauses(self, reduction):
+        formula = CnfFormula()
+        formula.add_clause([Literal("p")])
+        formula.add_clause([Literal("p", False), Literal("q")])
+        formula.add_clause([Literal("q", False), Literal("p")])
+        with pytest.raises(ReductionError):
+            reduction.build_database(formula)
+
+
+class TestStructure:
+    def test_paper_formula_database_shape(self, reduction, q2):
+        database = reduction.build_database(figure_2_formula())
+        # 3 variables x 3 occurrence copies x 13 facts, minus merged blocks,
+        # plus padding facts: the exact count is stable.
+        assert len(database) > 100
+        assert database.block_count() > 40
+        # Every block has at least two facts after padding.
+        assert all(block.size >= 2 for block in database.blocks())
+
+    def test_clause_blocks_have_one_fact_per_literal(self, reduction):
+        formula = figure_2_formula()
+        database = reduction.build_database(formula)
+        for index, clause in enumerate(formula):
+            key = reduction.clause_block_key(formula, index)
+            block = database.block_by_id((reduction.query.schema.name, key))
+            assert block is not None
+            assert block.size == len(clause)
+
+    def test_copies_do_not_collide_across_variables(self, reduction):
+        formula = figure_2_formula()
+        database = reduction.build_database(formula)
+        # The number of facts scales with the number of literal occurrences.
+        occurrences = sum(len(clause) for clause in formula)
+        assert len(database) >= occurrences * 10
+
+
+class TestLemma92:
+    def test_paper_formula_is_satisfiable_and_not_certain(self, reduction, q2):
+        formula = figure_2_formula()
+        database = reduction.build_database(formula)
+        assert is_satisfiable(formula)
+        assert not certain_exact(q2, database)
+
+    def test_unsatisfiable_formula_gives_certain_database(self, reduction, q2):
+        import itertools
+
+        raw = CnfFormula()
+        for signs in itertools.product([True, False], repeat=3):
+            raw.add_clause(
+                [Literal("a", signs[0]), Literal("b", signs[1]), Literal("c", signs[2])]
+            )
+        formula = ensure_mixed_polarity(to_at_most_three_occurrences(raw))
+        assert not is_satisfiable(formula)
+        database = reduction.build_database(formula)
+        assert certain_exact(q2, database)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_formulas(self, reduction, q2, seed):
+        rng = random.Random(seed)
+        formula = random_restricted_three_sat(4, 5, rng=rng)
+        if not formula.clauses:
+            pytest.skip("normalisation eliminated every clause")
+        database = reduction.build_database(formula)
+        assert is_satisfiable(formula) == (not certain_exact(q2, database))
+
+    def test_empty_formula_maps_to_non_certain_database(self, reduction, q2):
+        database = reduction.build_database(CnfFormula())
+        assert not certain_exact(q2, database)
+
+
+class TestAutomaticTripathDiscovery:
+    def test_sat_reduction_finds_nice_tripath_for_q2(self, q2):
+        formula = figure_2_formula()
+        database = sat_reduction(q2, formula)
+        assert not certain_exact(q2, database)
+
+    def test_sat_reduction_fails_cleanly_without_fork_tripath(self):
+        from repro import parse_query
+
+        q5 = parse_query("R(x|y,x) R(y|x,u)")
+        with pytest.raises(ReductionError):
+            sat_reduction(q5, figure_2_formula())

@@ -1,0 +1,113 @@
+"""Unit tests for repair enumeration, sampling and k-set extendability."""
+
+import random
+
+import pytest
+
+from repro import Database, Fact, RelationSchema, count_repairs, iter_repairs, sample_repair, sample_repairs
+from repro.db.fact_store import is_repair_of
+from repro.db.repairs import extendable_to_repair, greedy_repair, repairs_containing
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", arity=2, key_size=1)
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        [
+            Fact(schema, (1, "a")),
+            Fact(schema, (1, "b")),
+            Fact(schema, (2, "a")),
+            Fact(schema, (2, "b")),
+            Fact(schema, (3, "a")),
+        ]
+    )
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self, db):
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == count_repairs(db) == 4
+
+    def test_every_enumerated_repair_is_valid(self, db):
+        for repair in iter_repairs(db):
+            assert is_repair_of(list(repair), db)
+
+    def test_repairs_are_distinct(self, db):
+        repairs = {repair.as_set() for repair in iter_repairs(db)}
+        assert len(repairs) == 4
+
+    def test_limit(self, db):
+        assert len(list(iter_repairs(db, limit=2))) == 2
+
+    def test_empty_database_has_one_empty_repair(self):
+        repairs = list(iter_repairs(Database()))
+        assert len(repairs) == 1
+        assert len(repairs[0]) == 0
+
+    def test_deterministic_order(self, db):
+        first = [repair.facts for repair in iter_repairs(db)]
+        second = [repair.facts for repair in iter_repairs(db)]
+        assert first == second
+
+
+class TestSampling:
+    def test_sample_repair_is_valid(self, db):
+        rng = random.Random(1)
+        for _ in range(10):
+            assert is_repair_of(list(sample_repair(db, rng)), db)
+
+    def test_sample_repairs_count(self, db):
+        assert len(sample_repairs(db, 5, random.Random(2))) == 5
+
+    def test_sampling_is_reproducible(self, db):
+        first = [r.facts for r in sample_repairs(db, 5, random.Random(3))]
+        second = [r.facts for r in sample_repairs(db, 5, random.Random(3))]
+        assert first == second
+
+
+class TestGreedyAndConstrained:
+    def test_greedy_repair_prefers_given_facts(self, db, schema):
+        preferred = [Fact(schema, (1, "b")), Fact(schema, (2, "b"))]
+        repair = greedy_repair(db, preferred)
+        assert Fact(schema, (1, "b")) in repair
+        assert Fact(schema, (2, "b")) in repair
+        assert is_repair_of(list(repair), db)
+
+    def test_greedy_repair_rejects_conflicting_preferences(self, db, schema):
+        with pytest.raises(ValueError):
+            greedy_repair(db, [Fact(schema, (1, "a")), Fact(schema, (1, "b"))])
+
+    def test_repairs_containing(self, db, schema):
+        required = [Fact(schema, (1, "b"))]
+        repairs = list(repairs_containing(db, required))
+        assert len(repairs) == 2
+        assert all(Fact(schema, (1, "b")) in repair for repair in repairs)
+
+    def test_repairs_containing_conflicting_requirement(self, db, schema):
+        required = [Fact(schema, (1, "a")), Fact(schema, (1, "b"))]
+        assert list(repairs_containing(db, required)) == []
+
+    def test_repairs_containing_limit(self, db, schema):
+        repairs = list(repairs_containing(db, [Fact(schema, (3, "a"))], limit=1))
+        assert len(repairs) == 1
+
+
+class TestExtendability:
+    def test_extendable_k_set(self, db, schema):
+        assert extendable_to_repair(db, [Fact(schema, (1, "a")), Fact(schema, (2, "b"))])
+
+    def test_not_extendable_two_facts_same_block(self, db, schema):
+        assert not extendable_to_repair(db, [Fact(schema, (1, "a")), Fact(schema, (1, "b"))])
+
+    def test_duplicate_fact_is_fine(self, db, schema):
+        assert extendable_to_repair(db, [Fact(schema, (1, "a")), Fact(schema, (1, "a"))])
+
+    def test_foreign_fact_not_extendable(self, db, schema):
+        assert not extendable_to_repair(db, [Fact(schema, (9, "z"))])
+
+    def test_empty_set_extendable(self, db):
+        assert extendable_to_repair(db, [])

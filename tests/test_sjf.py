@@ -1,0 +1,153 @@
+"""Unit tests for the self-join-free machinery and Proposition 4.1."""
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    Fact,
+    SjfComplexity,
+    certain_bruteforce,
+    certain_sjf_bruteforce,
+    classify_sjf,
+    parse_query,
+    reduce_sjf_database,
+    sjf,
+)
+from repro.core.sjf import SelfJoinFreeQuery, random_sjf_database
+from repro.core.terms import Atom, RelationSchema
+
+
+class TestSjfConstruction:
+    def test_sjf_renames_relations(self, queries):
+        q2 = queries["q2"]
+        sjf_q2 = sjf(q2)
+        assert sjf_q2.atom_one.schema.name == "R1"
+        assert sjf_q2.atom_two.schema.name == "R2"
+        assert sjf_q2.atom_one.variables == q2.atom_a.variables
+        assert sjf_q2.atom_two.variables == q2.atom_b.variables
+
+    def test_sjf_custom_names(self, queries):
+        sjf_q = sjf(queries["q3"], first_name="S", second_name="T")
+        assert sjf_q.atom_one.schema.name == "S"
+        assert sjf_q.atom_two.schema.name == "T"
+
+    def test_sjf_query_requires_distinct_relations(self):
+        schema = RelationSchema("R", 2, 1)
+        with pytest.raises(ValueError):
+            SelfJoinFreeQuery(Atom(schema, ("x", "y")), Atom(schema, ("y", "z")))
+
+    def test_sjf_satisfaction(self, queries):
+        sjf_q3 = sjf(queries["q3"])
+        r1, r2 = sjf_q3.atom_one.schema, sjf_q3.atom_two.schema
+        facts = [Fact(r1, (1, 2)), Fact(r2, (2, 3))]
+        assert sjf_q3.satisfied_by(facts)
+        assert not sjf_q3.satisfied_by([Fact(r1, (1, 2)), Fact(r2, (5, 3))])
+
+    def test_sjf_str(self, queries):
+        assert "R1" in str(sjf(queries["q2"]))
+
+
+class TestKolaitisPemaClassification:
+    def test_sjf_q1_is_hard(self, queries):
+        assert classify_sjf(sjf(queries["q1"])) == SjfComplexity.CONP_COMPLETE
+
+    def test_sjf_q2_is_ptime(self, queries):
+        # The paper notes the converse of Proposition 4.1 fails: sjf(q2) is
+        # PTime although certain(q2) is coNP-hard.
+        assert classify_sjf(sjf(queries["q2"])) == SjfComplexity.PTIME
+
+    def test_sjf_q3_is_ptime(self, queries):
+        assert classify_sjf(sjf(queries["q3"])) == SjfComplexity.PTIME
+
+    def test_sjf_hardness_matches_theorem_42_condition(self, queries):
+        for name, query in queries.items():
+            hard_syntactic = query.hardness_condition_one() and query.hardness_condition_two()
+            assert (classify_sjf(sjf(query)) == SjfComplexity.CONP_COMPLETE) == hard_syntactic, name
+
+
+class TestProposition41Reduction:
+    def test_reduction_produces_single_relation(self, queries):
+        q2 = queries["q2"]
+        sjf_q2 = sjf(q2)
+        r1, r2 = sjf_q2.atom_one.schema, sjf_q2.atom_two.schema
+        db = Database([Fact(r1, (1, 2, 3, 4)), Fact(r2, (5, 6, 7, 8))])
+        reduced = reduce_sjf_database(q2, db)
+        assert len(reduced) == 2
+        assert all(fact.schema == q2.schema for fact in reduced)
+
+    def test_reduction_tags_elements_with_variables(self, queries):
+        q2 = queries["q2"]
+        sjf_q2 = sjf(q2)
+        r1 = sjf_q2.atom_one.schema
+        reduced = reduce_sjf_database(q2, Database([Fact(r1, (1, 2, 3, 4))]))
+        fact = reduced.facts()[0]
+        assert fact.values == (("x", 1), ("u", 2), ("x", 3), ("y", 4))
+
+    def test_reduction_rejects_unknown_relation(self, queries):
+        q2 = queries["q2"]
+        other = RelationSchema("Other", 4, 2)
+        with pytest.raises(ValueError):
+            reduce_sjf_database(q2, Database([Fact(other, (1, 2, 3, 4))]))
+
+    def test_reduction_preserves_block_structure(self, queries):
+        q2 = queries["q2"]
+        sjf_q2 = sjf(q2)
+        r1 = sjf_q2.atom_one.schema
+        db = Database([Fact(r1, (1, 2, 3, 4)), Fact(r1, (1, 2, 9, 9)), Fact(r1, (7, 7, 1, 1))])
+        reduced = reduce_sjf_database(q2, db)
+        assert reduced.block_count() == db.block_count()
+        assert sorted(b.size for b in reduced.blocks()) == sorted(b.size for b in db.blocks())
+
+    @pytest.mark.parametrize("name", ["q2", "q3", "q5", "q6"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip_equivalence(self, queries, name, seed):
+        """certain(sjf(q)) on D equals certain(q) on the reduced database."""
+        query = queries[name]
+        sjf_query = sjf(query)
+        rng = random.Random(seed)
+        db = random_sjf_database(sjf_query, block_count=4, block_size=2, domain_size=3, rng=rng)
+        lhs = certain_sjf_bruteforce(sjf_query, db)
+        rhs = certain_bruteforce(query, reduce_sjf_database(query, db))
+        assert lhs == rhs
+
+    def test_round_trip_on_solution_rich_instance(self, queries):
+        q3 = queries["q3"]
+        sjf_q3 = sjf(q3)
+        r1, r2 = sjf_q3.atom_one.schema, sjf_q3.atom_two.schema
+        db = Database(
+            [
+                Fact(r1, (1, 2)),
+                Fact(r1, (1, 3)),
+                Fact(r2, (2, 9)),
+                Fact(r2, (3, 9)),
+            ]
+        )
+        assert certain_sjf_bruteforce(sjf_q3, db)
+        assert certain_bruteforce(q3, reduce_sjf_database(q3, db))
+
+
+class TestSjfBruteForce:
+    def test_empty_database_is_not_certain(self, queries):
+        assert not certain_sjf_bruteforce(sjf(queries["q3"]), Database())
+
+    def test_certain_instance(self, queries):
+        sjf_q3 = sjf(queries["q3"])
+        r1, r2 = sjf_q3.atom_one.schema, sjf_q3.atom_two.schema
+        db = Database([Fact(r1, (1, 2)), Fact(r2, (2, 3))])
+        assert certain_sjf_bruteforce(sjf_q3, db)
+
+    def test_not_certain_instance(self, queries):
+        sjf_q3 = sjf(queries["q3"])
+        r1, r2 = sjf_q3.atom_one.schema, sjf_q3.atom_two.schema
+        db = Database([Fact(r1, (1, 2)), Fact(r1, (1, 5)), Fact(r2, (2, 3))])
+        assert not certain_sjf_bruteforce(sjf_q3, db)
+
+    def test_random_generator_produces_both_relations(self, queries):
+        sjf_q2 = sjf(queries["q2"])
+        rng = random.Random(0)
+        db = random_sjf_database(sjf_q2, block_count=10, block_size=2, domain_size=3, rng=rng)
+        names = {schema.name for schema in db.schemas()}
+        assert names <= {"R1", "R2"}
+        assert len(db) > 0

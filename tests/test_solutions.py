@@ -1,0 +1,134 @@
+"""Unit tests for solution graphs, quasi-cliques and q-connected components."""
+
+import pytest
+
+from repro import Database, Fact, RelationSchema, build_solution_graph, parse_query, q_connected_block_components
+from repro.db.generators import solution_triangle
+
+
+@pytest.fixture
+def q3():
+    return parse_query("R(x|y) R(y|z)")
+
+
+@pytest.fixture
+def q6():
+    return parse_query("R(x|y,z) R(z|x,y)")
+
+
+def fact(schema, *values):
+    return Fact(schema, values)
+
+
+class TestSolutionGraph:
+    def test_edges_are_symmetric(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 2), fact(schema, 2, 3)])
+        graph = build_solution_graph(q3, db)
+        assert graph.has_edge(fact(schema, 1, 2), fact(schema, 2, 3))
+        assert graph.has_edge(fact(schema, 2, 3), fact(schema, 1, 2))
+        assert graph.edge_count() == 1
+
+    def test_directed_solutions_recorded(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 2), fact(schema, 2, 3)])
+        graph = build_solution_graph(q3, db)
+        assert graph.has_directed(fact(schema, 1, 2), fact(schema, 2, 3))
+        assert not graph.has_directed(fact(schema, 2, 3), fact(schema, 1, 2))
+
+    def test_self_loops(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 1), fact(schema, 2, 3)])
+        graph = build_solution_graph(q3, db)
+        assert fact(schema, 1, 1) in graph.self_loops
+        assert fact(schema, 2, 3) not in graph.self_loops
+
+    def test_components_include_isolated_facts(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 2), fact(schema, 2, 3), fact(schema, 9, 8)])
+        graph = build_solution_graph(q3, db)
+        components = graph.components()
+        assert len(components) == 2
+        assert sorted(len(component) for component in components) == [1, 2]
+
+    def test_neighbours(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 2), fact(schema, 2, 3), fact(schema, 2, 4)])
+        graph = build_solution_graph(q3, db)
+        assert graph.neighbours(fact(schema, 1, 2)) == {fact(schema, 2, 3), fact(schema, 2, 4)}
+
+
+class TestQuasiCliques:
+    def test_triangle_is_quasi_clique(self, q6):
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        db = Database(facts)
+        graph = build_solution_graph(q6, db)
+        components = graph.components()
+        assert len(components) == 1
+        assert graph.is_quasi_clique(components[0])
+        assert graph.is_clique_database()
+
+    def test_path_is_not_quasi_clique(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 2), fact(schema, 2, 3), fact(schema, 3, 4)])
+        graph = build_solution_graph(q3, db)
+        component = max(graph.components(), key=len)
+        assert not graph.is_quasi_clique(component)
+        assert not graph.is_clique_database()
+
+    def test_clique_of_non_clique_component_is_singleton(self, q3):
+        schema = q3.schema
+        a = fact(schema, 1, 2)
+        db = Database([a, fact(schema, 2, 3), fact(schema, 3, 4)])
+        graph = build_solution_graph(q3, db)
+        assert graph.clique_of(a) == frozenset({a})
+
+    def test_clique_of_quasi_clique_component_is_component(self, q6):
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        graph = build_solution_graph(q6, Database(facts))
+        assert graph.clique_of(facts[0]) == frozenset(facts)
+
+    def test_clique_of_unknown_fact(self, q6):
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        graph = build_solution_graph(q6, Database(facts))
+        with pytest.raises(KeyError):
+            graph.clique_of(fact(q6.schema, "zz", "zz", "zz"))
+
+    def test_key_equal_facts_do_not_need_an_edge(self, q6):
+        # Two facts of the same block never need to be joined for the
+        # component to be a quasi-clique.
+        schema = q6.schema
+        facts = solution_triangle(q6, ("a", "b", "c"))
+        extra = fact(schema, "a", "zz", "ww")  # same block as the first fact
+        db = Database(facts + [extra])
+        graph = build_solution_graph(q6, db)
+        # extra is isolated, so the components are the triangle and {extra}.
+        assert len(graph.components()) == 2
+        assert graph.is_clique_database()
+
+
+class TestQConnectedComponents:
+    def test_partition_covers_database(self, q3):
+        schema = q3.schema
+        db = Database(
+            [fact(schema, 1, 2), fact(schema, 2, 3), fact(schema, 5, 6), fact(schema, 6, 7)]
+        )
+        components = q_connected_block_components(q3, db)
+        assert sum(len(component) for component in components) == len(db)
+        assert len(components) == 2
+
+    def test_blocks_are_never_split(self, q3):
+        schema = q3.schema
+        db = Database(
+            [fact(schema, 1, 2), fact(schema, 1, 9), fact(schema, 2, 3), fact(schema, 9, 4)]
+        )
+        components = q_connected_block_components(q3, db)
+        # The block with key 1 connects to both the key-2 and key-9 blocks, so
+        # everything is one component.
+        assert len(components) == 1
+
+    def test_isolated_blocks_form_their_own_components(self, q3):
+        schema = q3.schema
+        db = Database([fact(schema, 1, 2), fact(schema, 7, 8)])
+        components = q_connected_block_components(q3, db)
+        assert len(components) == 2

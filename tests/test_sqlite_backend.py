@@ -1,0 +1,131 @@
+"""Unit tests for the SQLite-backed fact store."""
+
+import random
+
+import pytest
+
+from repro import Database, Fact, RelationSchema, SqliteFactStore, certain_answer_via_sqlite, certain_exact, parse_query
+from repro.db.generators import random_solution_database
+from repro.db.sqlite_backend import _decode_element, _encode_element
+
+
+@pytest.fixture
+def q3():
+    return parse_query("R(x|y) R(y|z)")
+
+
+@pytest.fixture
+def store(q3):
+    with SqliteFactStore(q3.schema) as handle:
+        yield handle
+
+
+def f(query, *values):
+    return Fact(query.schema, values)
+
+
+class TestElementEncoding:
+    def test_int_round_trip(self):
+        assert _decode_element(_encode_element(42)) == 42
+
+    def test_string_round_trip(self):
+        assert _decode_element(_encode_element("alice")) == "alice"
+
+    def test_tuple_is_stable_identifier(self):
+        first = _encode_element(("x", 1))
+        second = _encode_element(("x", 1))
+        other = _encode_element(("x", 2))
+        assert first == second != other
+
+
+class TestStore:
+    def test_insert_and_count(self, store, q3):
+        inserted = store.insert_facts([f(q3, 1, 2), f(q3, 2, 3), f(q3, 1, 2)])
+        assert inserted == 2
+        assert store.count() == 2
+
+    def test_round_trip_database(self, store, q3):
+        db = Database([f(q3, 1, 2), f(q3, 1, 3), f(q3, 2, 5)])
+        store.load_database(db)
+        assert store.to_database() == db
+
+    def test_clear(self, store, q3):
+        store.insert_facts([f(q3, 1, 2)])
+        store.clear()
+        assert store.count() == 0
+
+    def test_wrong_schema_rejected(self, store):
+        other = RelationSchema("S", 2, 1)
+        with pytest.raises(ValueError):
+            store.insert_facts([Fact(other, (1, 2))])
+
+    def test_block_sizes_via_sql(self, store, q3):
+        store.insert_facts([f(q3, 1, 2), f(q3, 1, 3), f(q3, 2, 5)])
+        sizes = store.block_sizes()
+        assert sorted(sizes.values()) == [1, 2]
+        assert store.inconsistent_block_count() == 1
+
+    def test_persistent_file(self, q3, tmp_path):
+        path = str(tmp_path / "facts.sqlite")
+        with SqliteFactStore(q3.schema, path) as store:
+            store.insert_facts([f(q3, 1, 2)])
+        with SqliteFactStore(q3.schema, path) as reopened:
+            assert reopened.count() == 1
+
+
+class TestSqlEvaluation:
+    def test_query_sql_contains_join_conditions(self, store, q3):
+        sql, where = store.query_sql(q3)
+        assert "facts_R AS a" in sql and "facts_R AS b" in sql
+        assert "a.c1 = b.c0" in where
+
+    def test_evaluate_query_finds_solutions(self, store, q3):
+        store.insert_facts([f(q3, 1, 2), f(q3, 2, 3), f(q3, 7, 8)])
+        solutions = store.evaluate_query(q3)
+        assert (f(q3, 1, 2), f(q3, 2, 3)) in solutions
+
+    def test_evaluate_query_respects_repeated_variables(self):
+        q_rep = parse_query("R(x|x,y) R(y|x,x)")
+        with SqliteFactStore(q_rep.schema) as store:
+            store.insert_facts(
+                [Fact(q_rep.schema, (1, 1, 2)), Fact(q_rep.schema, (2, 1, 1)), Fact(q_rep.schema, (2, 3, 1))]
+            )
+            solutions = store.evaluate_query(q_rep)
+            assert (Fact(q_rep.schema, (1, 1, 2)), Fact(q_rep.schema, (2, 1, 1))) in solutions
+            assert all(second != Fact(q_rep.schema, (2, 3, 1)) for _, second in solutions)
+
+    def test_satisfies(self, store, q3):
+        store.insert_facts([f(q3, 1, 2)])
+        assert not store.satisfies(q3)
+        store.insert_facts([f(q3, 2, 3)])
+        assert store.satisfies(q3)
+
+    def test_sql_solutions_agree_with_python(self, q3):
+        rng = random.Random(0)
+        db = random_solution_database(q3, 6, 4, 4, rng)
+        with SqliteFactStore(q3.schema) as store:
+            store.load_database(db)
+            sql_solutions = set(store.evaluate_query(q3))
+        python_solutions = set(q3.solutions(db.facts()))
+        assert sql_solutions == python_solutions
+
+    def test_solution_edges_deduplicated(self, store, q3):
+        store.insert_facts([f(q3, 1, 2), f(q3, 2, 1)])
+        edges = store.solution_edges(q3)
+        assert len(edges) == 1
+
+    def test_query_sql_wrong_schema(self, store):
+        other_query = parse_query("S(x|y) S(y|z)")
+        with pytest.raises(ValueError):
+            store.query_sql(other_query)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_certain_answer_via_sqlite_matches_oracle(self, q3, seed):
+        rng = random.Random(seed)
+        db = random_solution_database(q3, 5, 3, 4, rng)
+        with SqliteFactStore(q3.schema) as store:
+            store.load_database(db)
+            answer = certain_answer_via_sqlite(q3, store)
+        assert answer == certain_exact(q3, db)

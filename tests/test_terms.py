@@ -1,0 +1,172 @@
+"""Unit tests for the term model (schemas, atoms, facts)."""
+
+import pytest
+
+from repro import Atom, Fact, RelationSchema
+from repro.core.terms import key_equal, make_facts
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        schema = RelationSchema("R", arity=5, key_size=3)
+        assert schema.name == "R"
+        assert schema.arity == 5
+        assert schema.key_size == 3
+        assert list(schema.key_positions) == [0, 1, 2]
+        assert list(schema.nonkey_positions) == [3, 4]
+
+    def test_describe(self):
+        assert RelationSchema("Emp", 4, 2).describe() == "Emp[4,2]"
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", arity=0, key_size=0)
+
+    def test_invalid_key_size_negative(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", arity=2, key_size=-1)
+
+    def test_invalid_key_size_too_large(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", arity=2, key_size=3)
+
+    def test_key_size_zero_allowed(self):
+        schema = RelationSchema("R", arity=2, key_size=0)
+        assert list(schema.key_positions) == []
+
+    def test_key_covering_all_positions_allowed(self):
+        schema = RelationSchema("R", arity=2, key_size=2)
+        assert list(schema.nonkey_positions) == []
+
+    def test_schemas_hashable_and_comparable(self):
+        assert RelationSchema("R", 2, 1) == RelationSchema("R", 2, 1)
+        assert RelationSchema("R", 2, 1) != RelationSchema("S", 2, 1)
+        assert len({RelationSchema("R", 2, 1), RelationSchema("R", 2, 1)}) == 1
+
+
+class TestAtom:
+    def setup_method(self):
+        self.schema = RelationSchema("R", arity=5, key_size=3)
+
+    def test_paper_example_key_and_vars(self):
+        # Section 2 example: R has signature [5, 3] and A = R(x y x | y z).
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        assert atom.key_tuple == ("x", "y", "x")
+        assert atom.key_variables == {"x", "y"}
+        assert atom.all_variables == {"x", "y", "z"}
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(self.schema, ("x", "y"))
+
+    def test_non_string_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(self.schema, ("x", "y", "x", "y", 3))
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(self.schema, ("x", "y", "x", "y", ""))
+
+    def test_indexing(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        assert atom[0] == "x"
+        assert atom[4] == "z"
+
+    def test_rename(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        renamed = atom.rename({"x": "a", "z": "c"})
+        assert renamed.variables == ("a", "y", "a", "y", "c")
+
+    def test_rename_keeps_unmapped(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        assert atom.rename({}).variables == atom.variables
+
+    def test_instantiate(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        fact = atom.instantiate({"x": 1, "y": 2, "z": 3})
+        assert fact.values == (1, 2, 1, 2, 3)
+
+    def test_instantiate_missing_variable(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        with pytest.raises(KeyError):
+            atom.instantiate({"x": 1, "y": 2})
+
+    def test_match_success(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        fact = Fact(self.schema, (1, 2, 1, 2, 7))
+        assert atom.match(fact) == {"x": 1, "y": 2, "z": 7}
+
+    def test_match_repeated_variable_conflict(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        fact = Fact(self.schema, (1, 2, 9, 2, 7))
+        assert atom.match(fact) is None
+
+    def test_match_wrong_schema(self):
+        atom = Atom(self.schema, ("x", "y", "x", "y", "z"))
+        other = RelationSchema("S", 5, 3)
+        assert atom.match(Fact(other, (1, 2, 1, 2, 7))) is None
+
+    def test_str_rendering(self):
+        atom = Atom(RelationSchema("R", 4, 2), ("x", "u", "x", "y"))
+        assert str(atom) == "R(x,u|x,y)"
+
+
+class TestFact:
+    def setup_method(self):
+        self.schema = RelationSchema("R", arity=4, key_size=2)
+
+    def test_key_and_elements(self):
+        fact = Fact(self.schema, ("a", "b", "a", "c"))
+        assert fact.key_tuple == ("a", "b")
+        assert fact.key_elements == {"a", "b"}
+        assert fact.elements == {"a", "b", "c"}
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Fact(self.schema, ("a", "b"))
+
+    def test_key_equal(self):
+        first = Fact(self.schema, ("a", "b", "a", "c"))
+        second = Fact(self.schema, ("a", "b", "x", "y"))
+        third = Fact(self.schema, ("a", "c", "a", "c"))
+        assert first.key_equal(second)
+        assert key_equal(first, second)
+        assert not first.key_equal(third)
+
+    def test_key_equal_requires_same_schema(self):
+        other_schema = RelationSchema("S", 4, 2)
+        first = Fact(self.schema, ("a", "b", "a", "c"))
+        second = Fact(other_schema, ("a", "b", "a", "c"))
+        assert not first.key_equal(second)
+
+    def test_block_id(self):
+        fact = Fact(self.schema, ("a", "b", "a", "c"))
+        assert fact.block_id() == ("R", ("a", "b"))
+
+    def test_indexing(self):
+        fact = Fact(self.schema, ("a", "b", "a", "c"))
+        assert fact[0] == "a"
+        assert fact[3] == "c"
+
+    def test_facts_are_hashable(self):
+        fact = Fact(self.schema, ("a", "b", "a", "c"))
+        same = Fact(self.schema, ("a", "b", "a", "c"))
+        assert len({fact, same}) == 1
+
+    def test_composite_elements(self):
+        fact = Fact(self.schema, (("x", 1), ("y", 2), ("x", 1), 7))
+        assert ("x", 1) in fact.key_elements
+        assert "<x,1>" in str(fact)
+
+    def test_str_rendering(self):
+        fact = Fact(self.schema, ("a", "b", "a", "c"))
+        assert str(fact) == "R(a,b|a,c)"
+
+
+class TestMakeFacts:
+    def test_make_facts(self):
+        schema = RelationSchema("R", 2, 1)
+        facts = make_facts(schema, [(1, 2), (3, 4)])
+        assert len(facts) == 2
+        assert facts[0].values == (1, 2)
+        assert all(fact.schema == schema for fact in facts)

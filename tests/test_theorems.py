@@ -1,0 +1,169 @@
+"""Integration tests: one test class per theorem of the paper.
+
+These tests validate the *claims* of the paper end-to-end on randomised
+workloads, using the brute-force / SAT oracles as ground truth.  They are the
+test-level counterparts of the benchmarks in ``benchmarks/``.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CertainEngine,
+    CertK,
+    MatchingAlgorithm,
+    cert_2,
+    cert_k,
+    certain_bruteforce,
+    certain_by_matching,
+    certain_exact,
+    classify,
+    Complexity,
+)
+from repro.bench.harness import compare_with_oracle
+from repro.bench.workloads import agreement_workload
+from repro.core.solutions import build_solution_graph, q_connected_block_components
+from repro.db.generators import find_disagreement, random_solution_database
+
+
+class TestTheorem42:
+    """Syntactically hard queries are classified coNP-complete."""
+
+    def test_q1_classified_hard(self, queries):
+        assert classify(queries["q1"]).complexity == Complexity.CONP_COMPLETE
+
+    def test_engine_still_answers_exactly_for_hard_queries(self, queries):
+        q1 = queries["q1"]
+        engine = CertainEngine(q1)
+        for seed in range(4):
+            db = random_solution_database(q1, 3, 2, 3, random.Random(seed))
+            assert engine.is_certain(db) == certain_bruteforce(q1, db)
+
+
+class TestTheorem61:
+    """certain(q) = Cert_2(q) whenever condition (1) of Theorem 4.2 fails."""
+
+    @pytest.mark.parametrize("name", ["q3", "q4"])
+    def test_full_agreement_on_random_workload(self, queries, name):
+        query = queries[name]
+        workload = agreement_workload(query, instance_count=12, solution_count=4,
+                                      domain_size=4, noise_count=3, seed=5)
+        result = compare_with_oracle(query, lambda db: cert_2(query, db), workload)
+        assert result.agreement_rate == 1.0
+
+    def test_agreement_on_sparse_workload(self, queries):
+        query = queries["q3"]
+        workload = agreement_workload(query, instance_count=12, solution_count=3,
+                                      domain_size=8, noise_count=6, seed=17)
+        result = compare_with_oracle(query, lambda db: cert_2(query, db), workload)
+        assert result.agreement_rate == 1.0
+
+
+class TestTheorem81:
+    """No-tripath queries are decided by Cert_k."""
+
+    def test_q5_agreement(self, queries):
+        query = queries["q5"]
+        workload = agreement_workload(query, instance_count=12, solution_count=4,
+                                      domain_size=4, noise_count=2, seed=3)
+        result = compare_with_oracle(query, lambda db: cert_k(query, db, k=3), workload)
+        assert result.agreement_rate == 1.0
+        assert result.sound
+
+
+class TestTheorem91:
+    """Fork-tripath queries: the classifier proves coNP-completeness with a witness."""
+
+    def test_q2_has_verified_fork_witness(self, queries):
+        result = classify(queries["q2"])
+        assert result.complexity == Complexity.CONP_COMPLETE
+        assert result.tripath is not None
+        assert result.tripath.is_fork()
+        assert result.tripath.is_valid()
+
+
+class TestTheorem101AndMatchingNecessity:
+    """Around Theorem 10.1: Cert_k is only an under-approximation for q6.
+
+    Theorem 10.1 exhibits, for every ``k``, a database on which ``Cert_k(q6)``
+    fails although the query is certain; the construction of [3] is beyond
+    the search budget of the test-suite (see EXPERIMENTS.md), so here we test
+    the two facts that the combined algorithm of Theorem 10.5 rests on:
+    ``Cert_k`` never over-claims on q6, and ``¬matching`` decides exactly the
+    instances where certainty comes from the matching-theoretic argument.
+    """
+
+    def test_certk_is_sound_for_q6(self, queries):
+        query = queries["q6"]
+        certk = CertK(query, k=2)
+        for seed in range(10):
+            db = random_solution_database(query, 4, 2, 3, random.Random(seed))
+            if certk.is_certain(db):
+                assert certain_exact(query, db)
+
+    def test_matching_decides_the_two_triangle_instance(self, queries):
+        """An instance whose certainty is matching-theoretic: three blocks, two cliques."""
+        from repro import Database, Fact
+        from repro.db.generators import solution_triangle
+
+        query = queries["q6"]
+        first = solution_triangle(query, ("a", "b", "c"))
+        second = [
+            Fact(query.schema, ("a", "c", "b")),
+            Fact(query.schema, ("b", "a", "c")),
+            Fact(query.schema, ("c", "b", "a")),
+        ]
+        db = Database(first + second)
+        assert certain_exact(query, db)
+        assert certain_by_matching(query, db)
+
+    def test_bounded_search_reports_no_certk_overclaim(self, queries):
+        """find_disagreement never reports Cert_2 answering yes on a non-certain input."""
+        query = queries["q6"]
+        oracle = lambda db: certain_exact(query, db)
+        certk = CertK(query, k=2)
+        gap = find_disagreement(
+            query, oracle, certk.is_certain, attempts=40,
+            solution_count=4, domain_size=3, want_first=False,
+        )
+        assert gap is None
+
+
+class TestTheorem105:
+    """For 2way-determined queries without fork-tripath, Cert_k ∨ ¬matching is exact."""
+
+    def test_q6_combined_agreement(self, queries):
+        query = queries["q6"]
+        workload = agreement_workload(query, instance_count=15, solution_count=4,
+                                      domain_size=3, noise_count=2, seed=9)
+        engine = CertainEngine(query)
+        result = compare_with_oracle(query, engine.paper_polynomial_answer, workload)
+        assert result.agreement_rate == 1.0
+
+    def test_partition_properties_of_proposition_106(self, queries):
+        query = queries["q6"]
+        for seed in range(5):
+            db = random_solution_database(query, 4, 2, 3, random.Random(seed))
+            components = q_connected_block_components(query, db)
+            # (1) every component is a clique-database or has no tripath; for
+            # q6 every database is a clique-database, which is the stronger fact.
+            for component in components:
+                assert build_solution_graph(query, component).is_clique_database()
+            # (2) certain(D) iff some component is certain.
+            expected = certain_exact(query, db)
+            got = any(certain_exact(query, component) for component in components)
+            assert expected == got
+
+
+class TestDichotomyEndToEnd:
+    """The engine answers exactly for every example query on mixed workloads."""
+
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q5", "q6"])
+    def test_engine_matches_oracle(self, queries, name):
+        query = queries[name]
+        engine = CertainEngine(query)
+        workload = agreement_workload(query, instance_count=6, solution_count=4,
+                                      domain_size=4, noise_count=2, seed=31)
+        result = compare_with_oracle(query, engine.is_certain, workload)
+        assert result.agreement_rate == 1.0

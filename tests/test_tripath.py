@@ -1,0 +1,202 @@
+"""Unit tests for tripaths: structure, validation, niceness and searches (Section 7)."""
+
+import pytest
+
+from repro import (
+    FORK,
+    TRIANGLE,
+    Database,
+    Fact,
+    TripathSearcher,
+    find_tripath_for_query,
+    find_tripath_in_database,
+    parse_query,
+)
+from repro.core.tripath import Tripath, TripathBlock
+from repro.fixtures import figure_1b_database, figure_1c_tripath, query_q2
+
+
+@pytest.fixture(scope="module")
+def q2():
+    return query_q2()
+
+
+@pytest.fixture(scope="module")
+def fig1c():
+    return figure_1c_tripath()
+
+
+def f(query, values):
+    return Fact(query.schema, tuple(values))
+
+
+class TestFigure1cTripath:
+    def test_is_valid(self, fig1c):
+        assert fig1c.violations() == []
+        assert fig1c.is_valid()
+
+    def test_is_fork(self, fig1c):
+        assert fig1c.is_fork()
+        assert not fig1c.is_triangle()
+        assert fig1c.kind() == FORK
+
+    def test_center_matches_paper(self, fig1c, q2):
+        centre = fig1c.center()
+        assert centre.left == f(q2, "aaab")
+        assert centre.centre == f(q2, "abaa")
+        assert centre.right == f(q2, "baaa")
+
+    def test_g_elements(self, fig1c):
+        assert fig1c.g_elements() == {"a"}
+
+    def test_extremal_facts(self, fig1c, q2):
+        root, leaf_one, leaf_two = fig1c.extremal_facts()
+        assert root == f(q2, "hcha")
+        assert {leaf_one, leaf_two} == {f(q2, "edea"), f(q2, "fbfa")}
+
+    def test_variable_nice(self, fig1c):
+        assert fig1c.is_variable_nice()
+        assert ("a", "a", "a") in fig1c.variable_nice_witnesses()
+
+    def test_solution_nice(self, fig1c):
+        assert fig1c.is_solution_nice()
+        assert fig1c.extra_solutions() == []
+
+    def test_nice_witness(self, fig1c):
+        witness = fig1c.nice_witness()
+        assert witness is not None
+        assert witness.x == witness.y == witness.z == "a"
+        assert witness.u == "h"
+        assert {witness.v, witness.w} == {"e", "f"}
+
+    def test_database_has_thirteen_facts(self, fig1c):
+        assert len(fig1c.database()) == 13
+
+    def test_describe_mentions_fork(self, fig1c):
+        assert "fork" in fig1c.describe()
+
+    def test_substitution_preserves_validity(self, fig1c):
+        mapping = {"a": ("tag", "a"), "h": ("tag", "h")}
+        substituted = fig1c.substitute_elements(mapping)
+        assert substituted.is_valid()
+        assert substituted.is_fork()
+
+
+class TestFigure1bDatabase:
+    def test_contains_a_fork_tripath(self, q2):
+        db = figure_1b_database()
+        tripath = find_tripath_in_database(q2, db, kind=FORK, max_depth=6)
+        assert tripath is not None
+        assert tripath.is_valid()
+        assert tripath.is_fork()
+
+    def test_found_tripath_is_not_solution_nice(self, q2):
+        db = figure_1b_database()
+        tripath = find_tripath_in_database(q2, db, kind=FORK, max_depth=6)
+        assert tripath is not None
+        assert not tripath.is_solution_nice()
+
+    def test_no_triangle_tripath_in_figure_1b(self, q2):
+        db = figure_1b_database()
+        assert find_tripath_in_database(q2, db, kind=TRIANGLE, max_depth=6) is None
+
+    def test_figure_1c_database_also_contains_the_tripath(self, q2):
+        db = figure_1c_tripath().database()
+        tripath = find_tripath_in_database(q2, db, kind=FORK, max_depth=8)
+        assert tripath is not None
+        assert tripath.is_fork()
+
+    def test_small_database_contains_no_tripath(self, q2):
+        db = Database([f(q2, "aaab"), f(q2, "abaa"), f(q2, "baaa")])
+        assert find_tripath_in_database(q2, db) is None
+
+
+class TestValidation:
+    def test_too_few_blocks_rejected(self, q2):
+        blocks = [
+            TripathBlock(f(q2, "hcha"), None, None),
+            TripathBlock(f(q2, "abaa"), f(q2, "abca"), 0),
+        ]
+        assert Tripath(q2, blocks).violations()
+
+    def test_two_roots_rejected(self, q2, fig1c):
+        blocks = list(fig1c.blocks)
+        broken = blocks[:1] + [TripathBlock(blocks[1].a_fact, blocks[1].b_fact, None)] + blocks[2:]
+        assert Tripath(q2, broken).violations()
+
+    def test_shared_key_between_blocks_rejected(self, q2, fig1c):
+        blocks = list(fig1c.blocks)
+        # Duplicate the root fact's key in a new leaf-like block.
+        broken = blocks + [TripathBlock(None, f(q2, "hcxx"), 4)]
+        violations = Tripath(q2, broken).violations()
+        assert violations
+
+    def test_missing_edge_solution_rejected(self, q2, fig1c):
+        blocks = list(fig1c.blocks)
+        # Replace a leaf with a fact that does not form a solution upwards.
+        broken = blocks[:5] + [TripathBlock(None, f(q2, "zwzw"), 4)] + blocks[6:]
+        assert Tripath(q2, broken).violations()
+
+    def test_g_condition_violation_detected(self, q2, fig1c):
+        blocks = list(fig1c.blocks)
+        # Give the root a key containing the element a = g(e).
+        broken = [TripathBlock(f(q2, "caca"), None, None)] + blocks[1:]
+        violations = Tripath(q2, broken).violations()
+        assert violations
+
+    def test_internal_block_with_single_fact_rejected(self, q2, fig1c):
+        blocks = list(fig1c.blocks)
+        broken = blocks[:4] + [TripathBlock(blocks[4].a_fact, None, 3)] + blocks[5:]
+        assert Tripath(q2, broken).violations()
+
+
+class TestQueryLevelSearch:
+    def test_q2_admits_a_fork_tripath(self, q2):
+        tripath = find_tripath_for_query(q2, kind=FORK, max_depth=4, max_merges=1)
+        assert tripath is not None
+        assert tripath.is_valid()
+        assert tripath.is_fork()
+
+    def test_q2_admits_a_nice_fork_tripath(self, q2):
+        tripath = find_tripath_for_query(
+            q2, kind=FORK, max_depth=4, max_merges=2, require_nice=True
+        )
+        assert tripath is not None
+        assert tripath.is_nice()
+
+    def test_q5_admits_no_tripath(self):
+        q5 = parse_query("R(x|y,x) R(y|x,u)")
+        searcher = TripathSearcher(q5)
+        assert not searcher.center_exists()
+        assert find_tripath_for_query(q5, max_depth=3) is None
+
+    def test_q6_every_center_is_a_triangle(self):
+        q6 = parse_query("R(x|y,z) R(z|x,y)")
+        searcher = TripathSearcher(q6)
+        assert searcher.center_exists()
+        assert searcher.generic_center_is_triangle() is True
+
+    def test_q6_admits_a_triangle_tripath(self):
+        q6 = parse_query("R(x|y,z) R(z|x,y)")
+        tripath = find_tripath_for_query(q6, kind=TRIANGLE, max_depth=4, max_merges=1)
+        assert tripath is not None
+        assert tripath.is_triangle()
+        assert tripath.is_valid()
+
+    def test_q2_generic_center_is_a_fork(self, q2):
+        searcher = TripathSearcher(q2)
+        assert searcher.center_exists()
+        assert searcher.generic_center_is_triangle() is False
+
+    def test_searcher_witnesses_are_self_contained_databases(self, q2):
+        tripath = find_tripath_for_query(q2, kind=FORK, max_depth=4, max_merges=1)
+        database = tripath.database()
+        # The witness really is a database containing a tripath.
+        rediscovered = find_tripath_in_database(q2, database, kind=FORK, max_depth=8)
+        assert rediscovered is not None
+
+    def test_center_exists_is_exact_for_trivially_joined_query(self):
+        # key(B) of the second atom equals key(A) of the first under the MGU,
+        # so no centre with three distinct blocks exists.
+        query = parse_query("R(x|y,x) R(y|x,u)")
+        assert not TripathSearcher(query).center_exists()

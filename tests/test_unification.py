@@ -1,0 +1,138 @@
+"""Unit tests for the unification substrate used by the tripath chase."""
+
+import pytest
+
+from repro import parse_query
+from repro.core.unification import (
+    Const,
+    FreshElements,
+    UnificationError,
+    Unifier,
+    atom_equations,
+    atom_fact_equations,
+    atom_positions_equations,
+    instantiate_atoms,
+)
+from repro.core.terms import Fact
+
+
+class TestUnifier:
+    def test_variable_variable(self):
+        unifier = Unifier()
+        unifier.unify("x", "y")
+        assert unifier.same_class("x", "y")
+        assert not unifier.same_class("x", "z")
+
+    def test_variable_constant(self):
+        unifier = Unifier()
+        unifier.unify("x", Const(5))
+        assert unifier.value_of("x", {}) == 5
+
+    def test_constant_clash(self):
+        unifier = Unifier()
+        unifier.unify("x", Const(5))
+        with pytest.raises(UnificationError):
+            unifier.unify("x", Const(6))
+
+    def test_constant_constant_equal_is_noop(self):
+        Unifier().unify(Const(1), Const(1))
+
+    def test_constant_constant_clash(self):
+        with pytest.raises(UnificationError):
+            Unifier().unify(Const(1), Const(2))
+
+    def test_merging_classes_with_same_constant(self):
+        unifier = Unifier()
+        unifier.unify("x", Const(5))
+        unifier.unify("y", Const(5))
+        unifier.unify("x", "y")
+        assert unifier.value_of("y", {}) == 5
+
+    def test_merging_classes_with_different_constants_fails(self):
+        unifier = Unifier()
+        unifier.unify("x", Const(5))
+        unifier.unify("y", Const(6))
+        with pytest.raises(UnificationError):
+            unifier.unify("x", "y")
+
+    def test_transitive_constant_propagation(self):
+        unifier = Unifier()
+        unifier.unify("x", "y")
+        unifier.unify("y", "z")
+        unifier.unify("z", Const("c"))
+        assert unifier.value_of("x", {}) == "c"
+
+    def test_classes_without_constant(self):
+        unifier = Unifier()
+        unifier.unify("x", "y")
+        unifier.unify("z", Const(1))
+        free = unifier.classes_without_constant(["x", "y", "z"])
+        assert len(free) == 1
+
+    def test_copy_is_independent(self):
+        unifier = Unifier()
+        unifier.unify("x", "y")
+        clone = unifier.copy()
+        clone.unify("x", Const(1))
+        assert unifier.classes_without_constant(["x"])
+        assert not clone.classes_without_constant(["x"])
+
+    def test_fresh_elements_are_distinct(self):
+        fresh = FreshElements()
+        names = {fresh.next() for _ in range(10)}
+        assert len(names) == 10
+
+
+class TestAtomEquations:
+    def setup_method(self):
+        self.query = parse_query("R(x,u|x,y) R(u,y|x,z)")
+
+    def test_atom_equations_align_positions(self):
+        equations = atom_equations(self.query.atom_b, "#1", self.query.atom_a, "#2")
+        assert ("u#1", "x#2") in equations
+        assert len(equations) == 4
+
+    def test_atom_equations_schema_mismatch(self):
+        other = parse_query("S(a|b) S(b|c)")
+        with pytest.raises(UnificationError):
+            atom_equations(self.query.atom_a, "#1", other.atom_a, "#2")
+
+    def test_atom_fact_equations(self):
+        fact = Fact(self.query.schema, ("a", "b", "a", "c"))
+        equations = atom_fact_equations(self.query.atom_a, "#1", fact)
+        unifier = Unifier()
+        unifier.unify_many(equations)
+        assert unifier.value_of("x#1", {}) == "a"
+        assert unifier.value_of("y#1", {}) == "c"
+
+    def test_atom_fact_equations_inconsistent_fact(self):
+        # Atom has x at positions 0 and 2; a fact with different values there
+        # is rejected when the equations are solved.
+        fact = Fact(self.query.schema, ("a", "b", "z", "c"))
+        unifier = Unifier()
+        with pytest.raises(UnificationError):
+            unifier.unify_many(atom_fact_equations(self.query.atom_a, "#1", fact))
+
+    def test_atom_positions_equations(self):
+        equations = atom_positions_equations(self.query.atom_b, "#9", range(2), ("k1", "k2"))
+        unifier = Unifier()
+        unifier.unify_many(equations)
+        assert unifier.value_of("u#9", {}) == "k1"
+        assert unifier.value_of("y#9", {}) == "k2"
+
+    def test_instantiate_atoms_produces_joint_facts(self):
+        unifier = Unifier()
+        unifier.unify_many(atom_equations(self.query.atom_b, "#1", self.query.atom_a, "#2"))
+        fresh = FreshElements(prefix="n")
+        first, second, third = instantiate_atoms(
+            [
+                (self.query.atom_a, "#1"),
+                (self.query.atom_b, "#1"),
+                (self.query.atom_b, "#2"),
+            ],
+            unifier,
+            fresh,
+        )
+        # The three facts form the generic centre: q(first, second) and q(second, third).
+        assert self.query.matches_pair(first, second)
+        assert self.query.matches_pair(second, third)
