@@ -33,7 +33,7 @@ from .core.certain import (
     certain_trivial,
     find_falsifying_repair,
 )
-from .core.certk import CertK, CertKResult, cert_2, cert_k, delta_k
+from .core.certk import CertK, CertKResult, NaiveCertK, cert_2, cert_k, delta_k
 from .core.classification import (
     ClassificationResult,
     Complexity,
@@ -64,7 +64,13 @@ from .core.sjf import (
     reduce_sjf_database,
     sjf,
 )
-from .core.solutions import SolutionGraph, build_solution_graph, q_connected_block_components
+from .core.solutions import (
+    SolutionGraph,
+    build_solution_graph,
+    build_solution_graph_naive,
+    q_connected_block_components,
+    solution_graph_cache_key,
+)
 from .core.terms import Atom, Element, Fact, RelationSchema
 from .core.tripath import (
     FORK,
@@ -76,13 +82,20 @@ from .core.tripath import (
     find_tripath_in_database,
 )
 from .db.fact_store import Block, Database, Repair
+from .eval.evaluator import IndexedEvaluator
+from .eval.fact_index import FactIndex
+from .eval.matcher import AtomMatcher
 from .db.generators import (
     random_block_database,
     random_solution_database,
     scaled_workload,
 )
 from .db.repairs import count_repairs, iter_repairs, sample_repair, sample_repairs
-from .db.sqlite_backend import SqliteFactStore, certain_answer_via_sqlite
+from .db.sqlite_backend import (
+    SqliteFactStore,
+    certain_answer_via_sqlite,
+    certain_answers_via_sqlite,
+)
 from .logic.cnf import CnfFormula, Clause, Literal, random_restricted_three_sat
 from .logic.dpll import DpllSolver, is_satisfiable
 from .logic.encode import FalsifyingRepairEncoding, certain_via_sat
@@ -98,11 +111,14 @@ __all__ = [
     "Database", "Block", "Repair",
     "iter_repairs", "count_repairs", "sample_repair", "sample_repairs",
     "random_solution_database", "random_block_database", "scaled_workload",
-    "SqliteFactStore", "certain_answer_via_sqlite",
+    "SqliteFactStore", "certain_answer_via_sqlite", "certain_answers_via_sqlite",
+    # indexed evaluation layer
+    "FactIndex", "AtomMatcher", "IndexedEvaluator",
     # algorithms
-    "CertK", "CertKResult", "cert_k", "cert_2", "delta_k",
+    "CertK", "CertKResult", "NaiveCertK", "cert_k", "cert_2", "delta_k",
     "MatchingAlgorithm", "MatchingResult", "matching_algorithm", "certain_by_matching",
-    "SolutionGraph", "build_solution_graph", "q_connected_block_components",
+    "SolutionGraph", "build_solution_graph", "build_solution_graph_naive",
+    "q_connected_block_components", "solution_graph_cache_key",
     # tripaths and classification
     "BranchingTriple", "g_bar", "g_elements",
     "Tripath", "TripathBlock", "TripathSearcher",

@@ -59,6 +59,17 @@ class ExperimentReport:
     def print(self) -> None:  # pragma: no cover - console convenience
         print("\n" + self.render())
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used for machine-readable baselines)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {column: row.values.get(column) for column in self.columns}
+                for row in self.rows
+            ],
+        }
+
 
 def _render_cell(value: object) -> str:
     if isinstance(value, float):
@@ -86,20 +97,13 @@ class AgreementResult:
         return self.false_positives == 0
 
 
-def compare_with_oracle(
-    query: TwoAtomQuery,
-    algorithm: Callable[[Database], bool],
-    databases: Iterable[Database],
-    oracle: Optional[Callable[[Database], bool]] = None,
-    keep_examples: int = 3,
+def _tally_agreement(
+    outcomes: Iterable[Tuple[Database, bool, bool]], keep_examples: int
 ) -> AgreementResult:
-    """Compare ``algorithm`` against the exact oracle on every database."""
-    oracle = oracle or (lambda database: certain_exact(query, database))
+    """Fold ``(database, expected, answer)`` outcomes into an AgreementResult."""
     total = agreements = false_negatives = false_positives = 0
     examples: List[Database] = []
-    for database in databases:
-        expected = oracle(database)
-        answer = algorithm(database)
+    for database, expected, answer in outcomes:
         total += 1
         if answer == expected:
             agreements += 1
@@ -111,6 +115,47 @@ def compare_with_oracle(
         if len(examples) < keep_examples:
             examples.append(database)
     return AgreementResult(total, agreements, false_negatives, false_positives, examples)
+
+
+def compare_with_oracle(
+    query: TwoAtomQuery,
+    algorithm: Callable[[Database], bool],
+    databases: Iterable[Database],
+    oracle: Optional[Callable[[Database], bool]] = None,
+    keep_examples: int = 3,
+) -> AgreementResult:
+    """Compare ``algorithm`` against the exact oracle on every database."""
+    oracle = oracle or (lambda database: certain_exact(query, database))
+    return _tally_agreement(
+        (
+            (database, oracle(database), algorithm(database))
+            for database in databases
+        ),
+        keep_examples,
+    )
+
+
+def batch_compare_with_oracle(
+    engine,
+    databases: Sequence[Database],
+    oracle: Optional[Callable[[Database], bool]] = None,
+    keep_examples: int = 3,
+) -> AgreementResult:
+    """Compare a batch engine against the exact oracle over a workload.
+
+    ``engine`` must expose ``is_certain_many`` (see
+    :meth:`repro.core.certain.CertainEngine.is_certain_many`); the whole
+    workload is answered in one stream so per-query state is built once.
+    """
+    oracle = oracle or (lambda database: certain_exact(engine.query, database))
+    answers = engine.is_certain_many(databases)
+    return _tally_agreement(
+        (
+            (database, oracle(database), answer)
+            for database, answer in zip(databases, answers)
+        ),
+        keep_examples,
+    )
 
 
 def timed(function: Callable[[], object]) -> Tuple[object, float]:

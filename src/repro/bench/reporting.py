@@ -9,8 +9,9 @@ text summary that EXPERIMENTS.md references.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from .harness import ExperimentReport
 
@@ -34,6 +35,17 @@ class ReportCollector:
         path = Path(path)
         path.write_text(self.render() + "\n", encoding="utf-8")
         return path
+
+    def write_json(self, path: PathLike) -> Path:
+        return write_json(path, self.reports)
+
+
+def write_json(path: PathLike, reports: Iterable[ExperimentReport]) -> Path:
+    """Write reports as a JSON baseline (pretty-printed, stable key order)."""
+    path = Path(path)
+    payload = {"reports": [report.to_dict() for report in reports]}
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
 
 
 #: Module-level collector shared by a benchmark session.

@@ -49,11 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument("--depth", type=int, default=4,
                                  help="tripath search depth (default 4)")
 
-    certain_parser = subparsers.add_parser("certain", help="certain answer over a CSV relation")
+    certain_parser = subparsers.add_parser("certain", help="certain answer over CSV relations")
     certain_parser.add_argument("query", help="the two-atom query")
-    certain_parser.add_argument("csv", help="CSV file with one column per position")
+    certain_parser.add_argument("csv", nargs="+",
+                                help="CSV file(s) with one column per position; several "
+                                "files are answered in one batch, reusing the engine")
     certain_parser.add_argument("--no-header", action="store_true",
-                                help="the CSV file has no header row")
+                                help="the CSV files have no header row")
     certain_parser.add_argument("--witness", action="store_true",
                                 help="print a falsifying repair when the query is not certain")
 
@@ -84,7 +86,8 @@ def _parse_query_argument(text: str) -> TwoAtomQuery:
 
 def _load_database(args) -> Database:
     query = _parse_query_argument(args.query)
-    return load_csv(args.csv, query.schema, has_header=not args.no_header)
+    path = args.csv[0] if isinstance(args.csv, list) else args.csv
+    return load_csv(path, query.schema, has_header=not args.no_header)
 
 
 def _run_classify(args) -> int:
@@ -106,8 +109,10 @@ def _run_classify(args) -> int:
 
 def _run_certain(args) -> int:
     query = _parse_query_argument(args.query)
-    database = _load_database(args)
     engine = CertainEngine(query)
+    if len(args.csv) > 1:
+        return _run_certain_batch(args, query, engine)
+    database = _load_database(args)
     report = engine.explain(database)
     print(f"query     : {query}")
     print(f"database  : {database.describe()}")
@@ -118,6 +123,28 @@ def _run_certain(args) -> int:
         print("falsifying repair:")
         for fact in witness:
             print(f"  {fact}")
+    return 0
+
+
+def _run_certain_batch(args, query: TwoAtomQuery, engine: CertainEngine) -> int:
+    """Answer one query over many CSV files with a single engine instance."""
+    databases = [
+        load_csv(path, query.schema, has_header=not args.no_header) for path in args.csv
+    ]
+    reports = engine.explain_many(databases)
+    print(f"query     : {query}")
+    print(f"batch     : {len(reports)} databases")
+    for path, database, report in zip(args.csv, databases, reports):
+        print(f"  {path}: certain={report.certain} "
+              f"[{report.algorithm}] {database.describe()}")
+    if args.witness:
+        for path, database, report in zip(args.csv, databases, reports):
+            if report.certain:
+                continue
+            witness = find_falsifying_repair(query, database)
+            print(f"falsifying repair for {path}:")
+            for fact in witness:
+                print(f"  {fact}")
     return 0
 
 

@@ -16,7 +16,7 @@ Three exact ways of deciding ``certain(q)`` are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Iterator, List, Optional
 
 from ..db.fact_store import Database, Repair
 from ..db.repairs import iter_repairs
@@ -165,6 +165,29 @@ class CertainEngine:
             "SAT oracle (confirming a negative polynomial-algorithm answer)",
             True,
         )
+
+    # ------------------------------------------------------------------ #
+    # batch API
+    # ------------------------------------------------------------------ #
+    def explain_many(self, databases: Iterable[Database]) -> List[EngineReport]:
+        """Answer ``certain(q)`` for a batch of databases.
+
+        The engine state built once per query — the classification, the
+        ``Cert_k`` runners, the matching runner and their atom matchers — is
+        reused across the whole stream; per-database derived structures (the
+        solution graph feeding both ``Cert_k`` and ``matching``) are cached
+        on each database, so the two polynomial algorithms share one build.
+        """
+        return list(self.explain_stream(databases))
+
+    def explain_stream(self, databases: Iterable[Database]) -> Iterator[EngineReport]:
+        """Lazy variant of :meth:`explain_many` for long streams."""
+        for database in databases:
+            yield self.explain(database)
+
+    def is_certain_many(self, databases: Iterable[Database]) -> List[bool]:
+        """Boolean wrapper for :meth:`explain_many`."""
+        return [report.certain for report in self.explain_stream(databases)]
 
     def paper_polynomial_answer(self, database: Database) -> bool:
         """The answer of the paper's polynomial algorithm ``Cert_k ∨ ¬matching``.

@@ -56,8 +56,19 @@ class MatchingAlgorithm:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def run(self, database: Database) -> MatchingResult:
-        graph = build_solution_graph(self.query, database)
+    def run(
+        self, database: Database, graph: Optional[SolutionGraph] = None
+    ) -> MatchingResult:
+        """Run ``matching(q)``.
+
+        ``graph`` optionally injects a precomputed solution graph (used by
+        the differential tests to drive the algorithm off the naive
+        construction); by default the index-built, database-cached graph is
+        used, so consecutive runs over an unchanged database — e.g. after
+        ``Cert_k`` within the engine — share one build.
+        """
+        if graph is None:
+            graph = build_solution_graph(self.query, database)
         cliques = self._cliques(graph)
         bipartite = self._build_bipartite(database, graph, cliques)
         matching = maximum_matching(bipartite)
@@ -111,7 +122,7 @@ class MatchingAlgorithm:
             bipartite.add_right(clique)
         for block in database.blocks():
             for fact in block.facts:
-                if self.query.is_self_solution(fact):
+                if fact in graph.self_loops:
                     continue
                 bipartite.add_edge(block.block_id, cliques[fact])
         return bipartite

@@ -24,9 +24,14 @@ from dataclasses import dataclass
 from itertools import permutations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..eval.fact_index import FactIndex
+from ..eval.matcher import AtomMatcher
 from .terms import Atom, Element, Fact, RelationSchema
 
 _ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^)]*)\)\s*")
+
+#: Below this many facts the all-pairs scan beats building a transient index.
+_INDEX_THRESHOLD = 16
 
 
 def parse_atom(text: str, schema: Optional[RelationSchema] = None) -> Atom:
@@ -182,7 +187,23 @@ class TwoAtomQuery:
         return self.find_solution(facts) is not None
 
     def find_solution(self, facts: Iterable[Fact]) -> Optional[Tuple[Fact, Fact]]:
-        """Return one solution ``(a, b)`` with ``q(a b)``, or ``None``."""
+        """Return one solution ``(a, b)`` with ``q(a b)``, or ``None``.
+
+        Large inputs are evaluated through a hash index on the positions of
+        ``B`` bound by ``vars(A)`` (the database's persistent index when
+        available, a transient one otherwise); the result — including which
+        solution is reported first — is identical to the seed all-pairs scan.
+        """
+        for solution in self._iter_solutions(facts):
+            return solution
+        return None
+
+    def solutions(self, facts: Iterable[Fact]) -> List[Tuple[Fact, Fact]]:
+        """All ordered solutions ``(a, b)`` of ``q`` within ``facts`` (the paper's q(D))."""
+        return list(self._iter_solutions(facts))
+
+    def find_solution_naive(self, facts: Iterable[Fact]) -> Optional[Tuple[Fact, Fact]]:
+        """The seed all-pairs search (differential-testing oracle)."""
         materialised = list(facts)
         for first in materialised:
             partials = self._partial_assignments_a(first)
@@ -193,8 +214,8 @@ class TwoAtomQuery:
                     return (first, second)
         return None
 
-    def solutions(self, facts: Iterable[Fact]) -> List[Tuple[Fact, Fact]]:
-        """All ordered solutions ``(a, b)`` of ``q`` within ``facts`` (the paper's q(D))."""
+    def solutions_naive(self, facts: Iterable[Fact]) -> List[Tuple[Fact, Fact]]:
+        """The seed all-pairs enumeration (differential-testing oracle)."""
         materialised = list(facts)
         found: List[Tuple[Fact, Fact]] = []
         for first in materialised:
@@ -205,6 +226,43 @@ class TwoAtomQuery:
                 if self._extends_to_b(partials, second):
                     found.append((first, second))
         return found
+
+    def _iter_solutions(self, facts: Iterable[Fact]):
+        """Ordered solutions, enumerated in the seed's deterministic order.
+
+        Every fact extending an assignment shares its projection on the bound
+        positions of ``B``, so the probed bucket contains all partners of a
+        given ``first`` in insertion order — the enumeration is exactly the
+        (first, second) sequence of the naive nested scan.  Inputs containing
+        duplicate facts fall back to that scan outright (the index holds each
+        fact once, while the seed semantics count every occurrence).
+        """
+        index = getattr(facts, "index", None)
+        if isinstance(index, FactIndex):
+            materialised = list(facts)
+        else:
+            index = None
+            materialised = facts if isinstance(facts, list) else list(facts)
+            if len(materialised) >= _INDEX_THRESHOLD:
+                index = FactIndex(materialised)
+                if len(index) != len(materialised):  # duplicates: scan instead
+                    index = None
+        if index is None:
+            for first in materialised:
+                partials = self._partial_assignments_a(first)
+                if not partials:
+                    continue
+                for second in materialised:
+                    if self._extends_to_b(partials, second):
+                        yield (first, second)
+            return
+        matcher = AtomMatcher(self.atom_b, self.atom_a.all_variables)
+        for first in materialised:
+            assignment = self.atom_a.match(first)
+            if assignment is None:
+                continue
+            for second in matcher.matches(index, assignment):
+                yield (first, second)
 
     def _partial_assignments_a(self, fact: Fact) -> Optional[Dict[str, Element]]:
         return self.atom_a.match(fact)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from ..db.fact_store import Database
+from ..eval.matcher import AtomMatcher
 from ..graphs.components import UnionFind
 from .query import TwoAtomQuery
 from .terms import Fact
@@ -91,23 +92,88 @@ class SolutionGraph:
         raise KeyError(f"fact {fact} does not belong to the graph")
 
 
+def solution_graph_cache_key(query: TwoAtomQuery) -> Tuple[str, TwoAtomQuery]:
+    """The :meth:`Database.cached` key under which ``G(D, q)`` is stored.
+
+    Exposed so that producers other than :func:`build_solution_graph` (e.g.
+    the SQLite backend pushing solution pairs down to SQL) can prime the
+    cache with an equivalent graph.
+    """
+    return ("solution_graph", query)
+
+
 def build_solution_graph(query: TwoAtomQuery, database: Database) -> SolutionGraph:
-    """Compute ``G(D, q)`` together with directed solutions and self-loops."""
-    facts = database.facts()
-    graph = SolutionGraph(facts=facts, edges={fact: set() for fact in facts})
-    for first in facts:
-        assignment = query.atom_a.match(first)
-        if assignment is None:
-            continue
-        for second in facts:
-            if query._extends_to_b(assignment, second):
-                graph.directed.add((first, second))
-                if first == second:
-                    graph.self_loops.add(first)
-                else:
-                    graph.edges[first].add(second)
-                    graph.edges[second].add(first)
+    """Compute ``G(D, q)`` together with directed solutions and self-loops.
+
+    The graph is found by probing the database's incremental hash index: for
+    every fact matching atom ``A``, the candidate partners for atom ``B`` are
+    fetched by a single bucket lookup on the positions bound by ``vars(A)``
+    instead of a scan over all facts.  The result is cached on the database
+    (invalidated by its version counter), so the fixpoint algorithm, the
+    matching algorithm and the component decomposition all share one build.
+    """
+    return database.cached(
+        solution_graph_cache_key(query),
+        lambda db: _build_solution_graph_indexed(query, db),
+    )
+
+
+def solution_graph_from_pairs(
+    facts: Iterable[Fact], pairs: Iterable[Tuple[Fact, Fact]]
+) -> SolutionGraph:
+    """Assemble ``G(D, q)`` from the ordered solution pairs ``q(D)``.
+
+    The single accretion point shared by the indexed builder, the naive
+    oracle and the SQLite pushdown — all three only differ in how the pairs
+    are produced.
+    """
+    materialised = list(facts)
+    graph = SolutionGraph(facts=materialised, edges={fact: set() for fact in materialised})
+    for first, second in pairs:
+        graph.directed.add((first, second))
+        if first == second:
+            graph.self_loops.add(first)
+        else:
+            graph.edges[first].add(second)
+            graph.edges[second].add(first)
     return graph
+
+
+def _build_solution_graph_indexed(query: TwoAtomQuery, database: Database) -> SolutionGraph:
+    facts = database.facts()
+    index = database.index
+    matcher = AtomMatcher(query.atom_b, query.atom_a.all_variables)
+    atom_a = query.atom_a
+
+    def pairs():
+        for first in facts:
+            assignment = atom_a.match(first)
+            if assignment is None:
+                continue
+            for second in matcher.matches(index, assignment):
+                yield first, second
+
+    return solution_graph_from_pairs(facts, pairs())
+
+
+def build_solution_graph_naive(query: TwoAtomQuery, database: Database) -> SolutionGraph:
+    """The seed all-pairs construction of ``G(D, q)``.
+
+    Kept as the differential-testing oracle for :func:`build_solution_graph`;
+    quadratic in the number of facts.
+    """
+    facts = database.facts()
+
+    def pairs():
+        for first in facts:
+            assignment = query.atom_a.match(first)
+            if assignment is None:
+                continue
+            for second in facts:
+                if query._extends_to_b(assignment, second):
+                    yield first, second
+
+    return solution_graph_from_pairs(facts, pairs())
 
 
 def q_connected_block_components(

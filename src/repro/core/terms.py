@@ -138,7 +138,13 @@ class Atom:
 
 @dataclass(frozen=True)
 class Fact:
-    """A fact ``R(e1, ..., ek)`` whose entries are elements (constants)."""
+    """A fact ``R(e1, ..., ek)`` whose entries are elements (constants).
+
+    Facts are hashed and grouped into blocks on every hot path of the
+    algorithm stack, so both the hash and the block identifier are computed
+    once at construction time and cached (the dataclass is frozen, hence the
+    ``object.__setattr__`` escape hatch).
+    """
 
     schema: RelationSchema
     values: Tuple[Element, ...]
@@ -149,6 +155,25 @@ class Fact:
                 f"fact over {self.schema.describe()} needs "
                 f"{self.schema.arity} values, got {len(self.values)}"
             )
+        object.__setattr__(self, "_hash", hash((self.schema, self.values)))
+        object.__setattr__(
+            self, "_block_id", (self.schema.name, self.values[: self.schema.key_size])
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __getstate__(self):
+        # Exclude the cached hash/block id: str hashing is randomised per
+        # process, so a pickled hash would be stale in the receiving process
+        # (silently breaking set/dict membership).  Recompute on load.
+        return (self.schema, self.values)
+
+    def __setstate__(self, state) -> None:
+        schema, values = state
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "values", values)
+        self.__post_init__()
 
     def __getitem__(self, position: int) -> Element:
         return self.values[position]
@@ -173,8 +198,8 @@ class Fact:
         return self.schema == other.schema and self.key_tuple == other.key_tuple
 
     def block_id(self) -> Tuple[str, Tuple[Element, ...]]:
-        """Identifier of the block this fact belongs to."""
-        return (self.schema.name, self.key_tuple)
+        """Identifier of the block this fact belongs to (cached)."""
+        return self._block_id
 
     def __str__(self) -> str:
         key = ",".join(map(_render_element, self.key_tuple))

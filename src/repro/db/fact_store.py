@@ -4,25 +4,66 @@ A database is a finite set of facts (Section 2).  Facts sharing the same key
 form a *block*; a *repair* picks exactly one fact from every block.  The
 :class:`Database` class is the central substrate used by every algorithm in
 the library.
+
+Beyond the set semantics, the class maintains evaluation infrastructure
+incrementally on every mutation:
+
+* a :class:`~repro.eval.fact_index.FactIndex` (schema and position-pattern
+  hash indexes) that the indexed evaluation layer probes instead of scanning
+  all facts;
+* a *version counter* bumped on every successful ``add``/``remove``, used to
+  invalidate derived structures;
+* a keyed cache of derived structures (e.g. the solution graph of a query)
+  validated against the version counter, so repeated algorithm runs over an
+  unchanged database reuse their shared intermediate results.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.terms import Element, Fact, RelationSchema
+from ..eval.fact_index import FactIndex
 
 BlockId = Tuple[str, Tuple[Element, ...]]
 
 
-@dataclass
 class Block:
-    """A maximal set of key-equal facts."""
+    """A maximal set of key-equal facts.
 
-    block_id: BlockId
-    facts: List[Fact] = field(default_factory=list)
+    Facts are stored in an insertion-ordered dict so that membership tests
+    and removals are O(1) while enumeration order stays deterministic.  The
+    :attr:`facts` property exposes them as a cached tuple: read access stays
+    cheap on the hot paths that index into blocks repeatedly, and attempts
+    to mutate the sequence fail loudly instead of silently bypassing the
+    database's indexes (mutations must go through :class:`Database`).
+    """
+
+    __slots__ = ("block_id", "_facts", "_facts_view")
+
+    def __init__(self, block_id: BlockId, facts: Iterable[Fact] = ()) -> None:
+        self.block_id = block_id
+        self._facts: Dict[Fact, None] = dict.fromkeys(facts)
+        self._facts_view: Optional[Tuple[Fact, ...]] = None
+
+    @property
+    def facts(self) -> Tuple[Fact, ...]:
+        if self._facts_view is None:
+            self._facts_view = tuple(self._facts)
+        return self._facts_view
 
     @property
     def key_tuple(self) -> Tuple[Element, ...]:
@@ -30,20 +71,31 @@ class Block:
 
     @property
     def size(self) -> int:
-        return len(self.facts)
+        return len(self._facts)
 
     def is_consistent(self) -> bool:
         """A block is consistent when it contains a single fact."""
-        return len(self.facts) == 1
+        return len(self._facts) == 1
+
+    def _add(self, fact: Fact) -> None:
+        self._facts[fact] = None
+        self._facts_view = None
+
+    def _discard(self, fact: Fact) -> None:
+        self._facts.pop(fact, None)
+        self._facts_view = None
 
     def __iter__(self) -> Iterator[Fact]:
-        return iter(self.facts)
+        return iter(self._facts)
 
     def __len__(self) -> int:
-        return len(self.facts)
+        return len(self._facts)
 
     def __contains__(self, fact: Fact) -> bool:
-        return fact in self.facts
+        return fact in self._facts
+
+    def __repr__(self) -> str:
+        return f"Block(block_id={self.block_id!r}, facts={self.facts!r})"
 
 
 class Database:
@@ -58,6 +110,9 @@ class Database:
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._facts: "OrderedDict[Fact, None]" = OrderedDict()
         self._blocks: "OrderedDict[BlockId, Block]" = OrderedDict()
+        self._index = FactIndex()
+        self._version = 0
+        self._derived: Dict[Hashable, Tuple[int, object]] = {}
         for fact in facts:
             self.add(fact)
 
@@ -73,7 +128,9 @@ class Database:
         if block is None:
             block = Block(fact.block_id())
             self._blocks[fact.block_id()] = block
-        block.facts.append(fact)
+        block._add(fact)
+        self._index.add(fact)
+        self._bump_version()
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -86,9 +143,11 @@ class Database:
             return False
         del self._facts[fact]
         block = self._blocks[fact.block_id()]
-        block.facts.remove(fact)
-        if not block.facts:
+        block._discard(fact)
+        if not len(block):
             del self._blocks[fact.block_id()]
+        self._index.discard(fact)
+        self._bump_version()
         return True
 
     def copy(self) -> "Database":
@@ -100,6 +159,42 @@ class Database:
         for database in databases:
             merged.add_all(database.facts())
         return merged
+
+    # ------------------------------------------------------------------ #
+    # indexing and derived-structure caching
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> FactIndex:
+        """The incrementally maintained hash index over the facts."""
+        return self._index
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every successful mutation."""
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        if self._derived:
+            self._derived.clear()
+
+    def cached(self, key: Hashable, builder: Callable[["Database"], object]) -> object:
+        """Return the derived structure for ``key``, rebuilding when stale.
+
+        ``builder`` receives the database and its result is cached until the
+        next mutation.  Keys must be hashable and should identify both the
+        structure and its parameters (e.g. ``("solution_graph", query)``).
+        """
+        entry = self._derived.get(key)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        value = builder(self)
+        self._derived[key] = (self._version, value)
+        return value
+
+    def prime_cache(self, key: Hashable, value: object) -> None:
+        """Install a precomputed derived structure (e.g. pushed down from SQL)."""
+        self._derived[key] = (self._version, value)
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -139,7 +234,7 @@ class Database:
     def block_of(self, fact: Fact) -> Block:
         """The block containing ``fact``."""
         block = self._blocks.get(fact.block_id())
-        if block is None or fact not in block.facts:
+        if block is None or fact not in block:
             raise KeyError(f"fact {fact} is not in the database")
         return block
 
@@ -197,7 +292,7 @@ class Database:
         """Multi-line rendering grouped by block."""
         lines = []
         for block in self._blocks.values():
-            rendered = ", ".join(str(fact) for fact in block.facts)
+            rendered = ", ".join(str(fact) for fact in block)
             lines.append(f"  block {block.key_tuple}: {rendered}")
         return "\n".join(lines)
 

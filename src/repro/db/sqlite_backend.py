@@ -14,42 +14,106 @@ lives in a database file.  It provides:
   :class:`~repro.db.fact_store.Database` so that any of the certain-answer
   algorithms can run on top of SQLite-resident data.
 
-Elements are stored as text; composite elements (tuples created by the
-reductions) are serialised to a canonical string form.
+Elements are stored as text with a reversible, canonical serialisation:
+scalars are tagged with their type (``int:42``, ``str:alice``) with the
+delimiter characters escaped, and composite elements (tuples created by the
+reductions) nest recursively (``(int:1|(str:a|str:b))``).  Equal elements
+always produce equal encodings, and the supported scalar types — ``str``,
+``int``, ``bool``, ``float`` and ``None`` — round-trip exactly, so facts
+rehydrated from SQLite compare equal to the facts that were stored.
 """
 
 from __future__ import annotations
 
+import re
 import sqlite3
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.query import TwoAtomQuery
+from ..core.solutions import (
+    SolutionGraph,
+    solution_graph_cache_key,
+    solution_graph_from_pairs,
+)
 from ..core.terms import Element, Fact, RelationSchema
 from .fact_store import Database
 
+#: Characters with structural meaning in the encoding, escaped inside scalars.
+_STRUCTURAL_RE = re.compile(r"[\\()|]")
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _escape(text: str) -> str:
+    return _STRUCTURAL_RE.sub(lambda match: "\\" + match.group(0), text)
+
+
+def _unescape(text: str) -> str:
+    return _UNESCAPE_RE.sub(lambda match: match.group(1), text)
+
 
 def _encode_element(value: Element) -> str:
-    """Serialise an element to text (tuples get a canonical nested rendering)."""
+    """Serialise an element to canonical text (reversible, see module docs)."""
     if isinstance(value, tuple):
         return "(" + "|".join(_encode_element(item) for item in value) + ")"
-    return f"{type(value).__name__}:{value}"
+    return f"{type(value).__name__}:{_escape(str(value))}"
 
 
 def _decode_element(text: str) -> Element:
-    """Best-effort inverse of :func:`_encode_element` for scalar elements.
+    """Exact inverse of :func:`_encode_element`.
 
-    Nested tuples are returned as their canonical string (they round-trip as
-    identifiers, which is all the algorithms need: elements are only ever
-    compared for equality).
+    Tuples decode back to tuples (recursively); scalars are restored from
+    their type tag.  Unknown scalar types decode to their string payload —
+    they were stringified by the encoder, and the algorithms only ever
+    compare elements for equality, so the string form is a faithful
+    identifier as long as it is used consistently on both sides.
     """
-    if text.startswith("("):
-        return text
-    kind, _, payload = text.partition(":")
+    value, position = _parse_element(text, 0)
+    if position != len(text):
+        raise ValueError(f"trailing data in encoded element: {text!r}")
+    return value
+
+
+def _parse_element(text: str, position: int) -> Tuple[Element, int]:
+    if position < len(text) and text[position] == "(":
+        position += 1
+        items: List[Element] = []
+        if position < len(text) and text[position] == ")":
+            return (), position + 1
+        while True:
+            item, position = _parse_element(text, position)
+            items.append(item)
+            if position >= len(text):
+                raise ValueError(f"unterminated tuple in encoded element: {text!r}")
+            if text[position] == "|":
+                position += 1
+                continue
+            if text[position] == ")":
+                return tuple(items), position + 1
+            raise ValueError(f"malformed tuple in encoded element: {text!r}")
+    # Scalar: scan to the next unescaped structural character.
+    start = position
+    while position < len(text):
+        char = text[position]
+        if char == "\\":
+            position += 2
+            continue
+        if char in "|)(":
+            break
+        position += 1
+    token = text[start:position]
+    kind, separator, payload = token.partition(":")
+    if not separator:
+        raise ValueError(f"scalar without type tag in encoded element: {text!r}")
+    payload = _unescape(payload)
     if kind == "int":
-        return int(payload)
+        return int(payload), position
     if kind == "bool":
-        return payload == "True"
-    return payload
+        return payload == "True", position
+    if kind == "float":
+        return float(payload), position
+    if kind == "NoneType":
+        return None, position
+    return payload, position
 
 
 class SqliteFactStore:
@@ -118,6 +182,29 @@ class SqliteFactStore:
     def to_database(self) -> Database:
         return Database(self.fetch_facts())
 
+    def to_indexed_database(self, query: Optional[TwoAtomQuery] = None) -> Database:
+        """Rehydrate into a :class:`Database`, pushing analyses down to SQL.
+
+        When ``query`` is given, the solution pairs are computed by the SQL
+        self-join and installed as the database's cached solution graph, so
+        the downstream algorithms (``Cert_k`` seeding, ``matching``, the
+        component decomposition) skip the in-memory pair discovery entirely.
+        """
+        database = Database(self.fetch_facts())
+        if query is not None:
+            database.prime_cache(
+                solution_graph_cache_key(query), self.solution_graph(query, database)
+            )
+        return database
+
+    def solution_graph(
+        self, query: TwoAtomQuery, database: Optional[Database] = None
+    ) -> SolutionGraph:
+        """``G(D, q)`` assembled from the SQL self-join's solution pairs."""
+        if database is None:
+            database = Database(self.fetch_facts())
+        return solution_graph_from_pairs(database.facts(), self.evaluate_query(query))
+
     def close(self) -> None:
         self.connection.close()
 
@@ -143,6 +230,16 @@ class SqliteFactStore:
 
     def inconsistent_block_count(self) -> int:
         return sum(1 for size in self.block_sizes().values() if size > 1)
+
+    def stats(self) -> Dict[str, int]:
+        """Database shape computed entirely in SQL (no fact rehydration)."""
+        sizes = self.block_sizes()
+        return {
+            "facts": sum(sizes.values()),
+            "blocks": len(sizes),
+            "max_block": max(sizes.values(), default=0),
+            "inconsistent_blocks": sum(1 for size in sizes.values() if size > 1),
+        }
 
     def evaluate_query(self, query: TwoAtomQuery, limit: Optional[int] = None) -> List[Tuple[Fact, Fact]]:
         """All ordered solutions of ``query`` computed with a SQL self-join."""
@@ -210,14 +307,42 @@ def certain_answer_via_sqlite(
     query: TwoAtomQuery,
     store: SqliteFactStore,
     engine_factory=None,
+    pushdown: bool = True,
 ) -> bool:
     """End-to-end pipeline: facts in SQLite → in-memory algorithms → certain(q).
 
     ``engine_factory`` defaults to :class:`repro.core.certain.CertainEngine`;
-    it receives the query and must expose ``is_certain(database)``.
+    it receives the query and must expose ``is_certain(database)``.  With
+    ``pushdown`` (the default) the solution pairs are computed by the SQL
+    self-join and fed straight into the database's solution-graph cache
+    instead of being rediscovered in memory.
     """
     from ..core.certain import CertainEngine
 
-    database = store.to_database()
+    database = store.to_indexed_database(query) if pushdown else store.to_database()
     engine = (engine_factory or CertainEngine)(query)
     return engine.is_certain(database)
+
+
+def certain_answers_via_sqlite(
+    query: TwoAtomQuery,
+    stores: Iterable[SqliteFactStore],
+    engine_factory=None,
+    pushdown: bool = True,
+) -> List[bool]:
+    """Batch pipeline over many stores, reusing one engine for the query.
+
+    The engine's per-query state (classification, ``Cert_k`` runners,
+    matching) is built once and the stores are rehydrated lazily, one at a
+    time, so a long batch never holds more than one database in memory.
+    """
+    from ..core.certain import CertainEngine
+
+    engine = (engine_factory or CertainEngine)(query)
+    databases = (
+        store.to_indexed_database(query) if pushdown else store.to_database()
+        for store in stores
+    )
+    if hasattr(engine, "is_certain_many"):
+        return engine.is_certain_many(databases)
+    return [engine.is_certain(database) for database in databases]

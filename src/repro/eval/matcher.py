@@ -1,0 +1,89 @@
+"""Index-driven matching of one query atom under a partial assignment.
+
+Solution discovery for a two-atom query ``q = A B`` proceeds in two steps:
+match ``A`` against a fact (producing an assignment of ``vars(A)``) and find
+every fact that extends the assignment to ``B``.  The naive substrate scans
+all facts for the second step; :class:`AtomMatcher` instead derives, once per
+query, the positions of ``B`` whose variable is bound by ``vars(A)`` and
+probes a :class:`~repro.eval.fact_index.FactIndex` with the corresponding
+values.  Every fact that extends the assignment necessarily lies in the
+probed bucket, so the lookup is complete; a cheap verification pass rejects
+bucket members that violate repeated-variable constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..core.terms import Atom, Element, Fact
+from .fact_index import FactIndex
+
+Assignment = Dict[str, Element]
+
+
+class AtomMatcher:
+    """Finds facts matching ``atom`` given assignments of ``context_variables``.
+
+    ``context_variables`` is the set of variables bound before the probe —
+    for the second atom of a two-atom query this is ``vars(A)``.  One
+    position per bound variable is enough for the index key; any further
+    occurrences (repeated variables) are checked by :meth:`verify`.
+    """
+
+    def __init__(self, atom: Atom, context_variables: Iterable[str]) -> None:
+        self.atom = atom
+        self.schema = atom.schema
+        bound = set(context_variables) & set(atom.variables)
+        positions: List[int] = []
+        probe_variables: List[str] = []
+        seen = set()
+        for position, variable in enumerate(atom.variables):
+            if variable in bound and variable not in seen:
+                positions.append(position)
+                probe_variables.append(variable)
+                seen.add(variable)
+        self.positions: Tuple[int, ...] = tuple(positions)
+        self.probe_variables: Tuple[str, ...] = tuple(probe_variables)
+
+    # ------------------------------------------------------------------ #
+    # probing
+    # ------------------------------------------------------------------ #
+    def probe_key(self, assignment: Assignment) -> Tuple[Element, ...]:
+        """The index key selecting facts compatible with ``assignment``."""
+        return tuple(assignment[variable] for variable in self.probe_variables)
+
+    def candidates(self, index: FactIndex, assignment: Assignment) -> List[Fact]:
+        """Bucket of facts that may extend ``assignment`` (superset-complete)."""
+        return index.lookup(self.schema.name, self.positions, self.probe_key(assignment))
+
+    def verify(self, assignment: Assignment, fact: Fact) -> bool:
+        """Whether ``fact`` truly extends ``assignment`` to this atom.
+
+        Mirrors :meth:`repro.core.query.TwoAtomQuery._extends_to_b`: bound
+        variables must agree with the assignment and repeated variables must
+        agree with themselves.
+        """
+        if fact.schema != self.schema:
+            return False
+        seen: Assignment = {}
+        for variable, value in zip(self.atom.variables, fact.values):
+            if variable in assignment and assignment[variable] != value:
+                return False
+            if variable in seen and seen[variable] != value:
+                return False
+            seen[variable] = value
+        return True
+
+    def matches(self, index: FactIndex, assignment: Assignment) -> Iterator[Fact]:
+        """Facts extending ``assignment``, in index (insertion) order."""
+        for fact in self.candidates(index, assignment):
+            if self.verify(assignment, fact):
+                yield fact
+
+
+def iter_atom_matches(index: FactIndex, atom: Atom) -> Iterator[Tuple[Fact, Assignment]]:
+    """Every ``(fact, assignment)`` with ``atom.match(fact) == assignment``."""
+    for fact in index.facts_of(atom.schema.name):
+        assignment = atom.match(fact)
+        if assignment is not None:
+            yield fact, assignment

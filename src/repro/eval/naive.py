@@ -1,0 +1,57 @@
+"""The seed (pre-index) implementations, collected as differential oracles.
+
+Every algorithm rewritten against the indexed evaluation layer keeps its
+original quadratic implementation, exported here under one roof so that the
+differential test-suite and the ``bench_indexed_vs_naive`` benchmark can pit
+the two code paths against each other:
+
+* :func:`build_solution_graph_naive` — all-pairs solution graph;
+* :class:`NaiveCertK` — full ``combinations``-based candidate enumeration
+  with whole-space re-scans per fixpoint pass;
+* :func:`find_solution_naive` / :func:`solutions_naive` — nested-loop query
+  evaluation;
+* :func:`matching_naive` — ``matching(q)`` driven off the naive graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.certk import NaiveCertK
+from ..core.matching import MatchingAlgorithm, MatchingResult
+from ..core.query import TwoAtomQuery
+from ..core.solutions import SolutionGraph, build_solution_graph_naive
+from ..core.terms import Fact
+from ..db.fact_store import Database
+
+__all__ = [
+    "NaiveCertK",
+    "build_solution_graph_naive",
+    "cert_k_naive",
+    "find_solution_naive",
+    "solutions_naive",
+    "matching_naive",
+]
+
+
+def cert_k_naive(query: TwoAtomQuery, database: Database, k: int = 2) -> bool:
+    """``D |= Cert_k(q)`` through the seed fixpoint implementation."""
+    return NaiveCertK(query, k).is_certain(database)
+
+
+def find_solution_naive(
+    query: TwoAtomQuery, facts: Iterable[Fact]
+) -> Optional[Tuple[Fact, Fact]]:
+    """One ordered solution through the seed nested scan."""
+    return query.find_solution_naive(facts)
+
+
+def solutions_naive(query: TwoAtomQuery, facts: Iterable[Fact]) -> List[Tuple[Fact, Fact]]:
+    """All ordered solutions through the seed nested scan."""
+    return query.solutions_naive(facts)
+
+
+def matching_naive(query: TwoAtomQuery, database: Database) -> MatchingResult:
+    """``matching(q)`` computed over the naive all-pairs solution graph."""
+    graph = build_solution_graph_naive(query, database)
+    return MatchingAlgorithm(query).run(database, graph=graph)

@@ -62,6 +62,32 @@ class TestCertainCommand:
         assert "falsifying repair" in output
         assert "Assignment(" in output
 
+    def test_certain_batch_over_many_csvs(self, capsys, hr_csv, tmp_path):
+        certain_path = tmp_path / "certain.csv"
+        certain_path.write_text(
+            "employee,manager,project\n"
+            "alice,bob,apollo\n"
+            "bob,alice,apollo\n",
+            encoding="utf-8",
+        )
+        assert main(["certain", HR_QUERY, hr_csv, str(certain_path)]) == 0
+        output = capsys.readouterr().out
+        assert "batch     : 2 databases" in output
+        assert "certain=False" in output and "certain=True" in output
+
+    def test_certain_batch_with_witness(self, capsys, hr_csv, tmp_path):
+        other = tmp_path / "copy.csv"
+        other.write_text(
+            "employee,manager,project\n"
+            "alice,bob,apollo\n"
+            "alice,carol,hermes\n"
+            "bob,dave,zephyr\n",
+            encoding="utf-8",
+        )
+        assert main(["certain", HR_QUERY, hr_csv, str(other), "--witness"]) == 0
+        output = capsys.readouterr().out
+        assert "falsifying repair for" in output
+
 
 class TestSupportCommand:
     def test_support_over_csv(self, capsys, hr_csv):

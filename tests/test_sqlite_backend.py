@@ -37,6 +37,46 @@ class TestElementEncoding:
         other = _encode_element(("x", 2))
         assert first == second != other
 
+    @pytest.mark.parametrize(
+        "value",
+        [
+            True,
+            False,
+            3.25,
+            None,
+            ("x", 1),
+            (),
+            ((),),
+            ("pair", (1, (2, "deep"))),
+            (("v", 1, True), ("c", 2, False)),
+        ],
+    )
+    def test_composite_round_trip(self, value):
+        assert _decode_element(_encode_element(value)) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        ["with|pipe", "with(paren", "close)paren", "back\\slash", "colon:tag", "(|)\\"],
+    )
+    def test_adversarial_strings_round_trip(self, value):
+        assert _decode_element(_encode_element(value)) == value
+        assert _decode_element(_encode_element((value, value))) == (value, value)
+
+    def test_encoding_is_injective_on_nesting(self):
+        # ("a", "b") and (("a", "b"),) must not collide.
+        assert _encode_element(("a", "b")) != _encode_element((("a", "b"),))
+
+    def test_composite_facts_round_trip_through_store(self):
+        schema = RelationSchema("R", 2, 1)
+        facts = [
+            Fact(schema, ((("v", 1), "t"), ("w|eird", 0))),
+            Fact(schema, ((("v", 2), "f"), None)),
+        ]
+        with SqliteFactStore(schema) as store:
+            store.insert_facts(facts)
+            fetched = store.fetch_facts()
+        assert set(fetched) == set(facts)
+
 
 class TestStore:
     def test_insert_and_count(self, store, q3):
