@@ -1,0 +1,265 @@
+"""Experiment II — delta maintenance vs full rebuild, sharded vs sequential batch.
+
+Measures the two scaling paths introduced by the delta pipeline PR:
+
+* **II.a — incremental maintenance.**  A mutate-heavy workload (single-fact
+  add/remove over large databases) refreshes the certain answer after every
+  mutation.  The delta path replays the fact delta into the cached solution
+  graph and ``Cert_k`` seed antichain; the rebuild path simulates the PR 1
+  contract by invalidating the derived cache before each refresh.  Both paths
+  answer through the same ``CertK`` runner, and the maintained graph is
+  pinned to a from-scratch build along the way.
+* **II.b — sharded batch answering.**  ``CertainEngine.explain_many`` over a
+  stream of databases, sequential vs ``workers=N``.  Answers must agree
+  exactly; the speedup is recorded (and only asserted when the machine
+  actually has enough cores for parallelism to be physically possible).
+
+Environment knobs (for CI smoke runs): ``BENCH_INCREMENTAL_SIZES``
+(comma-separated fact counts), ``BENCH_INCREMENTAL_MUTATIONS``,
+``BENCH_PARALLEL_DATABASES``, ``BENCH_PARALLEL_WORKERS``.  A JSON baseline is
+written next to this file as ``BENCH_incremental.json`` on default-sized
+runs; ``test_incremental_regression_vs_baseline`` gates smoke runs against
+the committed baseline (>2x speedup regression fails).
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+from repro import CertainEngine, CertK, build_solution_graph, certk_seed_cache_key
+from repro.bench.harness import ExperimentReport, timed
+from repro.bench.reporting import emit, write_json
+from repro.db.generators import random_fact, random_solution_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+_SIZES = tuple(
+    int(token)
+    for token in os.environ.get("BENCH_INCREMENTAL_SIZES", "600,2500").split(",")
+    if token.strip()
+)
+_MUTATIONS = int(os.environ.get("BENCH_INCREMENTAL_MUTATIONS", "40"))
+_PARALLEL_DATABASES = int(os.environ.get("BENCH_PARALLEL_DATABASES", "200"))
+_PARALLEL_WORKERS = int(os.environ.get("BENCH_PARALLEL_WORKERS", "4"))
+
+#: Acceptance threshold of II.a at the largest default size.
+_TARGET_SPEEDUP = 5.0
+#: Regression gate: fail when a smoke run loses more than 2x vs the baseline.
+_REGRESSION_FACTOR = 2.0
+#: The gate threshold is capped at this absolute speedup so that scheduler
+#: noise on a sub-millisecond timed window (shared CI runners) cannot fail
+#: the job — a genuine loss of incrementality collapses toward 1x and still
+#: trips it, comfortably below any healthy baseline ratio.
+_GATE_FLOOR = 5 * _TARGET_SPEEDUP
+
+_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_incremental.json"
+
+_JSON_REPORTS = []
+#: (query, facts) -> measured incremental-vs-rebuild speedup, for the gate.
+_MEASURED_SPEEDUPS = {}
+
+_DEFAULT_SIZED_RUN = not any(
+    knob in os.environ
+    for knob in (
+        "BENCH_INCREMENTAL_SIZES",
+        "BENCH_INCREMENTAL_MUTATIONS",
+        "BENCH_PARALLEL_DATABASES",
+        "BENCH_PARALLEL_WORKERS",
+    )
+)
+
+
+def _workload(query, size: int):
+    rng = random.Random(size)
+    return random_solution_database(
+        query,
+        solution_count=size // 2,
+        noise_count=size // 4,
+        domain_size=max(4, size // 2),
+        rng=rng,
+    )
+
+
+def _graphs_equal(left, right) -> bool:
+    return (
+        left.directed == right.directed
+        and left.self_loops == right.self_loops
+        and set(left.facts) == set(right.facts)
+    )
+
+
+def _mutation_stream(query, database, count, seed):
+    """Deterministic single-fact add/remove mutations (~55% adds)."""
+    rng = random.Random(seed)
+    live = database.facts()
+    produced = 0
+    while produced < count:
+        if live and rng.random() < 0.45:
+            victim = rng.choice(live)
+            live.remove(victim)
+            produced += 1
+            yield ("remove", victim)
+        else:
+            fact = random_fact(query.schema, max(4, len(live)), rng)
+            if fact not in live:
+                live.append(fact)
+                produced += 1
+                yield ("add", fact)
+
+
+def test_incremental_vs_rebuild():
+    report = ExperimentReport(
+        "Experiment II.a — mutate-heavy refresh: delta replay vs cache rebuild",
+        ["query", "facts", "mutations", "incremental (s)", "rebuild (s)", "speedup"],
+    )
+    for name in ("q3", "q6"):
+        query = QUERIES[name]
+        for size in _SIZES:
+            incremental_db = _workload(query, size)
+            rebuild_db = _workload(query, size)
+            assert set(incremental_db.facts()) == set(rebuild_db.facts())
+            runner = CertK(query, 2)
+            maintainer = runner._seed_maintainer
+
+            def refresh(database):
+                """One derived-structure refresh: solution graph + Cert_k seeds."""
+                graph = build_solution_graph(query, database)
+                seeds = database.cached(
+                    certk_seed_cache_key(query), maintainer.build, maintainer=maintainer
+                )
+                return graph, seeds
+
+            refresh(incremental_db)  # warm the delta-maintained caches
+            refresh(rebuild_db)
+            initial_facts = len(incremental_db)  # deterministic per size knob
+            incremental_time = 0.0
+            rebuild_time = 0.0
+            for step, (op, fact) in enumerate(
+                _mutation_stream(query, incremental_db, _MUTATIONS, seed=size)
+            ):
+                for database in (incremental_db, rebuild_db):
+                    (database.add if op == "add" else database.remove)(fact)
+                (graph, seeds), elapsed = timed(lambda: refresh(incremental_db))
+                incremental_time += elapsed
+
+                def refresh_from_scratch():
+                    rebuild_db.invalidate_derived()  # simulate the PR 1 contract
+                    return refresh(rebuild_db)
+
+                (expected_graph, expected_seeds), elapsed = timed(refresh_from_scratch)
+                rebuild_time += elapsed
+                assert _graphs_equal(graph, expected_graph)
+                assert seeds.members == expected_seeds.members
+                if step % 10 == 0:  # untimed end-to-end agreement check
+                    assert (
+                        runner.run(incremental_db).certain
+                        == runner.run(rebuild_db).certain
+                    )
+            speedup = rebuild_time / incremental_time if incremental_time else float("inf")
+            _MEASURED_SPEEDUPS[(name, initial_facts)] = speedup
+            report.add(
+                query=name,
+                facts=initial_facts,
+                mutations=_MUTATIONS,
+                **{
+                    "incremental (s)": f"{incremental_time:.4f}",
+                    "rebuild (s)": f"{rebuild_time:.4f}",
+                    "speedup": f"{speedup:.1f}x",
+                },
+            )
+    emit(report)
+    for (name, size), speedup in _MEASURED_SPEEDUPS.items():
+        if size >= 2500:
+            assert speedup >= _TARGET_SPEEDUP, (
+                f"{name}: expected delta replay >= {_TARGET_SPEEDUP}x over rebuild "
+                f"at {size} facts, got {speedup:.1f}x"
+            )
+    _JSON_REPORTS.append(report)
+
+
+def test_parallel_vs_sequential_batch():
+    query = QUERIES["q3"]
+    engine = CertainEngine(query)
+    databases = [
+        random_solution_database(
+            query,
+            solution_count=60,
+            noise_count=20,
+            domain_size=40,
+            rng=random.Random(1000 + index),
+        )
+        for index in range(_PARALLEL_DATABASES)
+    ]
+    sequential_reports, sequential_time = timed(lambda: engine.explain_many(databases))
+    parallel_reports, parallel_time = timed(
+        lambda: engine.explain_many(databases, workers=_PARALLEL_WORKERS)
+    )
+    assert [report.certain for report in parallel_reports] == [
+        report.certain for report in sequential_reports
+    ]
+    speedup = sequential_time / parallel_time if parallel_time else float("inf")
+    report = ExperimentReport(
+        "Experiment II.b — explain_many: sharded workers vs sequential stream",
+        ["query", "databases", "workers", "cores", "sequential (s)", "parallel (s)", "speedup"],
+    )
+    cores = os.cpu_count() or 1
+    report.add(
+        query="q3",
+        databases=len(databases),
+        workers=_PARALLEL_WORKERS,
+        cores=cores,
+        **{
+            "sequential (s)": f"{sequential_time:.4f}",
+            "parallel (s)": f"{parallel_time:.4f}",
+            "speedup": f"{speedup:.2f}x",
+        },
+    )
+    emit(report)
+    if cores >= _PARALLEL_WORKERS and len(databases) >= 200:
+        assert speedup > 1.0, (
+            f"workers={_PARALLEL_WORKERS} on {cores} cores should beat the "
+            f"sequential stream, got {speedup:.2f}x"
+        )
+    _JSON_REPORTS.append(report)
+
+
+def test_incremental_regression_vs_baseline():
+    """Gate: the measured speedup may not regress >2x vs the committed baseline."""
+    if not _BASELINE_PATH.exists():
+        return
+    baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline_speedups = {}
+    for entry in baseline.get("reports", ()):
+        if "delta replay vs cache rebuild" not in entry.get("title", ""):
+            continue
+        for row in entry.get("rows", ()):
+            speedup_text = str(row.get("speedup", "")).rstrip("x")
+            try:
+                baseline_speedups[(row.get("query"), int(row.get("facts")))] = float(
+                    speedup_text
+                )
+            except (TypeError, ValueError):
+                continue
+    checked = 0
+    for (name, facts), measured in _MEASURED_SPEEDUPS.items():
+        # The workload is deterministic per size knob, so runs at the same
+        # size share the exact initial fact count with the baseline row.
+        reference = baseline_speedups.get((name, facts))
+        if not reference:
+            continue  # no comparable baseline row for this size
+        checked += 1
+        threshold = min(reference / _REGRESSION_FACTOR, _GATE_FLOOR)
+        assert measured >= threshold, (
+            f"{name}@{facts} facts: incremental speedup regressed to "
+            f"{measured:.1f}x (baseline {reference:.1f}x, gate threshold "
+            f"{threshold:.1f}x)"
+        )
+    if _MEASURED_SPEEDUPS:
+        assert checked or not _DEFAULT_SIZED_RUN, "default run must match baseline rows"
+
+
+def teardown_module(module):  # noqa: D103 - pytest hook
+    if _JSON_REPORTS and _DEFAULT_SIZED_RUN:
+        write_json(_BASELINE_PATH, _JSON_REPORTS)

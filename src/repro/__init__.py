@@ -19,6 +19,7 @@ Quickstart::
 """
 
 from .core.approximate import (
+    RepairOracle,
     SupportEstimate,
     estimate_support,
     exact_support,
@@ -33,7 +34,15 @@ from .core.certain import (
     certain_trivial,
     find_falsifying_repair,
 )
-from .core.certk import CertK, CertKResult, NaiveCertK, cert_2, cert_k, delta_k
+from .core.certk import (
+    CertK,
+    CertKResult,
+    NaiveCertK,
+    cert_2,
+    cert_k,
+    certk_seed_cache_key,
+    delta_k,
+)
 from .core.classification import (
     ClassificationResult,
     Complexity,
@@ -82,6 +91,15 @@ from .core.tripath import (
     find_tripath_in_database,
 )
 from .db.fact_store import Block, Database, Repair
+from .eval.deltas import (
+    ADD,
+    REMOVE,
+    CertKSeedMaintainer,
+    DeltaUnsupported,
+    FactDelta,
+    SeedAntichain,
+    SolutionGraphMaintainer,
+)
 from .eval.evaluator import IndexedEvaluator
 from .eval.fact_index import FactIndex
 from .eval.matcher import AtomMatcher
@@ -114,8 +132,12 @@ __all__ = [
     "SqliteFactStore", "certain_answer_via_sqlite", "certain_answers_via_sqlite",
     # indexed evaluation layer
     "FactIndex", "AtomMatcher", "IndexedEvaluator",
+    # delta pipeline
+    "FactDelta", "ADD", "REMOVE", "DeltaUnsupported",
+    "SolutionGraphMaintainer", "SeedAntichain", "CertKSeedMaintainer",
     # algorithms
     "CertK", "CertKResult", "NaiveCertK", "cert_k", "cert_2", "delta_k",
+    "certk_seed_cache_key",
     "MatchingAlgorithm", "MatchingResult", "matching_algorithm", "certain_by_matching",
     "SolutionGraph", "build_solution_graph", "build_solution_graph_naive",
     "q_connected_block_components", "solution_graph_cache_key",
@@ -127,7 +149,8 @@ __all__ = [
     # certain answering
     "CertainEngine", "EngineReport",
     "certain_bruteforce", "certain_exact", "certain_trivial", "find_falsifying_repair",
-    "SupportEstimate", "estimate_support", "exact_support", "probably_certain",
+    "SupportEstimate", "RepairOracle",
+    "estimate_support", "exact_support", "probably_certain",
     # reductions and logic substrate
     "SelfJoinFreeQuery", "SjfComplexity", "sjf", "classify_sjf",
     "reduce_sjf_database", "certain_sjf_bruteforce",

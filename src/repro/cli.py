@@ -24,7 +24,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .core.approximate import estimate_support
-from .core.certain import CertainEngine, find_falsifying_repair
+from .core.certain import CertainEngine, default_worker_count, find_falsifying_repair
 from .core.classification import classify
 from .core.query import TwoAtomQuery, paper_queries, parse_query
 from .core.reduction import ReductionError, sat_reduction
@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="the CSV files have no header row")
     certain_parser.add_argument("--witness", action="store_true",
                                 help="print a falsifying repair when the query is not certain")
+    certain_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                                help="shard a multi-file batch across N worker "
+                                "processes (default: sequential; 0 = one per CPU)")
 
     support_parser = subparsers.add_parser("support", help="estimate the repair support")
     support_parser.add_argument("query", help="the two-atom query")
@@ -131,9 +134,13 @@ def _run_certain_batch(args, query: TwoAtomQuery, engine: CertainEngine) -> int:
     databases = [
         load_csv(path, query.schema, has_header=not args.no_header) for path in args.csv
     ]
-    reports = engine.explain_many(databases)
+    workers = args.workers
+    if workers == 0:
+        workers = default_worker_count()
+    reports = engine.explain_many(databases, workers=workers)
     print(f"query     : {query}")
-    print(f"batch     : {len(reports)} databases")
+    print(f"batch     : {len(reports)} databases"
+          + (f" (sharded over {workers} workers)" if workers and workers > 1 else ""))
     for path, database, report in zip(args.csv, databases, reports):
         print(f"  {path}: certain={report.certain} "
               f"[{report.algorithm}] {database.describe()}")

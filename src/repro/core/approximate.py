@@ -18,6 +18,10 @@ certain and degrades gracefully otherwise.  Computing the support exactly is
 These utilities complement, but never replace, the exact engine: the sampling
 answer is probabilistic whereas :class:`repro.core.certain.CertainEngine` is
 exact.
+
+All three decide per-repair satisfaction through a shared
+:class:`RepairOracle` threaded off the database's cached solution graph, so
+sampled repairs never fall back to the quadratic ``satisfied_by`` scan.
 """
 
 from __future__ import annotations
@@ -25,11 +29,52 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..db.fact_store import Database, Repair
 from ..db.repairs import iter_repairs, sample_repair
 from .query import TwoAtomQuery
+from .solutions import build_solution_graph
+from .terms import Fact
+
+
+class RepairOracle:
+    """Decides ``r |= q`` for repairs of one database without fact scans.
+
+    Built once per ``(query, database)`` off the cached (delta-maintained)
+    solution graph: a repair satisfies the query iff it contains a
+    self-solution fact or both endpoints of a directed solution of ``D`` —
+    solutions inside a repair are exactly the solutions of ``D`` restricted
+    to it.  Each check walks the repair's facts and their solution partners
+    (looked up against the repair's block → chosen-fact map) instead of
+    running the quadratic ``satisfied_by`` scan, so sampling thousands of
+    repairs amortises one graph build.
+    """
+
+    def __init__(self, query: TwoAtomQuery, database: Database) -> None:
+        graph = build_solution_graph(query, database)
+        self.query = query
+        self._self_loops = frozenset(graph.self_loops)
+        self._partners: Dict[Fact, List[Tuple[object, Fact]]] = {}
+        for first, second in graph.directed:
+            if first == second or first.block_id() == second.block_id():
+                # Self-solutions are handled directly; a pair inside one
+                # block can never be chosen together by a repair.
+                continue
+            self._partners.setdefault(first, []).append((second.block_id(), second))
+
+    def satisfied(self, repair: Repair) -> bool:
+        """Whether the repair satisfies the query (equals ``query.satisfied_by``)."""
+        if self._self_loops:
+            for fact in repair:
+                if fact in self._self_loops:
+                    return True
+        chosen = {fact.block_id(): fact for fact in repair}
+        for fact in repair:
+            for block_id, partner in self._partners.get(fact, ()):
+                if chosen.get(block_id) == partner:
+                    return True
+        return False
 
 
 @dataclass(frozen=True)
@@ -58,12 +103,18 @@ class SupportEstimate:
 
 
 def exact_support(query: TwoAtomQuery, database: Database) -> float:
-    """The exact fraction of repairs satisfying the query (exponential time)."""
+    """The exact fraction of repairs satisfying the query (exponential time).
+
+    Exponentially many repairs are enumerated, but each is decided through
+    the shared :class:`RepairOracle` (one solution-graph build) rather than
+    its own ``satisfied_by`` scan.
+    """
+    oracle = RepairOracle(query, database)
     total = 0
     satisfied = 0
     for repair in iter_repairs(database):
         total += 1
-        if query.satisfied_by(repair):
+        if oracle.satisfied(repair):
             satisfied += 1
     if total == 0:  # pragma: no cover - iter_repairs always yields at least one
         return 0.0
@@ -89,11 +140,12 @@ def estimate_support(
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be strictly between 0 and 1")
     rng = rng or random.Random()
+    oracle = RepairOracle(query, database)
     satisfied = 0
     falsifying: Optional[Repair] = None
     for _ in range(samples):
         repair = sample_repair(database, rng)
-        if query.satisfied_by(repair):
+        if oracle.satisfied(repair):
             satisfied += 1
         elif falsifying is None:
             falsifying = repair
@@ -124,8 +176,9 @@ def probably_certain(
     guarantee must use the exact engine.
     """
     rng = rng or random.Random()
+    oracle = RepairOracle(query, database)
     for _ in range(samples):
-        if not query.satisfied_by(sample_repair(database, rng)):
+        if not oracle.satisfied(sample_repair(database, rng)):
             return False
     return True
 

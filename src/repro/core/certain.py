@@ -15,8 +15,11 @@ Three exact ways of deciding ``certain(q)`` are provided:
 
 from __future__ import annotations
 
+import math
+import multiprocessing
+import os
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..db.fact_store import Database, Repair
 from ..db.repairs import iter_repairs
@@ -169,7 +172,12 @@ class CertainEngine:
     # ------------------------------------------------------------------ #
     # batch API
     # ------------------------------------------------------------------ #
-    def explain_many(self, databases: Iterable[Database]) -> List[EngineReport]:
+    def explain_many(
+        self,
+        databases: Iterable[Database],
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[EngineReport]:
         """Answer ``certain(q)`` for a batch of databases.
 
         The engine state built once per query — the classification, the
@@ -177,17 +185,59 @@ class CertainEngine:
         reused across the whole stream; per-database derived structures (the
         solution graph feeding both ``Cert_k`` and ``matching``) are cached
         on each database, so the two polynomial algorithms share one build.
+
+        With ``workers > 1`` the stream is materialised, partitioned into
+        contiguous chunks and sharded across a ``multiprocessing`` pool: the
+        (picklable) engine is shipped once per worker through the pool
+        initialiser and each worker answers its chunks with full engine-state
+        reuse.  Results are merged back in input order, so the parallel mode
+        is a drop-in replacement for the sequential one.  ``chunk_size``
+        overrides the default sharding granularity (``len / (4 * workers)``,
+        at least 1); ``workers`` of ``None``, 0 or 1 stays sequential and
+        lazy per database.
         """
-        return list(self.explain_stream(databases))
+        if not workers or workers <= 1:
+            return list(self.explain_stream(databases))
+        items = list(databases)
+        if len(items) <= 1:
+            return list(self.explain_stream(items))
+        return self._explain_sharded(items, workers, chunk_size)
+
+    def _explain_sharded(
+        self, items: Sequence[Database], workers: int, chunk_size: Optional[int]
+    ) -> List[EngineReport]:
+        if chunk_size is None:
+            # Several chunks per worker smooth over databases of uneven cost
+            # without paying one task dispatch per database.
+            chunk_size = max(1, math.ceil(len(items) / (4 * workers)))
+        chunks = [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
+        processes = min(workers, len(chunks))
+        if processes <= 1:
+            return list(self.explain_stream(items))
+        with multiprocessing.Pool(
+            processes=processes, initializer=_init_pool_worker, initargs=(self,)
+        ) as pool:
+            shard_results = pool.map(_explain_chunk_in_worker, chunks)
+        return [report for shard in shard_results for report in shard]
 
     def explain_stream(self, databases: Iterable[Database]) -> Iterator[EngineReport]:
         """Lazy variant of :meth:`explain_many` for long streams."""
         for database in databases:
             yield self.explain(database)
 
-    def is_certain_many(self, databases: Iterable[Database]) -> List[bool]:
-        """Boolean wrapper for :meth:`explain_many`."""
-        return [report.certain for report in self.explain_stream(databases)]
+    def is_certain_many(
+        self,
+        databases: Iterable[Database],
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[bool]:
+        """Boolean wrapper for :meth:`explain_many` (same ``workers`` contract)."""
+        if not workers or workers <= 1:
+            return [report.certain for report in self.explain_stream(databases)]
+        return [
+            report.certain
+            for report in self.explain_many(databases, workers=workers, chunk_size=chunk_size)
+        ]
 
     def paper_polynomial_answer(self, database: Database) -> bool:
         """The answer of the paper's polynomial algorithm ``Cert_k ∨ ¬matching``.
@@ -198,3 +248,34 @@ class CertainEngine:
         return self._certk.is_certain(database) or self._matching.certain_by_negation(
             database
         )
+
+
+# --------------------------------------------------------------------------- #
+# multiprocessing plumbing for the sharded batch mode
+# --------------------------------------------------------------------------- #
+#: Per-worker engine installed by the pool initialiser, so the engine state is
+#: unpickled once per worker process instead of once per chunk.
+_POOL_ENGINE: Optional[CertainEngine] = None
+
+
+def _init_pool_worker(engine: CertainEngine) -> None:
+    global _POOL_ENGINE
+    _POOL_ENGINE = engine
+
+
+def _explain_chunk_in_worker(databases: Sequence[Database]) -> List[EngineReport]:
+    assert _POOL_ENGINE is not None, "pool worker used before initialisation"
+    return [_POOL_ENGINE.explain(database) for database in databases]
+
+
+def default_worker_count() -> int:
+    """A reasonable ``workers`` value for this machine (used by the CLI).
+
+    Prefers the process's CPU affinity over the raw core count so that
+    cgroup/affinity-limited environments (containers, CI) do not
+    oversubscribe the pool.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)

@@ -19,9 +19,12 @@ sufficient for every example query of the paper on the benchmark workloads.
 Two implementations are provided:
 
 * :class:`CertK` — a worklist/delta-driven fixpoint.  The initial antichain
-  is read off the (index-built, database-cached) solution graph, and each
-  newly inserted minimal set enqueues only the candidate k-sets it can make
-  fire, generated on demand from an inverted fact → stored-set index.
+  is read from a database-cached
+  :class:`~repro.eval.deltas.SeedAntichain` (built off the index-driven,
+  delta-maintained solution graph and itself resumed from fact deltas on
+  mutation), and each newly inserted minimal set enqueues only the candidate
+  k-sets it can make fire, generated on demand from an inverted
+  fact → stored-set index.
   Candidate k-sets that no insertion can ever affect are never materialised,
   so the cost is driven by the size of the fixpoint rather than by the
   ``O(n^k)`` candidate space.
@@ -42,11 +45,22 @@ from itertools import combinations
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.fact_store import Database
+from ..eval.deltas import SeedAntichain, seed_maintainer
 from .query import TwoAtomQuery
-from .solutions import build_solution_graph
 from .terms import Fact
 
 KSet = FrozenSet[Fact]
+
+
+def certk_seed_cache_key(query: TwoAtomQuery) -> Tuple[str, TwoAtomQuery]:
+    """The :meth:`Database.cached` key of the ``Cert_k`` seed antichain.
+
+    The antichain does not depend on ``k`` (``k = 1`` simply ignores the
+    pairs), so one cache slot serves every runner; exposed so that other
+    producers — e.g. the SQLite backend pushing the seeding filter down to
+    SQL — can prime the same slot.
+    """
+    return ("certk_seeds", query)
 
 
 @dataclass
@@ -74,6 +88,7 @@ class CertK:
             raise ValueError("k must be at least 1")
         self.query = query
         self.k = k
+        self._seed_maintainer = seed_maintainer(query)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -97,20 +112,19 @@ class CertK:
     def _initial_delta(self, database: Database) -> Set[KSet]:
         """Minimal k-sets satisfying the query: solution pairs and self-solutions.
 
-        Read off the solution graph, which the database caches across the
-        algorithm stack: self-loops seed singletons, directed solutions over
-        two distinct, non-key-equal facts seed pairs (for ``k >= 2``).
+        Read from the database-cached :class:`SeedAntichain`: self-loops seed
+        singletons, directed solutions over two distinct, non-key-equal facts
+        seed pairs (for ``k >= 2``).  The antichain is built once off the
+        (itself delta-maintained) solution graph and then *resumes from the
+        delta*: a mutation replays only the changed fact's solution pairs
+        through the maintainer instead of re-deriving every seed.
         """
-        graph = build_solution_graph(self.query, database)
-        delta: Set[KSet] = set()
-        for fact in graph.self_loops:
-            delta.add(frozenset((fact,)))
-        if self.k >= 2:
-            for first, second in graph.directed:
-                if first == second or first.key_equal(second):
-                    continue
-                delta.add(frozenset((first, second)))
-        return _minimise(delta)
+        antichain: SeedAntichain = database.cached(
+            certk_seed_cache_key(self.query),
+            self._seed_maintainer.build,
+            maintainer=self._seed_maintainer,
+        )
+        return antichain.snapshot(self.k)
 
 
 class _WorklistFixpoint:

@@ -97,17 +97,13 @@ class MatchingAlgorithm:
     # construction helpers
     # ------------------------------------------------------------------ #
     def _cliques(self, graph: SolutionGraph) -> Dict[Fact, FrozenSet[Fact]]:
-        """The paper's ``clique(a)`` for every fact, computed component-wise."""
-        cliques: Dict[Fact, FrozenSet[Fact]] = {}
-        for component in graph.components():
-            frozen = frozenset(component)
-            if graph.is_quasi_clique(component):
-                for fact in component:
-                    cliques[fact] = frozen
-            else:
-                for fact in component:
-                    cliques[fact] = frozenset((fact,))
-        return cliques
+        """The paper's ``clique(a)`` for every fact.
+
+        Read from the graph's memoised clique map, which consumes graph
+        deltas (additions extend the component union-find incrementally)
+        instead of re-deriving the decomposition on every matching run.
+        """
+        return graph.clique_map()
 
     def _build_bipartite(
         self,

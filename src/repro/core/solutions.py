@@ -10,9 +10,10 @@ phrased in terms of this graph, as are quasi-cliques and clique-databases.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.fact_store import Database
+from ..eval.deltas import FactDelta, graph_maintainer
 from ..eval.matcher import AtomMatcher
 from ..graphs.components import UnionFind
 from .query import TwoAtomQuery
@@ -26,12 +27,24 @@ class SolutionGraph:
     ``edges`` holds the undirected adjacency (``q{a b}``, with ``a != b``),
     ``directed`` the ordered solutions (``q(a b)``), and ``self_loops`` the
     facts ``a`` with ``q(a a)``.
+
+    The graph is a live view when cached on a database: fact deltas are
+    spliced in by :class:`~repro.eval.deltas.SolutionGraphMaintainer` (see
+    :meth:`apply_delta`), and the memoised component/clique decompositions
+    consume those deltas too — edge additions extend the union-find
+    incrementally, removals fall back to a lazy recompute.
     """
 
     facts: List[Fact]
     edges: Dict[Fact, Set[Fact]] = field(default_factory=dict)
     directed: Set[Tuple[Fact, Fact]] = field(default_factory=set)
     self_loops: Set[Fact] = field(default_factory=set)
+    _component_uf: Optional[UnionFind] = field(
+        default=None, repr=False, compare=False
+    )
+    _clique_map: Optional[Dict[Fact, FrozenSet[Fact]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # queries on the graph
@@ -49,12 +62,18 @@ class SolutionGraph:
         return sum(len(adjacent) for adjacent in self.edges.values()) // 2
 
     def components(self) -> List[List[Fact]]:
-        """Connected components of the undirected graph (isolated facts included)."""
-        union_find: UnionFind[Fact] = UnionFind(self.facts)
-        for fact, adjacent in self.edges.items():
-            for other in adjacent:
-                union_find.union(fact, other)
-        return union_find.components()
+        """Connected components of the undirected graph (isolated facts included).
+
+        The underlying union-find is memoised and maintained across fact
+        additions (deltas union the new edges in); removals invalidate it.
+        """
+        if self._component_uf is None:
+            union_find: UnionFind[Fact] = UnionFind(self.facts)
+            for fact, adjacent in self.edges.items():
+                for other in adjacent:
+                    union_find.union(fact, other)
+            self._component_uf = union_find
+        return self._component_uf.components()
 
     def is_quasi_clique(self, component: Iterable[Fact]) -> bool:
         """Quasi-clique test of Section 10.1.
@@ -78,18 +97,67 @@ class SolutionGraph:
         """Whether every connected component is a quasi-clique (Section 10.1)."""
         return all(self.is_quasi_clique(component) for component in self.components())
 
+    def clique_map(self) -> Dict[Fact, FrozenSet[Fact]]:
+        """The paper's ``clique(a)`` for every fact, memoised.
+
+        Computed component-wise: facts of a quasi-clique component map to the
+        whole component, all other facts to their singleton.  The memo is
+        invalidated by any delta that changes the edge structure.
+        """
+        if self._clique_map is None:
+            cliques: Dict[Fact, FrozenSet[Fact]] = {}
+            for component in self.components():
+                if self.is_quasi_clique(component):
+                    frozen = frozenset(component)
+                    for member in component:
+                        cliques[member] = frozen
+                else:
+                    for member in component:
+                        cliques[member] = frozenset((member,))
+            self._clique_map = cliques
+        return self._clique_map
+
     def clique_of(self, fact: Fact) -> FrozenSet[Fact]:
         """The paper's ``clique(a)``.
 
         The connected component of ``a`` when that component is a
         quasi-clique, the singleton ``{a}`` otherwise.
         """
-        for component in self.components():
-            if fact in component:
-                if self.is_quasi_clique(component):
-                    return frozenset(component)
-                return frozenset((fact,))
-        raise KeyError(f"fact {fact} does not belong to the graph")
+        clique = self.clique_map().get(fact)
+        if clique is None:
+            raise KeyError(f"fact {fact} does not belong to the graph")
+        return clique
+
+    # ------------------------------------------------------------------ #
+    # delta plumbing (called by SolutionGraphMaintainer)
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, query: TwoAtomQuery, database: Database, delta: FactDelta) -> None:
+        """Splice one fact delta into the graph (see :mod:`repro.eval.deltas`).
+
+        Convenience wrapper for callers holding a graph outside the
+        database's cache; the cached copy is maintained automatically.
+        """
+        graph_maintainer(query)(database, self, delta)
+
+    def _note_fact_added(self, fact: Fact, new_edges: List[Tuple[Fact, Fact]]) -> None:
+        """Consume an add delta in the memoised decompositions."""
+        if self._component_uf is not None:
+            self._component_uf.add(fact)
+            for first, second in new_edges:
+                self._component_uf.add(first)
+                self._component_uf.add(second)
+                self._component_uf.union(first, second)
+        if self._clique_map is not None:
+            if new_edges:
+                # New edges can merge components or break quasi-cliqueness.
+                self._clique_map = None
+            else:
+                self._clique_map[fact] = frozenset((fact,))
+
+    def _note_fact_removed(self, fact: Fact) -> None:
+        """Consume a remove delta: splits force a lazy recompute."""
+        self._component_uf = None
+        self._clique_map = None
 
 
 def solution_graph_cache_key(query: TwoAtomQuery) -> Tuple[str, TwoAtomQuery]:
@@ -109,12 +177,17 @@ def build_solution_graph(query: TwoAtomQuery, database: Database) -> SolutionGra
     every fact matching atom ``A``, the candidate partners for atom ``B`` are
     fetched by a single bucket lookup on the positions bound by ``vars(A)``
     instead of a scan over all facts.  The result is cached on the database
-    (invalidated by its version counter), so the fixpoint algorithm, the
-    matching algorithm and the component decomposition all share one build.
+    and kept consistent across mutations by the delta pipeline: add/remove
+    deltas are replayed through a
+    :class:`~repro.eval.deltas.SolutionGraphMaintainer` (touching only the
+    changed fact's solution pairs) instead of rebuilding, so the fixpoint
+    algorithm, the matching algorithm and the component decomposition all
+    share one incrementally maintained build.
     """
     return database.cached(
         solution_graph_cache_key(query),
         lambda db: _build_solution_graph_indexed(query, db),
+        maintainer=graph_maintainer(query),
     )
 
 
@@ -185,7 +258,21 @@ def q_connected_block_components(
     the partition is the reflexive-symmetric-transitive closure of that
     relation.  Every returned component is the sub-database induced by the
     blocks of one equivalence class (so the components partition ``D``).
+
+    The decomposition is cached on the database (treat the returned
+    sub-databases as read-only); it consumes the delta-maintained solution
+    graph, so after a mutation only the block-level union-find is redone —
+    the expensive pair discovery is not.
     """
+    return database.cached(
+        ("q_block_components", query),
+        lambda db: _q_connected_block_components(query, db),
+    )
+
+
+def _q_connected_block_components(
+    query: TwoAtomQuery, database: Database
+) -> List[Database]:
     graph = build_solution_graph(query, database)
     union_find: UnionFind = UnionFind(block.block_id for block in database.blocks())
     for fact, adjacent in graph.edges.items():

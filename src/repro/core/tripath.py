@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 from ..db.fact_store import Database
 from .branching import BranchingTriple, g_bar, g_elements, triple_is_triangle
 from .query import TwoAtomQuery
+from .solutions import build_solution_graph
 from .terms import Element, Fact
 from .unification import (
     Const,
@@ -425,13 +426,41 @@ def find_tripath_in_database(
 
 
 class _DatabaseTripathSearch:
-    """Backtracking search for a tripath as a subset of an existing database."""
+    """Backtracking search for a tripath as a subset of an existing database.
+
+    Candidate enumeration is driven by the database's cached solution graph
+    (built through the :class:`~repro.eval.fact_index.FactIndex` /
+    :class:`~repro.eval.matcher.AtomMatcher` probes and delta-maintained
+    across mutations): centre candidates are read off the directed
+    predecessor/successor lists and chain growth walks the undirected
+    adjacency, instead of re-testing ``matches_pair`` against every fact of
+    the database at every step.  Adjacency lists are ordered by fact
+    insertion position, so the search explores — and returns — exactly what
+    the seed's naive scans did.
+    """
 
     def __init__(self, query: TwoAtomQuery, database: Database, max_depth: int) -> None:
         self.query = query
         self.database = database
         self.max_depth = max_depth
         self.facts = database.facts()
+        graph = build_solution_graph(query, database)
+        order = {fact: position for position, fact in enumerate(self.facts)}
+        self._succ: Dict[Fact, List[Fact]] = {}
+        self._pred: Dict[Fact, List[Fact]] = {}
+        for first, second in graph.directed:
+            if first == second:
+                continue
+            self._succ.setdefault(first, []).append(second)
+            self._pred.setdefault(second, []).append(first)
+        for adjacency in (self._succ, self._pred):
+            for partners in adjacency.values():
+                partners.sort(key=order.__getitem__)
+        self._adjacent: Dict[Fact, List[Fact]] = {
+            fact: sorted(adjacent, key=order.__getitem__)
+            for fact, adjacent in graph.edges.items()
+            if adjacent
+        }
 
     def search(self, kind: Optional[str]) -> Optional[Tripath]:
         for centre in self._centres(kind):
@@ -452,15 +481,13 @@ class _DatabaseTripathSearch:
         for centre_fact in self.facts:
             lefts = [
                 fact
-                for fact in self.facts
+                for fact in self._pred.get(centre_fact, ())
                 if not fact.key_equal(centre_fact)
-                and self.query.matches_pair(fact, centre_fact)
             ]
             rights = [
                 fact
-                for fact in self.facts
+                for fact in self._succ.get(centre_fact, ())
                 if not fact.key_equal(centre_fact)
-                and self.query.matches_pair(centre_fact, fact)
             ]
             for left in lefts:
                 for right in rights:
@@ -487,10 +514,8 @@ class _DatabaseTripathSearch:
         if depth <= 0:
             return
         for sibling in self._siblings(current_a):
-            for parent_a in self.facts:
+            for parent_a in self._adjacent.get(sibling, ()):
                 if parent_a.key_tuple in used or parent_a.key_tuple == current_a.key_tuple:
-                    continue
-                if not self.query.matches_unordered(parent_a, sibling):
                     continue
                 if not gset <= parent_a.key_elements:
                     yield sibling, [TripathBlock(parent_a, None, None)]
@@ -513,10 +538,8 @@ class _DatabaseTripathSearch:
         if not gset <= current_b.key_elements:
             yield [TripathBlock(None, current_b, None)]
         for sibling in self._siblings(current_b):
-            for next_b in self.facts:
+            for next_b in self._adjacent.get(sibling, ()):
                 if next_b.key_tuple in used or next_b.key_tuple == current_b.key_tuple:
-                    continue
-                if not self.query.matches_unordered(sibling, next_b):
                     continue
                 new_used = used | {next_b.key_tuple}
                 for below in self._chains_down(next_b, new_used, depth - 1, gset):

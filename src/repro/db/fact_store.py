@@ -11,17 +11,19 @@ incrementally on every mutation:
 * a :class:`~repro.eval.fact_index.FactIndex` (schema and position-pattern
   hash indexes) that the indexed evaluation layer probes instead of scanning
   all facts;
-* a *version counter* bumped on every successful ``add``/``remove``, used to
-  invalidate derived structures;
+* a *version counter* bumped on every successful ``add``/``remove``;
 * a keyed cache of derived structures (e.g. the solution graph of a query)
-  validated against the version counter, so repeated algorithm runs over an
-  unchanged database reuse their shared intermediate results.
+  kept consistent through the *delta pipeline*: every mutation emits a typed
+  :class:`~repro.eval.deltas.FactDelta`, and cached structures registered
+  with a maintainer absorb the pending deltas lazily at read time instead of
+  being invalidated and rebuilt (see :mod:`repro.eval.deltas`).  Structures
+  without a maintainer keep the PR 1 invalidate-on-mutation behaviour.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -36,9 +38,23 @@ from typing import (
 )
 
 from ..core.terms import Element, Fact, RelationSchema
+from ..eval.deltas import ADD, REMOVE, DeltaUnsupported, FactDelta
 from ..eval.fact_index import FactIndex
 
 BlockId = Tuple[str, Tuple[Element, ...]]
+
+#: A maintainer: ``(database, value, delta) -> value`` (see repro.eval.deltas).
+DeltaMaintainer = Callable[["Database", object, FactDelta], object]
+
+
+@dataclass
+class _DerivedEntry:
+    """One cached derived structure plus its incremental-maintenance state."""
+
+    version: int
+    value: object
+    maintainer: Optional[DeltaMaintainer] = None
+    pending: List[FactDelta] = field(default_factory=list)
 
 
 class Block:
@@ -107,12 +123,17 @@ class Database:
     the reduction of Proposition 4.1 temporarily uses two.
     """
 
+    #: Pending deltas tolerated per cached structure before a rebuild is
+    #: cheaper than the replay; overridable per instance (see tests/bench).
+    delta_backlog_limit = 256
+
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._facts: "OrderedDict[Fact, None]" = OrderedDict()
         self._blocks: "OrderedDict[BlockId, Block]" = OrderedDict()
         self._index = FactIndex()
         self._version = 0
-        self._derived: Dict[Hashable, Tuple[int, object]] = {}
+        self._derived: Dict[Hashable, _DerivedEntry] = {}
+        self._delta_listeners: List[Callable[[FactDelta], None]] = []
         for fact in facts:
             self.add(fact)
 
@@ -130,7 +151,7 @@ class Database:
             self._blocks[fact.block_id()] = block
         block._add(fact)
         self._index.add(fact)
-        self._bump_version()
+        self._emit(FactDelta(ADD, fact))
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -147,7 +168,7 @@ class Database:
         if not len(block):
             del self._blocks[fact.block_id()]
         self._index.discard(fact)
-        self._bump_version()
+        self._emit(FactDelta(REMOVE, fact))
         return True
 
     def copy(self) -> "Database":
@@ -173,28 +194,114 @@ class Database:
         """Monotone counter bumped on every successful mutation."""
         return self._version
 
-    def _bump_version(self) -> None:
+    def _emit(self, delta: FactDelta) -> None:
+        """Bump the version and route the delta through the pipeline.
+
+        Cached structures with a maintainer receive the delta in their
+        pending queue (replayed lazily on the next read); structures without
+        one are invalidated as in PR 1.  Registered listeners observe every
+        delta synchronously, in registration order.
+        """
         self._version += 1
         if self._derived:
-            self._derived.clear()
+            stale = []
+            for key, entry in self._derived.items():
+                if entry.maintainer is None:
+                    stale.append(key)
+                    continue
+                entry.pending.append(delta)
+                if len(entry.pending) > self.delta_backlog_limit:
+                    stale.append(key)
+            for key in stale:
+                del self._derived[key]
+        for listener in self._delta_listeners:
+            listener(delta)
 
-    def cached(self, key: Hashable, builder: Callable[["Database"], object]) -> object:
-        """Return the derived structure for ``key``, rebuilding when stale.
+    def add_delta_listener(self, listener: Callable[[FactDelta], None]) -> None:
+        """Subscribe to the typed delta stream of this database.
 
-        ``builder`` receives the database and its result is cached until the
-        next mutation.  Keys must be hashable and should identify both the
-        structure and its parameters (e.g. ``("solution_graph", query)``).
+        Listeners are synchronous and must not mutate the database.  They are
+        not carried across :meth:`copy` or pickling (parallel workers receive
+        a listener-free database).
+        """
+        self._delta_listeners.append(listener)
+
+    def remove_delta_listener(self, listener: Callable[[FactDelta], None]) -> None:
+        self._delta_listeners.remove(listener)
+
+    def cached(
+        self,
+        key: Hashable,
+        builder: Callable[["Database"], object],
+        maintainer: Optional[DeltaMaintainer] = None,
+    ) -> object:
+        """Return the derived structure for ``key``, replaying deltas when stale.
+
+        ``builder`` receives the database; keys must be hashable and should
+        identify both the structure and its parameters (e.g.
+        ``("solution_graph", query)``).  With a ``maintainer`` the cached
+        value survives mutations: pending deltas are replayed through
+        ``maintainer(database, value, delta)`` on the next read, in place —
+        the returned object is a live view.  A maintainer raising
+        :class:`~repro.eval.deltas.DeltaUnsupported` (which must leave the
+        value untouched, see :mod:`repro.eval.deltas`) or a backlog beyond
+        :attr:`delta_backlog_limit` falls back to a full rebuild, so
+        incrementality never changes results.  Identity caveat: a rebuild
+        returns a *new* object, so live-view identity only holds while
+        mutation bursts stay within the backlog limit — re-read through
+        :meth:`cached` after mutating instead of holding the object across
+        mutations.
         """
         entry = self._derived.get(key)
-        if entry is not None and entry[0] == self._version:
-            return entry[1]
+        if entry is not None:
+            if entry.version == self._version:
+                if entry.maintainer is None and maintainer is not None:
+                    entry.maintainer = maintainer
+                return entry.value
+            if entry.maintainer is not None and entry.pending:
+                try:
+                    value = entry.value
+                    for delta in entry.pending:
+                        value = entry.maintainer(self, value, delta)
+                except DeltaUnsupported:
+                    pass  # fall through to the rebuild below
+                else:
+                    entry.value = value
+                    entry.version = self._version
+                    entry.pending.clear()
+                    return value
         value = builder(self)
-        self._derived[key] = (self._version, value)
+        self._derived[key] = _DerivedEntry(self._version, value, maintainer)
         return value
 
-    def prime_cache(self, key: Hashable, value: object) -> None:
+    def prime_cache(
+        self,
+        key: Hashable,
+        value: object,
+        maintainer: Optional[DeltaMaintainer] = None,
+    ) -> None:
         """Install a precomputed derived structure (e.g. pushed down from SQL)."""
-        self._derived[key] = (self._version, value)
+        self._derived[key] = _DerivedEntry(self._version, value, maintainer)
+
+    def invalidate_derived(self, key: Optional[Hashable] = None) -> None:
+        """Drop one cached derived structure (or all of them).
+
+        Forces the next :meth:`cached` read to rebuild from scratch; used by
+        the benchmarks to compare delta replay against the PR 1
+        invalidate-all behaviour, and available as an escape hatch.
+        """
+        if key is None:
+            self._derived.clear()
+        else:
+            self._derived.pop(key, None)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Delta listeners are process-local observers (often closures); the
+        # derived cache and its maintainers travel with the database so that
+        # parallel workers keep primed structures (e.g. SQL pushdowns).
+        state = dict(self.__dict__)
+        state["_delta_listeners"] = []
+        return state
 
     # ------------------------------------------------------------------ #
     # inspection

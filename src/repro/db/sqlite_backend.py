@@ -29,6 +29,7 @@ import re
 import sqlite3
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.certk import certk_seed_cache_key
 from ..core.query import TwoAtomQuery
 from ..core.solutions import (
     SolutionGraph,
@@ -36,6 +37,7 @@ from ..core.solutions import (
     solution_graph_from_pairs,
 )
 from ..core.terms import Element, Fact, RelationSchema
+from ..eval.deltas import SeedAntichain, graph_maintainer, seed_maintainer
 from .fact_store import Database
 
 #: Characters with structural meaning in the encoding, escaped inside scalars.
@@ -117,13 +119,25 @@ def _parse_element(text: str, position: int) -> Tuple[Element, int]:
 
 
 class SqliteFactStore:
-    """Facts of one relation schema stored in a SQLite table."""
+    """Facts of one relation schema stored in a SQLite table.
 
-    def __init__(self, schema: RelationSchema, path: str = ":memory:") -> None:
+    With ``indexed`` (the default) the store runs in *indexed-on-disk* mode:
+    a B-tree index over the key columns is created alongside the table, so
+    the block-structure ``GROUP BY``, the key-equality filters of the
+    ``Cert_k`` seeding pushdown and key-bound self-join probes are answered
+    from the index even on cold stores that never load into memory.
+    """
+
+    def __init__(
+        self, schema: RelationSchema, path: str = ":memory:", indexed: bool = True
+    ) -> None:
         self.schema = schema
         self.path = path
+        self.indexed = indexed
         self.connection = sqlite3.connect(path)
         self._create_table()
+        if indexed:
+            self._create_key_index()
 
     # ------------------------------------------------------------------ #
     # schema / loading
@@ -142,6 +156,17 @@ class SqliteFactStore:
             self.connection.execute(
                 f"CREATE TABLE IF NOT EXISTS {self.table_name} "
                 f"({columns}, UNIQUE ({unique}))"
+            )
+
+    def _create_key_index(self) -> None:
+        """``CREATE INDEX`` on the key columns (no-op for key size 0)."""
+        if self.schema.key_size == 0:
+            return
+        columns = ", ".join(self.key_columns())
+        with self.connection:
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_{self.table_name}_key "
+                f"ON {self.table_name} ({columns})"
             )
 
     def clear(self) -> None:
@@ -186,14 +211,26 @@ class SqliteFactStore:
         """Rehydrate into a :class:`Database`, pushing analyses down to SQL.
 
         When ``query`` is given, the solution pairs are computed by the SQL
-        self-join and installed as the database's cached solution graph, so
-        the downstream algorithms (``Cert_k`` seeding, ``matching``, the
-        component decomposition) skip the in-memory pair discovery entirely.
+        self-join and installed as the database's cached solution graph, and
+        the ``Cert_k`` seed antichain is assembled from the SQL seeding
+        queries (key-equality filter evaluated by SQLite, against the key
+        index in indexed mode) — so the downstream algorithms (``Cert_k``,
+        ``matching``, the component decomposition) skip the in-memory pair
+        discovery entirely.  Both primed structures register their delta
+        maintainers, so later mutations of the rehydrated database are
+        absorbed incrementally.
         """
         database = Database(self.fetch_facts())
         if query is not None:
             database.prime_cache(
-                solution_graph_cache_key(query), self.solution_graph(query, database)
+                solution_graph_cache_key(query),
+                self.solution_graph(query, database),
+                maintainer=graph_maintainer(query),
+            )
+            database.prime_cache(
+                certk_seed_cache_key(query),
+                self.certk_seed_antichain(query),
+                maintainer=seed_maintainer(query),
             )
         return database
 
@@ -288,6 +325,76 @@ class SqliteFactStore:
             sql += f" LIMIT {int(limit)}"
         return sql, where
 
+    # ------------------------------------------------------------------ #
+    # Cert_k seeding pushdown
+    # ------------------------------------------------------------------ #
+    def certk_seed_sql(self, query: TwoAtomQuery) -> str:
+        """SQL for the ``Cert_k`` pair seeds (returned for inspection).
+
+        The seeding rule of Section 5 keeps the solutions over two distinct,
+        *non-key-equal* facts; the key-equality filter is pushed into the SQL
+        self-join (and answered from the key index in indexed mode) instead
+        of being re-tested in Python per pair.  With key size 0 every pair of
+        facts shares the single block, so no pair seeds.
+        """
+        sql, _ = self.query_sql(query)
+        key_equal = " AND ".join(f"a.{column} = b.{column}" for column in self.key_columns())
+        condition = f"NOT ({key_equal})" if key_equal else "0 = 1"
+        return f"{sql} AND {condition}"
+
+    def self_solution_sql(self, query: TwoAtomQuery) -> str:
+        """SQL selecting the facts ``a`` with ``q(a a)`` (single-row solutions).
+
+        Both atoms are mapped onto one table alias: every variable occurring
+        at several positions (within or across the atoms) induces a column
+        equality on the same row.
+        """
+        if query.schema != self.schema:
+            raise ValueError("query schema does not match the store schema")
+        conditions: List[str] = []
+        seen: Dict[str, str] = {}
+        for atom in (query.atom_a, query.atom_b):
+            for position, variable in enumerate(atom.variables):
+                column = f"c{position}"
+                if variable in seen:
+                    if seen[variable] != column:
+                        conditions.append(f"{seen[variable]} = {column}")
+                else:
+                    seen[variable] = column
+        where = " AND ".join(dict.fromkeys(conditions)) if conditions else "1 = 1"
+        columns = ", ".join(self._columns())
+        return f"SELECT {columns} FROM {self.table_name} WHERE {where}"
+
+    def certk_self_solutions(self, query: TwoAtomQuery) -> List[Fact]:
+        """The self-solution seeds, computed in SQL."""
+        cursor = self.connection.execute(self.self_solution_sql(query))
+        return [
+            Fact(self.schema, tuple(_decode_element(text) for text in row))
+            for row in cursor.fetchall()
+        ]
+
+    def certk_seed_pairs(self, query: TwoAtomQuery) -> List[Tuple[Fact, Fact]]:
+        """The pair seeds (distinct, non-key-equal solutions), computed in SQL."""
+        cursor = self.connection.execute(self.certk_seed_sql(query))
+        arity = self.schema.arity
+        pairs = []
+        for row in cursor.fetchall():
+            first = Fact(self.schema, tuple(_decode_element(text) for text in row[:arity]))
+            second = Fact(self.schema, tuple(_decode_element(text) for text in row[arity:]))
+            pairs.append((first, second))
+        return pairs
+
+    def certk_seed_antichain(self, query: TwoAtomQuery) -> SeedAntichain:
+        """The minimal ``Cert_k`` seed antichain assembled from the SQL seeds.
+
+        Equals the antichain the in-memory pipeline derives from the solution
+        graph (``tests/test_deltas.py`` pins the equality); installed into
+        the rehydrated database's cache by :meth:`to_indexed_database`.
+        """
+        return SeedAntichain.from_solutions(
+            self.certk_self_solutions(query), self.certk_seed_pairs(query)
+        )
+
     def solution_edges(self, query: TwoAtomQuery) -> List[Tuple[Fact, Fact]]:
         """Unordered solution-graph edges ``{a, b}`` with ``a != b`` (via SQL)."""
         edges = []
@@ -329,12 +436,17 @@ def certain_answers_via_sqlite(
     stores: Iterable[SqliteFactStore],
     engine_factory=None,
     pushdown: bool = True,
+    workers: Optional[int] = None,
 ) -> List[bool]:
     """Batch pipeline over many stores, reusing one engine for the query.
 
     The engine's per-query state (classification, ``Cert_k`` runners,
     matching) is built once and the stores are rehydrated lazily, one at a
     time, so a long batch never holds more than one database in memory.
+    With ``workers > 1`` the rehydrated stream is materialised and sharded
+    across worker processes (see
+    :meth:`repro.core.certain.CertainEngine.explain_many`); the primed SQL
+    pushdown structures travel with each database to its worker.
     """
     from ..core.certain import CertainEngine
 
@@ -344,5 +456,7 @@ def certain_answers_via_sqlite(
         for store in stores
     )
     if hasattr(engine, "is_certain_many"):
+        if workers and workers > 1:
+            return engine.is_certain_many(list(databases), workers=workers)
         return engine.is_certain_many(databases)
     return [engine.is_certain(database) for database in databases]

@@ -13,6 +13,10 @@ all-pairs scans over the facts:
 * :class:`~repro.eval.evaluator.IndexedEvaluator` — a per-query facade
   bundling the matchers with the database-resident caches (solution graph,
   initial ``Δ_k``), reusable across a stream of databases;
+* :mod:`repro.eval.deltas` — the delta pipeline: typed
+  :class:`~repro.eval.deltas.FactDelta` events emitted by
+  ``Database.add/remove`` and the maintainers that replay them into cached
+  derived structures (solution graph, ``Cert_k`` seed antichain);
 * :mod:`repro.eval.naive` — the seed quadratic implementations, kept verbatim
   as differential-testing oracles for the indexed paths.
 
@@ -24,6 +28,17 @@ this package without a cycle.
 
 from __future__ import annotations
 
+from .deltas import (
+    ADD,
+    REMOVE,
+    CertKSeedMaintainer,
+    DeltaUnsupported,
+    FactDelta,
+    SeedAntichain,
+    SolutionGraphMaintainer,
+    graph_maintainer,
+    seed_maintainer,
+)
 from .fact_index import FactIndex
 from .matcher import AtomMatcher
 
@@ -31,6 +46,15 @@ __all__ = [
     "FactIndex",
     "AtomMatcher",
     "IndexedEvaluator",
+    "FactDelta",
+    "ADD",
+    "REMOVE",
+    "DeltaUnsupported",
+    "SolutionGraphMaintainer",
+    "SeedAntichain",
+    "CertKSeedMaintainer",
+    "graph_maintainer",
+    "seed_maintainer",
     "naive",
 ]
 

@@ -1,0 +1,409 @@
+"""Delta-pipeline correctness: incremental maintenance vs from-scratch oracles.
+
+The PR 2 refactor replaced invalidate-on-mutation caching with delta-driven
+maintenance of the solution graph and of the ``Cert_k`` seed antichain, plus
+a process-sharded parallel batch mode.  This suite pins every incremental
+path to the from-scratch construction it replaces:
+
+* randomised add/remove interleavings — the delta-maintained solution graph
+  must equal the naive rebuild after every mutation, and the incremental
+  :class:`CertK` must agree (answer and antichain) with :class:`NaiveCertK`,
+  across all paper query classes;
+* batched replay — arbitrary mutation bursts (including add-then-remove and
+  remove-then-re-add of the same fact) absorbed in one read;
+* fallback behaviour — backlog overflow and maintainerless entries rebuild;
+* the memoised component/clique decompositions under deltas;
+* the sharded parallel batch engine vs the sequential stream;
+* the SQLite ``Cert_k`` seeding pushdown vs the in-memory antichain;
+* the :class:`RepairOracle` vs per-repair ``satisfied_by`` scans.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro import (
+    ADD,
+    REMOVE,
+    CertainEngine,
+    CertK,
+    Database,
+    Fact,
+    FactDelta,
+    NaiveCertK,
+    RepairOracle,
+    SeedAntichain,
+    SqliteFactStore,
+    build_solution_graph,
+    build_solution_graph_naive,
+    certk_seed_cache_key,
+    exact_support,
+    parse_query,
+    q_connected_block_components,
+    sample_repair,
+)
+from repro.core.certain import EngineReport
+from repro.core.solutions import solution_graph_cache_key
+from repro.db.generators import random_fact, random_solution_database
+
+QUERY_CLASSES = {
+    "trivial": "R(x|y) R(x|z)",
+    "hard_syntactic": "R(x,u|x,v) R(v,y|u,y)",   # q1
+    "hard_fork": "R(x,u|x,y) R(u,y|x,z)",        # q2
+    "easy_cert2": "R(x|y) R(y|z)",               # q3
+    "easy_cert2_rep": "R(x,x|u,v) R(x,y|u,x)",   # q4
+    "twoway_no_tripath": "R(x|y,x) R(y|x,u)",    # q5
+    "twoway_triangle": "R(x|y,z) R(z|x,y)",      # q6
+}
+
+QUERIES = {name: parse_query(text) for name, text in QUERY_CLASSES.items()}
+
+
+def assert_graphs_equal(left, right):
+    assert set(left.facts) == set(right.facts)
+    assert left.directed == right.directed
+    assert left.self_loops == right.self_loops
+    left_edges = {fact: adjacent for fact, adjacent in left.edges.items() if adjacent}
+    right_edges = {fact: adjacent for fact, adjacent in right.edges.items() if adjacent}
+    assert left_edges == right_edges
+
+
+def mutate(database, rng, query, live):
+    """One random mutation; returns the applied (op, fact)."""
+    if live and rng.random() < 0.45:
+        victim = rng.choice(live)
+        database.remove(victim)
+        live.remove(victim)
+        return (REMOVE, victim)
+    fact = random_fact(query.schema, 5, rng)
+    if database.add(fact):
+        live.append(fact)
+        return (ADD, fact)
+    return (None, fact)
+
+
+class TestFactDeltaEvents:
+    def test_mutations_emit_typed_deltas(self):
+        query = QUERIES["easy_cert2"]
+        database = Database()
+        seen = []
+        database.add_delta_listener(seen.append)
+        first = Fact(query.schema, (1, 2))
+        assert database.add(first)
+        assert not database.add(first)  # duplicate: no event
+        assert database.remove(first)
+        assert seen == [FactDelta(ADD, first), FactDelta(REMOVE, first)]
+        database.remove_delta_listener(seen.append)
+        database.add(first)
+        assert len(seen) == 2
+
+    def test_invalid_delta_op_rejected(self):
+        with pytest.raises(ValueError):
+            FactDelta("replace", Fact(QUERIES["easy_cert2"].schema, (1, 2)))
+
+    def test_listeners_not_pickled(self):
+        database = Database([Fact(QUERIES["easy_cert2"].schema, (1, 2))])
+        database.add_delta_listener(lambda delta: None)
+        restored = pickle.loads(pickle.dumps(database))
+        assert restored == database
+        assert restored._delta_listeners == []
+
+
+class TestSolutionGraphDeltas:
+    @pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+    def test_interleaved_mutations_match_rebuild(self, name):
+        query = QUERIES[name]
+        rng = random.Random(hash(name) % 1000)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        live = database.facts()
+        graph = build_solution_graph(query, database)
+        for step in range(40):
+            mutate(database, rng, query, live)
+            maintained = build_solution_graph(query, database)
+            assert maintained is graph  # the same live object, spliced in place
+            assert_graphs_equal(maintained, build_solution_graph_naive(query, database))
+
+    @pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+    def test_batched_replay_matches_rebuild(self, name):
+        query = QUERIES[name]
+        rng = random.Random(1000 + hash(name) % 1000)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        live = database.facts()
+        build_solution_graph(query, database)  # warm the cache
+        for _ in range(6):
+            for _ in range(rng.randint(2, 10)):  # burst without reads
+                mutate(database, rng, query, live)
+            assert_graphs_equal(
+                build_solution_graph(query, database),
+                build_solution_graph_naive(query, database),
+            )
+
+    def test_add_then_remove_and_readd_bursts(self):
+        query = QUERIES["easy_cert2"]
+        schema = query.schema
+        database = Database([Fact(schema, (1, 2)), Fact(schema, (2, 3))])
+        graph = build_solution_graph(query, database)
+        assert graph.edge_count() == 1
+        transient = Fact(schema, (3, 1))
+        # add + remove in one burst: net no-op.
+        database.add(transient)
+        database.remove(transient)
+        assert_graphs_equal(
+            build_solution_graph(query, database),
+            build_solution_graph_naive(query, database),
+        )
+        # remove + re-add of an existing fact in one burst: net no-op too.
+        anchor = Fact(schema, (2, 3))
+        database.remove(anchor)
+        database.add(anchor)
+        assert_graphs_equal(
+            build_solution_graph(query, database),
+            build_solution_graph_naive(query, database),
+        )
+
+    def test_backlog_overflow_falls_back_to_rebuild(self):
+        query = QUERIES["easy_cert2"]
+        rng = random.Random(7)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        database.delta_backlog_limit = 3
+        live = database.facts()
+        before = build_solution_graph(query, database)
+        for _ in range(10):
+            mutate(database, rng, query, live)
+        after = build_solution_graph(query, database)
+        assert after is not before  # backlog exceeded: rebuilt from scratch
+        assert_graphs_equal(after, build_solution_graph_naive(query, database))
+
+    def test_components_and_cliques_follow_deltas(self):
+        query = QUERIES["twoway_triangle"]
+        rng = random.Random(13)
+        database = random_solution_database(query, 6, 3, 4, rng)
+        live = database.facts()
+        for _ in range(25):
+            mutate(database, rng, query, live)
+            graph = build_solution_graph(query, database)
+            fresh = build_solution_graph_naive(query, database)
+            assert sorted(map(len, graph.components())) == sorted(
+                map(len, fresh.components())
+            )
+            assert graph.clique_map() == {
+                fact: fresh.clique_of(fact) for fact in fresh.facts
+            }
+
+    def test_q_block_components_cached_and_refreshed(self):
+        query = QUERIES["easy_cert2"]
+        schema = query.schema
+        database = Database([Fact(schema, (1, 2)), Fact(schema, (2, 3)), Fact(schema, (7, 8))])
+        first = q_connected_block_components(query, database)
+        assert first is q_connected_block_components(query, database)  # cache hit
+        assert sorted(len(component) for component in first) == [1, 2]
+        database.add(Fact(schema, (8, 1)))  # joins everything into one component
+        refreshed = q_connected_block_components(query, database)
+        assert len(refreshed) == 1
+        assert len(refreshed[0]) == 4
+
+
+class TestCertKSeedDeltas:
+    @pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_incremental_certk_matches_naive_under_mutation(self, name, k):
+        query = QUERIES[name]
+        rng = random.Random(42 + k)
+        database = random_solution_database(query, 4, 3, 4, rng)
+        live = database.facts()
+        runner = CertK(query, k)
+        oracle = NaiveCertK(query, k)
+        runner.run(database)  # warm graph + seed caches
+        for step in range(15):
+            mutate(database, rng, query, live)
+            incremental = runner.run(database)
+            naive = oracle.run(database)
+            assert incremental.certain == naive.certain
+            assert incremental.delta == naive.delta
+
+    def test_seed_antichain_is_resumed_not_reseeded(self):
+        query = QUERIES["easy_cert2"]
+        rng = random.Random(3)
+        database = random_solution_database(query, 6, 4, 4, rng)
+        runner = CertK(query, 2)
+        runner.run(database)
+        cached = database.cached(
+            certk_seed_cache_key(query), runner._seed_maintainer.build
+        )
+        database.add(Fact(query.schema, (91, 92)))
+        runner.run(database)
+        resumed = database.cached(
+            certk_seed_cache_key(query), runner._seed_maintainer.build
+        )
+        assert resumed is cached  # same antichain object, delta applied in place
+
+    def test_singleton_dominates_pairs_across_a_burst(self):
+        # q3 = R(x|y) R(y|z): (5,5) alone satisfies the query (self-solution).
+        # Within one unread burst, the replay of `add (4,5)` discovers the
+        # pair {(4,5), (5,5)} before (5,5)'s own delta turns it into a
+        # dominating singleton — the later replay must evict the pair.
+        query = QUERIES["easy_cert2"]
+        schema = query.schema
+        database = Database([Fact(schema, (1, 2)), Fact(schema, (9, 1))])
+        runner = CertK(query, 2)
+        runner.run(database)  # warm the graph and seed caches
+        database.add(Fact(schema, (4, 5)))
+        database.add(Fact(schema, (5, 5)))
+        seeds = runner._initial_delta(database)  # replays the burst
+        assert frozenset((Fact(schema, (5, 5)),)) in seeds
+        assert frozenset((Fact(schema, (4, 5)), Fact(schema, (5, 5)))) not in seeds
+        assert seeds == NaiveCertK(query, 2)._initial_delta(database)
+        result = runner.run(database)
+        oracle = NaiveCertK(query, 2).run(database)
+        assert result.certain == oracle.certain
+        assert result.delta == oracle.delta
+
+
+class TestParallelBatchEngine:
+    @pytest.mark.parametrize("name", ["trivial", "easy_cert2", "twoway_triangle"])
+    def test_sharded_matches_sequential(self, name):
+        query = QUERIES[name]
+        engine = CertainEngine(query)
+        databases = [
+            random_solution_database(query, 5, 4, 4, random.Random(seed))
+            for seed in range(8)
+        ]
+        sequential = engine.explain_many(databases)
+        sharded = engine.explain_many(databases, workers=2)
+        assert [report.certain for report in sharded] == [
+            report.certain for report in sequential
+        ]
+        assert [report.algorithm for report in sharded] == [
+            report.algorithm for report in sequential
+        ]
+        assert all(isinstance(report, EngineReport) for report in sharded)
+        assert engine.is_certain_many(databases, workers=2) == [
+            report.certain for report in sequential
+        ]
+
+    def test_degenerate_worker_counts_stay_sequential(self):
+        query = QUERIES["easy_cert2"]
+        engine = CertainEngine(query)
+        databases = [
+            random_solution_database(query, 4, 3, 4, random.Random(seed))
+            for seed in range(3)
+        ]
+        expected = [report.certain for report in engine.explain_many(databases)]
+        for workers in (None, 0, 1):
+            assert [
+                report.certain for report in engine.explain_many(databases, workers=workers)
+            ] == expected
+        # A single database never pays for a pool.
+        assert [
+            report.certain
+            for report in engine.explain_many(databases[:1], workers=4)
+        ] == expected[:1]
+
+    def test_chunking_preserves_input_order(self):
+        query = QUERIES["easy_cert2"]
+        engine = CertainEngine(query)
+        databases = [
+            random_solution_database(query, 4, 3, 4, random.Random(seed))
+            for seed in range(7)
+        ]
+        sequential = [report.certain for report in engine.explain_many(databases)]
+        sharded = engine.explain_many(databases, workers=2, chunk_size=2)
+        assert [report.certain for report in sharded] == sequential
+
+
+class TestSqliteSeedPushdown:
+    @pytest.mark.parametrize("name", ["easy_cert2", "twoway_no_tripath", "twoway_triangle"])
+    def test_sql_seed_antichain_matches_in_memory(self, name):
+        query = QUERIES[name]
+        database = random_solution_database(query, 7, 4, 4, random.Random(5))
+        with SqliteFactStore(query.schema) as store:
+            store.load_database(database)
+            sql_antichain = store.certk_seed_antichain(query)
+        in_memory = CertK(query, 2)._initial_delta(database)
+        assert sql_antichain.snapshot(2) == in_memory
+        assert sql_antichain.snapshot(1) == CertK(query, 1)._initial_delta(database)
+
+    def test_primed_database_resumes_from_deltas(self):
+        query = QUERIES["easy_cert2"]
+        database = random_solution_database(query, 7, 4, 4, random.Random(9))
+        with SqliteFactStore(query.schema) as store:
+            store.load_database(database)
+            rehydrated = store.to_indexed_database(query)
+        primed_graph = build_solution_graph(query, rehydrated)
+        rehydrated.add(Fact(query.schema, (51, 52)))
+        assert build_solution_graph(query, rehydrated) is primed_graph  # delta applied
+        assert_graphs_equal(primed_graph, build_solution_graph_naive(query, rehydrated))
+        result = CertK(query, 2).run(rehydrated)
+        oracle = NaiveCertK(query, 2).run(rehydrated)
+        assert result.certain == oracle.certain
+        assert result.delta == oracle.delta
+
+    def test_indexed_mode_creates_key_index(self):
+        query = QUERIES["easy_cert2"]
+        with SqliteFactStore(query.schema) as store:
+            rows = store.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            ).fetchall()
+            assert any("idx_facts_R_key" in name for (name,) in rows)
+        with SqliteFactStore(query.schema, indexed=False) as store:
+            rows = store.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            ).fetchall()
+            assert not any("idx_facts_R_key" in name for (name,) in rows)
+
+
+class TestRepairOracle:
+    @pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+    def test_oracle_matches_satisfied_by(self, name):
+        query = QUERIES[name]
+        rng = random.Random(21)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        oracle = RepairOracle(query, database)
+        for _ in range(60):
+            repair = sample_repair(database, rng)
+            assert oracle.satisfied(repair) == query.satisfied_by(repair)
+
+    def test_exact_support_matches_scan_based_computation(self):
+        from repro.db.repairs import iter_repairs
+
+        query = QUERIES["easy_cert2"]
+        database = random_solution_database(query, 4, 3, 3, random.Random(2))
+        repairs = list(iter_repairs(database))
+        expected = sum(
+            1 for repair in repairs if query.satisfied_by(repair)
+        ) / len(repairs)
+        assert exact_support(query, database) == expected
+
+
+class TestSeedAntichainUnit:
+    def test_pairs_dominated_by_singletons(self):
+        schema = QUERIES["easy_cert2"].schema
+        a, b, c = Fact(schema, (1, 1)), Fact(schema, (2, 3)), Fact(schema, (3, 4))
+        antichain = SeedAntichain.from_solutions([a], [(a, b), (b, c)])
+        assert antichain.members == {frozenset((a,)), frozenset((b, c))}
+        antichain.add_singleton(b)  # evicts the pair through b
+        assert antichain.members == {frozenset((a,)), frozenset((b,))}
+        antichain.discard_fact(a)
+        assert antichain.members == {frozenset((b,))}
+
+    def test_key_equal_and_self_pairs_filtered(self):
+        schema = QUERIES["easy_cert2"].schema
+        a, sibling = Fact(schema, (1, 2)), Fact(schema, (1, 3))
+        antichain = SeedAntichain.from_solutions([], [(a, a), (a, sibling)])
+        assert antichain.members == set()
+
+    def test_snapshot_is_a_copy(self):
+        schema = QUERIES["easy_cert2"].schema
+        a = Fact(schema, (1, 1))
+        antichain = SeedAntichain.from_solutions([a], [])
+        snap = antichain.snapshot(2)
+        snap.clear()
+        assert antichain.members == {frozenset((a,))}
+
+
+class TestGraphCacheKeyCompatibility:
+    def test_cache_keys_are_stable_tuples(self):
+        query = QUERIES["easy_cert2"]
+        assert solution_graph_cache_key(query) == ("solution_graph", query)
+        assert certk_seed_cache_key(query) == ("certk_seeds", query)

@@ -85,7 +85,10 @@ class TestSolutionGraphDifferential:
                 build_solution_graph_naive(query, database),
             )
 
-    def test_cached_graph_invalidated_on_mutation(self):
+    def test_cached_graph_maintained_across_mutation(self):
+        # The delta pipeline keeps the cached graph itself consistent: a
+        # mutation is spliced into the same object on the next read instead
+        # of invalidating it (the PR 1 contract this replaces).
         query = QUERIES["easy_cert2"]
         database = next(iter(workloads(query, seeds=[0])))
         before = build_solution_graph(query, database)
@@ -93,13 +96,15 @@ class TestSolutionGraphDifferential:
         extra = Fact(query.schema, (991, 992))
         database.add(extra)
         after = build_solution_graph(query, database)
-        assert after is not before
+        assert after is before  # live view, delta applied in place
+        assert extra in after.edges
         assert_graphs_equal(after, build_solution_graph_naive(query, database))
         database.remove(extra)
         assert_graphs_equal(
             build_solution_graph(query, database),
             build_solution_graph_naive(query, database),
         )
+        assert extra not in build_solution_graph(query, database).edges
 
 
 class TestQueryEvaluationDifferential:
