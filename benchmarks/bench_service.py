@@ -1,0 +1,188 @@
+"""Experiment III — the service layer: pooled sessions vs per-call engines.
+
+Measures what the PR 3 ``Session`` front door buys:
+
+* **III.a — engine-state reuse across a mixed-query workload.**  A stream of
+  requests alternating over several queries is answered (1) naively — a
+  fresh ``classify`` + :class:`~repro.core.certain.CertainEngine` per
+  request, the pre-PR 3 caller pattern — and (2) through one
+  :class:`~repro.Session`, whose registry classifies each query once and
+  whose engine pool is shared by every request.  Answers must agree exactly;
+  the speedup (dominated by amortising the tripath-search classification)
+  is recorded.
+* **III.b — session-level batch throughput.**  One multi-dataset request
+  (one envelope per database, engine state shared) vs one single-dataset
+  request per database, both through the same session — the envelope and
+  planning overhead must amortise, not multiply.
+
+Environment knobs (for CI smoke runs): ``BENCH_SERVICE_QUERIES``
+(comma-separated paper names), ``BENCH_SERVICE_DATABASES`` (databases per
+query), ``BENCH_SERVICE_BATCH`` (batch size for III.b).  A JSON baseline is
+written next to this file as ``BENCH_service.json`` on default-sized runs.
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+from repro import CertainEngine, DatasetRef, Request, Session, classify
+from repro.bench.harness import ExperimentReport, timed
+from repro.bench.reporting import emit, write_json
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+_QUERY_NAMES = tuple(
+    token
+    for token in os.environ.get("BENCH_SERVICE_QUERIES", "q2,q6,q7").split(",")
+    if token.strip()
+)
+_DATABASES_PER_QUERY = int(os.environ.get("BENCH_SERVICE_DATABASES", "12"))
+_BATCH_SIZE = int(os.environ.get("BENCH_SERVICE_BATCH", "40"))
+
+_DEFAULT_SIZED_RUN = not any(
+    knob in os.environ
+    for knob in ("BENCH_SERVICE_QUERIES", "BENCH_SERVICE_DATABASES", "BENCH_SERVICE_BATCH")
+)
+
+_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+_JSON_REPORTS = []
+
+
+def _workload(name, count):
+    query = QUERIES[name]
+    return [
+        random_solution_database(
+            query,
+            solution_count=12,
+            noise_count=6,
+            domain_size=16,
+            rng=random.Random(3000 + 17 * count + index),
+        )
+        for index in range(count)
+    ]
+
+
+def test_mixed_query_session_vs_per_call_engines():
+    """III.a: one pooled session vs a fresh classify+engine per request."""
+    workloads = {name: _workload(name, _DATABASES_PER_QUERY) for name in _QUERY_NAMES}
+    # Interleave the queries the way a service would see them.
+    stream = [
+        (name, database)
+        for index in range(_DATABASES_PER_QUERY)
+        for name, databases in workloads.items()
+        for database in [databases[index]]
+    ]
+
+    def per_call():
+        answers = []
+        for name, database in stream:
+            query = QUERIES[name]
+            engine = CertainEngine(query, classification=classify(query))
+            answers.append(engine.is_certain(database))
+        return answers
+
+    def pooled():
+        session = Session()
+        answers = []
+        for name, database in stream:
+            [answer] = session.answer(
+                Request(
+                    op="certain",
+                    query=str(QUERIES[name]),
+                    datasets=(DatasetRef.in_memory(database),),
+                )
+            )
+            answers.append(answer.verdict)
+        return answers, session
+
+    naive_answers, naive_time = timed(per_call)
+    (session_answers, session), session_time = timed(pooled)
+    assert session_answers == naive_answers
+    assert session.stats["queries_classified"] == len(_QUERY_NAMES)
+    assert session.stats["engines_built"] == len(_QUERY_NAMES)
+    speedup = naive_time / session_time if session_time else float("inf")
+    report = ExperimentReport(
+        "Experiment III.a — mixed-query stream: per-call engines vs pooled session",
+        ["queries", "requests", "per-call (s)", "session (s)", "speedup"],
+    )
+    report.add(
+        queries=",".join(_QUERY_NAMES),
+        requests=len(stream),
+        **{
+            "per-call (s)": f"{naive_time:.4f}",
+            "session (s)": f"{session_time:.4f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+    )
+    emit(report)
+    _JSON_REPORTS.append(report)
+    # Classification amortisation must win even on smoke-sized streams.
+    assert speedup >= (2.0 if _DEFAULT_SIZED_RUN else 1.2), (
+        f"pooled session slower than per-call engines: {speedup:.2f}x"
+    )
+
+
+def test_batched_request_vs_single_requests():
+    """III.b: one batched request vs one request per database."""
+    databases = _workload("q3", _BATCH_SIZE)
+    query_text = str(QUERIES["q3"])
+
+    def singles():
+        session = Session()
+        answers = []
+        for database in databases:
+            [answer] = session.answer(
+                Request(
+                    op="certain",
+                    query=query_text,
+                    datasets=(DatasetRef.in_memory(database),),
+                )
+            )
+            answers.append(answer.verdict)
+        return answers
+
+    def batched():
+        session = Session()
+        answers = session.answer(
+            Request(
+                op="certain",
+                query=query_text,
+                datasets=tuple(DatasetRef.in_memory(db) for db in databases),
+            )
+        )
+        return [answer.verdict for answer in answers]
+
+    single_answers, single_time = timed(singles)
+    batch_answers, batch_time = timed(batched)
+    assert batch_answers == single_answers
+    ratio = single_time / batch_time if batch_time else float("inf")
+    report = ExperimentReport(
+        "Experiment III.b — session batch throughput: N requests vs one batched request",
+        ["batch", "single requests (s)", "batched request (s)", "ratio"],
+    )
+    report.add(
+        batch=len(databases),
+        **{
+            "single requests (s)": f"{single_time:.4f}",
+            "batched request (s)": f"{batch_time:.4f}",
+            "ratio": f"{ratio:.2f}x",
+        },
+    )
+    emit(report)
+    _JSON_REPORTS.append(report)
+    # The envelope/planning overhead must amortise: the batched request may
+    # not be meaningfully slower than the request-per-database stream.
+    assert ratio >= 0.5, f"batched request {ratio:.2f}x of single-request stream"
+
+
+def test_write_baseline_json():
+    """Persist the measured reports as the committed JSON baseline."""
+    if not _JSON_REPORTS:  # pragma: no cover - ordering guard
+        return
+    if _DEFAULT_SIZED_RUN:
+        write_json(_BASELINE_PATH, _JSON_REPORTS)
+        assert json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))["reports"]

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Service-layer quickstart: one session, mixed queries, mixed backends.
+
+The PR 3 redesign makes "classify once, plan per workload, answer uniformly"
+the front door of the library: a :class:`repro.Session` owns the query
+registry and the pooled engines, a :class:`repro.DatasetRef` names the data
+wherever it lives (in memory, in a CSV file, in SQLite), the planner picks
+the execution strategy, and every operation returns the same typed answer
+envelope.
+
+Run with::
+
+    python examples/service_quickstart.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import Database, DatasetRef, Fact, Request, Session, SqliteFactStore, parse_query
+
+HR_QUERY = "Assignment(e|m,p) Assignment(m|e,p)"
+
+
+def main() -> None:
+    schema = parse_query(HR_QUERY).schema
+    session = Session()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # ------------------------------------------------------------------ #
+        # 1. Three backends for the same relation: memory, CSV, SQLite.
+        # ------------------------------------------------------------------ #
+        memory_db = Database(
+            [
+                Fact(schema, ("alice", "bob", "apollo")),
+                Fact(schema, ("alice", "carol", "hermes")),
+                Fact(schema, ("bob", "alice", "apollo")),
+            ]
+        )
+        csv_path = Path(scratch) / "assignments.csv"
+        csv_path.write_text(
+            "employee,manager,project\n"
+            "alice,bob,apollo\n"
+            "bob,alice,apollo\n",
+            encoding="utf-8",
+        )
+        sqlite_path = str(Path(scratch) / "assignments.db")
+        with SqliteFactStore(schema, sqlite_path) as store:
+            store.load_database(memory_db)
+
+        # ------------------------------------------------------------------ #
+        # 2. A mixed workload through one session: the query registry
+        #    classifies each query once, the engine pool is shared, and the
+        #    planner routes every request to its backend.
+        # ------------------------------------------------------------------ #
+        requests = [
+            Request(op="classify", query="q2"),
+            Request(op="classify", query=HR_QUERY),
+            Request(
+                op="witness",
+                query=HR_QUERY,
+                datasets=(DatasetRef.in_memory(memory_db, label="hr"),),
+            ),
+            Request(op="certain", query=HR_QUERY, datasets=(DatasetRef.csv(csv_path),)),
+            Request(
+                op="certain", query=HR_QUERY, datasets=(DatasetRef.sqlite(sqlite_path),)
+            ),
+            Request(
+                op="support",
+                query=HR_QUERY,
+                datasets=(DatasetRef.in_memory(memory_db, label="hr"),),
+                samples=200,
+                seed=7,
+            ),
+        ]
+        for request in requests:
+            for answer in session.answer(request):
+                print(f"{answer.op:<9} {answer.query}")
+                print(f"  verdict   : {answer.verdict}")
+                print(f"  algorithm : {answer.algorithm}")
+                print(f"  backend   : {answer.backend}  source: {answer.source}")
+                if answer.witness:
+                    print(f"  witness   : {answer.witness}")
+
+        # ------------------------------------------------------------------ #
+        # 3. The session pooled everything: two queries classified, engines
+        #    reused across the six requests.
+        # ------------------------------------------------------------------ #
+        print(f"\n{session.describe()}")
+        print(f"stats: {session.stats}")
+
+        # ------------------------------------------------------------------ #
+        # 4. The same answers as machine-readable envelopes (what the CLI's
+        #    --json and `repro run` emit).
+        # ------------------------------------------------------------------ #
+        [answer] = session.answer(
+            Request(
+                op="certain",
+                query=HR_QUERY,
+                datasets=(DatasetRef.sqlite(sqlite_path),),
+            )
+        )
+        print("\nJSON envelope:")
+        print(json.dumps(answer.to_json_dict(), indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,19 @@ Quickstart::
     engine = CertainEngine(q2)
     db = random_solution_database(q2, solution_count=6, domain_size=4)
     print(engine.is_certain(db))
+
+Or through the service layer — the unified front door that classifies each
+query once, plans the execution strategy per request, and answers every
+operation with one typed envelope::
+
+    from repro import Session, Request, DatasetRef
+
+    session = Session()
+    [answer] = session.answer(
+        Request(op="witness", query="R(x,u|x,y) R(u,y|x,z)",
+                datasets=(DatasetRef.in_memory(db),))
+    )
+    print(answer.verdict, answer.algorithm, answer.witness)
 """
 
 from .core.approximate import (
@@ -74,7 +87,9 @@ from .core.sjf import (
     sjf,
 )
 from .core.solutions import (
+    BlockComponentMaintainer,
     SolutionGraph,
+    block_component_maintainer,
     build_solution_graph,
     build_solution_graph_naive,
     q_connected_block_components,
@@ -117,6 +132,17 @@ from .db.sqlite_backend import (
 from .logic.cnf import CnfFormula, Clause, Literal, random_restricted_three_sat
 from .logic.dpll import DpllSolver, is_satisfiable
 from .logic.encode import FalsifyingRepairEncoding, certain_via_sat
+from .service import (
+    Answer,
+    DatasetRef,
+    Plan,
+    Planner,
+    QueryHandle,
+    Request,
+    Session,
+    request_from_json_dict,
+    run_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -141,6 +167,7 @@ __all__ = [
     "MatchingAlgorithm", "MatchingResult", "matching_algorithm", "certain_by_matching",
     "SolutionGraph", "build_solution_graph", "build_solution_graph_naive",
     "q_connected_block_components", "solution_graph_cache_key",
+    "BlockComponentMaintainer", "block_component_maintainer",
     # tripaths and classification
     "BranchingTriple", "g_bar", "g_elements",
     "Tripath", "TripathBlock", "TripathSearcher",
@@ -158,5 +185,8 @@ __all__ = [
     "CnfFormula", "Clause", "Literal", "random_restricted_three_sat",
     "DpllSolver", "is_satisfiable",
     "FalsifyingRepairEncoding", "certain_via_sat",
+    # service layer (the unified front door)
+    "Session", "Request", "Answer", "DatasetRef", "Planner", "Plan",
+    "QueryHandle", "request_from_json_dict", "run_workload",
     "__version__",
 ]

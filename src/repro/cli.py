@@ -5,33 +5,37 @@ Commands
 ``classify``
     Classify one or more queries (or the paper's examples with ``--paper``).
 ``certain``
-    Decide the certain answer of a query over facts loaded from a CSV file.
+    Decide the certain answer of a query over facts loaded from CSV file(s).
 ``support``
     Estimate the fraction of repairs satisfying the query (Monte-Carlo).
 ``reduce``
     Build the Section 9 gadget database ``D[φ]`` for a DIMACS-like formula
     and report its size and certainty.
+``run``
+    Drive a whole JSONL workload (mixed queries, mixed backends) through one
+    service session.
 
-The CLI is a thin veneer over the public API so that the library can be used
-without writing Python; every command prints a compact human-readable report
-and exits with a non-zero status on invalid input.
+The CLI is a thin client of the service layer
+(:class:`~repro.service.session.Session`): every command builds typed
+requests, lets the backend-aware planner pick the execution strategy, and
+renders the resulting answer envelopes.  Every command accepts ``--json`` to
+emit the envelopes verbatim — one JSON object per answer, JSONL for batches —
+which is the machine contract pinned by ``tests/test_cli_json.py``.  Planner
+warnings (e.g. ``--workers`` on a single-database request) go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from .core.approximate import estimate_support
-from .core.certain import CertainEngine, default_worker_count, find_falsifying_repair
-from .core.classification import classify
-from .core.query import TwoAtomQuery, paper_queries, parse_query
-from .core.reduction import ReductionError, sat_reduction
-from .db.csvio import load_csv
-from .db.fact_store import Database
-from .logic.cnf import parse_dimacs_like
-from .logic.dpll import is_satisfiable
+from .core.reduction import ReductionError
+from .service.datasets import DatasetRef
+from .service.envelope import Answer, Request
+from .service.runner import run_workload
+from .service.session import Session
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="classify the paper's example queries q1..q7")
     classify_parser.add_argument("--depth", type=int, default=4,
                                  help="tripath search depth (default 4)")
+    classify_parser.add_argument("--json", action="store_true",
+                                 help="emit one JSON answer envelope per query")
 
     certain_parser = subparsers.add_parser("certain", help="certain answer over CSV relations")
     certain_parser.add_argument("query", help="the two-atom query")
@@ -60,13 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="print a falsifying repair when the query is not certain")
     certain_parser.add_argument("--workers", type=int, default=None, metavar="N",
                                 help="shard a multi-file batch across N worker "
-                                "processes (default: sequential; 0 = one per CPU)")
+                                "processes (default: planner decides; 0 = one per CPU)")
+    certain_parser.add_argument("--json", action="store_true",
+                                help="emit one JSON answer envelope per database (JSONL)")
 
     support_parser = subparsers.add_parser("support", help="estimate the repair support")
     support_parser.add_argument("query", help="the two-atom query")
     support_parser.add_argument("csv", help="CSV file with one column per position")
     support_parser.add_argument("--samples", type=int, default=500)
+    support_parser.add_argument("--seed", type=int, default=None,
+                                help="seed the repair sampler (reproducible estimates)")
     support_parser.add_argument("--no-header", action="store_true")
+    support_parser.add_argument("--json", action="store_true",
+                                help="emit the JSON answer envelope")
 
     reduce_parser = subparsers.add_parser("reduce", help="build the Section 9 gadget D[phi]")
     reduce_parser.add_argument("query", help="a query admitting a fork-tripath (e.g. q2)")
@@ -77,121 +89,199 @@ def build_parser() -> argparse.ArgumentParser:
         'put "--" before the first clause so that leading minus signs are '
         "not parsed as options",
     )
+    reduce_parser.add_argument("--json", action="store_true",
+                               help="emit the JSON answer envelope")
+
+    run_parser = subparsers.add_parser(
+        "run", help="answer a JSONL workload of mixed requests through one session"
+    )
+    run_parser.add_argument("requests", help="path to a JSONL file, one request per line")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit one JSON answer envelope per answer (JSONL)")
     return parser
 
 
-def _parse_query_argument(text: str) -> TwoAtomQuery:
-    named = paper_queries()
-    if text in named:
-        return named[text]
-    return parse_query(text)
+# --------------------------------------------------------------------------- #
+# envelope rendering helpers
+# --------------------------------------------------------------------------- #
+def _emit_json(answers: Sequence[Answer]) -> None:
+    for answer in answers:
+        print(json.dumps(answer.to_json_dict()))
 
 
-def _load_database(args) -> Database:
-    query = _parse_query_argument(args.query)
-    path = args.csv[0] if isinstance(args.csv, list) else args.csv
-    return load_csv(path, query.schema, has_header=not args.no_header)
+def _emit_warnings(answers: Sequence[Answer]) -> None:
+    seen = set()
+    for answer in answers:
+        for warning in answer.warnings:
+            if warning not in seen:
+                seen.add(warning)
+                print(f"warning: {warning}", file=sys.stderr)
 
 
+def _describe_database(answer: Answer) -> str:
+    info = answer.database or {}
+    return (
+        f"Database(facts={info.get('facts')}, blocks={info.get('blocks')}, "
+        f"max_block={info.get('max_block')}, repairs={info.get('repairs')})"
+    )
+
+
+def _print_witness(answer: Answer, label: Optional[str] = None) -> None:
+    if answer.witness is None:
+        return
+    header = "falsifying repair:" if label is None else f"falsifying repair for {label}:"
+    print(header)
+    for fact in answer.witness:
+        print(f"  {fact}")
+
+
+# --------------------------------------------------------------------------- #
+# command handlers
+# --------------------------------------------------------------------------- #
 def _run_classify(args) -> int:
-    queries = []
+    names: List[str] = []
     if args.paper:
-        queries.extend(paper_queries().items())
-    queries.extend((text, _parse_query_argument(text)) for text in args.queries)
-    if not queries:
+        from .core.query import paper_queries
+
+        names.extend(paper_queries())
+    names.extend(args.queries)
+    if not names:
         print("nothing to classify: pass queries or --paper", file=sys.stderr)
         return 2
-    for name, query in queries:
-        kwargs = {"tripath_depth": args.depth}
-        if query.schema.arity > 8:
-            kwargs.update(tripath_merges=1, max_candidates=2000)
-        result = classify(query, **kwargs)
-        print(f"{name}: {result.summary()}")
+    session = Session()
+    answers = []
+    for name in names:
+        answers.extend(
+            session.answer(Request(op="classify", query=name, depth=args.depth))
+        )
+    if args.json:
+        _emit_json(answers)
+        return 0
+    for answer in answers:
+        print(f"{answer.query}: {answer.details['summary']}")
     return 0
 
 
 def _run_certain(args) -> int:
-    query = _parse_query_argument(args.query)
-    engine = CertainEngine(query)
-    if len(args.csv) > 1:
-        return _run_certain_batch(args, query, engine)
-    database = _load_database(args)
-    report = engine.explain(database)
-    print(f"query     : {query}")
-    print(f"database  : {database.describe()}")
-    print(f"certain   : {report.certain}")
-    print(f"algorithm : {report.algorithm}")
-    if args.witness and not report.certain:
-        witness = find_falsifying_repair(query, database)
-        print("falsifying repair:")
-        for fact in witness:
-            print(f"  {fact}")
-    return 0
-
-
-def _run_certain_batch(args, query: TwoAtomQuery, engine: CertainEngine) -> int:
-    """Answer one query over many CSV files with a single engine instance."""
-    databases = [
-        load_csv(path, query.schema, has_header=not args.no_header) for path in args.csv
-    ]
-    workers = args.workers
-    if workers == 0:
-        workers = default_worker_count()
-    reports = engine.explain_many(databases, workers=workers)
-    print(f"query     : {query}")
-    print(f"batch     : {len(reports)} databases"
-          + (f" (sharded over {workers} workers)" if workers and workers > 1 else ""))
-    for path, database, report in zip(args.csv, databases, reports):
-        print(f"  {path}: certain={report.certain} "
-              f"[{report.algorithm}] {database.describe()}")
+    datasets = tuple(
+        DatasetRef.csv(path, has_header=not args.no_header) for path in args.csv
+    )
+    request = Request(
+        op="certain",
+        query=args.query,
+        datasets=datasets,
+        workers=args.workers,
+        witness=args.witness,
+    )
+    session = Session()
+    answers = session.answer(request)
+    _emit_warnings(answers)
+    if args.json:
+        _emit_json(answers)
+        return 0
+    if len(answers) == 1:
+        answer = answers[0]
+        print(f"query     : {session.resolve_query(args.query).query}")
+        print(f"database  : {_describe_database(answer)}")
+        print(f"certain   : {answer.verdict}")
+        print(f"algorithm : {answer.algorithm}")
+        if args.witness and not answer.verdict:
+            _print_witness(answer)
+        return 0
+    sharded = answers[0].backend == "sharded-pool"
+    workers = answers[0].details.get("workers")
+    print(f"query     : {session.resolve_query(args.query).query}")
+    print(f"batch     : {len(answers)} databases"
+          + (f" (sharded over {workers} workers)" if sharded else ""))
+    for path, answer in zip(args.csv, answers):
+        print(f"  {path}: certain={answer.verdict} "
+              f"[{answer.algorithm}] {_describe_database(answer)}")
     if args.witness:
-        for path, database, report in zip(args.csv, databases, reports):
-            if report.certain:
+        for path, answer in zip(args.csv, answers):
+            if answer.verdict:
                 continue
-            witness = find_falsifying_repair(query, database)
-            print(f"falsifying repair for {path}:")
-            for fact in witness:
-                print(f"  {fact}")
+            _print_witness(answer, label=path)
     return 0
 
 
 def _run_support(args) -> int:
-    query = _parse_query_argument(args.query)
-    database = _load_database(args)
-    estimate = estimate_support(query, database, samples=args.samples)
-    print(f"query            : {query}")
-    print(f"database         : {database.describe()}")
-    print(f"estimated support: {estimate.estimate:.3f} "
-          f"[{estimate.lower_bound:.3f}, {estimate.upper_bound:.3f}] "
-          f"({estimate.confidence:.0%} confidence, {estimate.samples} samples)")
-    if estimate.definitely_not_certain:
+    request = Request(
+        op="support",
+        query=args.query,
+        datasets=(DatasetRef.csv(args.csv, has_header=not args.no_header),),
+        samples=args.samples,
+        seed=args.seed,
+    )
+    session = Session()
+    answers = session.answer(request)
+    _emit_warnings(answers)
+    if args.json:
+        _emit_json(answers)
+        return 0
+    answer = answers[0]
+    details = answer.details
+    print(f"query            : {session.resolve_query(args.query).query}")
+    print(f"database         : {_describe_database(answer)}")
+    print(f"estimated support: {details['estimate']:.3f} "
+          f"[{details['lower_bound']:.3f}, {details['upper_bound']:.3f}] "
+          f"({details['confidence']:.0%} confidence, {details['samples']} samples)")
+    if details["definitely_not_certain"]:
         print("a falsifying repair was sampled: the query is definitely NOT certain")
     return 0
 
 
 def _run_reduce(args) -> int:
-    query = _parse_query_argument(args.query)
-    rows: List[List[int]] = []
+    clauses: List[List[int]] = []
     for clause_text in args.clauses:
         try:
-            rows.append([int(token) for token in clause_text.split(",") if token.strip()])
+            clauses.append([int(token) for token in clause_text.split(",") if token.strip()])
         except ValueError:
             print(f"cannot parse clause {clause_text!r}", file=sys.stderr)
             return 2
-    formula = parse_dimacs_like(rows)
+    session = Session()
+    request = Request(
+        op="reduce",
+        query=args.query,
+        clauses=tuple(tuple(clause) for clause in clauses),
+    )
     try:
-        database = sat_reduction(query, formula)
+        answers = session.answer(request)
     except ReductionError as error:
         print(f"reduction failed: {error}", file=sys.stderr)
         return 1
-    engine = CertainEngine(query)
-    certain = engine.is_certain(database)
-    print(f"formula      : {formula}")
-    print(f"satisfiable  : {is_satisfiable(formula)}")
-    print(f"D[phi]       : {database.describe()}")
-    print(f"certain(q)   : {certain}")
-    print(f"Lemma 9.2    : {is_satisfiable(formula) == (not certain)}")
+    if args.json:
+        _emit_json(answers)
+        return 0
+    answer = answers[0]
+    details = answer.details
+    print(f"formula      : {details['formula']}")
+    print(f"satisfiable  : {details['satisfiable']}")
+    print(f"D[phi]       : {_describe_database(answer)}")
+    print(f"certain(q)   : {answer.verdict}")
+    print(f"Lemma 9.2    : {details['lemma_9_2']}")
     return 0
+
+
+def _run_run(args) -> int:
+    try:
+        answers = run_workload(args.requests)
+    except OSError as error:
+        print(f"cannot read workload: {error}", file=sys.stderr)
+        return 2
+    _emit_warnings(answers)
+    if args.json:
+        _emit_json(answers)
+    else:
+        for index, answer in enumerate(answers):
+            tag = answer.request_id or str(index)
+            total = answer.timings.get("total_s")
+            elapsed = f", {total * 1000:.1f} ms" if total is not None else ""
+            if answer.ok:
+                print(f"[{tag}] {answer.op} {answer.query}: {answer.verdict} "
+                      f"[{answer.algorithm}] ({answer.backend}{elapsed})")
+            else:
+                print(f"[{tag}] {answer.op} {answer.query}: ERROR {answer.error}")
+    return 0 if all(answer.ok for answer in answers) else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -202,6 +292,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "certain": _run_certain,
         "support": _run_support,
         "reduce": _run_reduce,
+        "run": _run_run,
     }
     return handlers[args.command](args)
 

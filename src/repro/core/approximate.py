@@ -101,6 +101,18 @@ class SupportEstimate:
         """True when a falsifying repair was actually observed."""
         return self.falsifying_repair is not None
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by the service layer's answer envelopes)."""
+        return {
+            "estimate": self.estimate,
+            "samples": self.samples,
+            "satisfied": self.satisfied,
+            "confidence": self.confidence,
+            "lower_bound": self.lower_bound,
+            "upper_bound": self.upper_bound,
+            "definitely_not_certain": self.definitely_not_certain,
+        }
+
 
 def exact_support(query: TwoAtomQuery, database: Database) -> float:
     """The exact fraction of repairs satisfying the query (exponential time).

@@ -11,7 +11,7 @@ must not leak into the keys of the extremal facts of a tripath.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 from ..db.fact_store import Database
 from .query import TwoAtomQuery

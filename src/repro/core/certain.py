@@ -88,11 +88,19 @@ def certain_trivial(query: TwoAtomQuery, database: Database) -> bool:
 
 @dataclass
 class EngineReport:
-    """How the engine answered one ``is_certain`` call."""
+    """How the engine answered one ``is_certain`` call.
+
+    ``witness`` is populated only when the caller asked for one (see
+    :meth:`CertainEngine.explain` with ``want_witness=True``) and the answer
+    is negative: it is a falsifying repair of the database, produced inline
+    by the same SAT solve that decided the answer whenever the deciding
+    algorithm was the SAT oracle — not recomputed out-of-band.
+    """
 
     certain: bool
     algorithm: str
     exact: bool
+    witness: Optional[Repair] = None
 
 
 class CertainEngine:
@@ -137,37 +145,70 @@ class CertainEngine:
     def is_certain(self, database: Database) -> bool:
         return self.explain(database).certain
 
-    def explain(self, database: Database) -> EngineReport:
-        """Answer ``certain(q)`` and report which algorithm produced the answer."""
+    def explain(self, database: Database, want_witness: bool = False) -> EngineReport:
+        """Answer ``certain(q)`` and report which algorithm produced the answer.
+
+        With ``want_witness`` a negative answer also carries a falsifying
+        repair in :attr:`EngineReport.witness`.  On the SAT-oracle paths the
+        witness is extracted from the same solve that decided the answer;
+        on the polynomial paths it is produced by one extra SAT solve.  In
+        ``strict_polynomial`` mode that solve settles the inexact negative
+        either way: a witness found upgrades the report to an exact
+        ``False`` (the repair is a concrete certificate of non-certainty),
+        and no witness existing overturns it to an exact ``True`` — the
+        solve proved the paper-algorithm answer was a false negative.
+        """
         method = self.classification.method
         methods = self._method_enum
         if method == methods.TRIVIAL:
-            return EngineReport(certain_trivial(self.query, database), "one-atom check", True)
-        if method == methods.SYNTACTIC_EASY:
-            return EngineReport(
+            report = EngineReport(certain_trivial(self.query, database), "one-atom check", True)
+        elif method == methods.SYNTACTIC_EASY:
+            report = EngineReport(
                 self._cert2.is_certain(database), "Cert_2 (Theorem 6.1)", True
             )
-        if method in (methods.SYNTACTIC_HARD, methods.FORK_TRIPATH):
-            return EngineReport(
-                certain_exact(self.query, database), "SAT oracle (coNP-complete query)", True
+        elif method in (methods.SYNTACTIC_HARD, methods.FORK_TRIPATH):
+            report = self._explain_via_sat(
+                database, "SAT oracle (coNP-complete query)", want_witness
             )
         # Remaining polynomial cases: no tripath, or triangle-tripath only.
-        if self._certk.is_certain(database):
-            return EngineReport(True, f"Cert_{self.practical_k}", True)
-        if self._matching.certain_by_negation(database):
-            return EngineReport(True, "¬matching (Proposition 10.2)", True)
-        if self.strict_polynomial:
-            return EngineReport(
+        elif self._certk.is_certain(database):
+            report = EngineReport(True, f"Cert_{self.practical_k}", True)
+        elif self._matching.certain_by_negation(database):
+            report = EngineReport(True, "¬matching (Proposition 10.2)", True)
+        elif self.strict_polynomial:
+            report = EngineReport(
                 False,
                 f"Cert_{self.practical_k} ∨ ¬matching (paper algorithm, k below the "
                 "theoretical bound)",
                 False,
             )
-        return EngineReport(
-            certain_exact(self.query, database),
-            "SAT oracle (confirming a negative polynomial-algorithm answer)",
-            True,
-        )
+        else:
+            report = self._explain_via_sat(
+                database,
+                "SAT oracle (confirming a negative polynomial-algorithm answer)",
+                want_witness,
+            )
+        if want_witness and not report.certain and report.witness is None:
+            witness = find_falsifying_repair(self.query, database)
+            if witness is not None:
+                report = EngineReport(False, report.algorithm, True, witness)
+            elif not report.exact:
+                # strict_polynomial negative, but the witness solve proved no
+                # falsifying repair exists: the paper-algorithm answer was a
+                # false negative and the exact answer is already paid for.
+                report = EngineReport(
+                    True, f"{report.algorithm}; overturned by the witness SAT solve", True
+                )
+        return report
+
+    def _explain_via_sat(
+        self, database: Database, algorithm: str, want_witness: bool
+    ) -> EngineReport:
+        """The SAT-oracle leg, extracting the witness from the deciding solve."""
+        if not want_witness:
+            return EngineReport(certain_exact(self.query, database), algorithm, True)
+        witness = find_falsifying_repair(self.query, database)
+        return EngineReport(witness is None, algorithm, True, witness)
 
     # ------------------------------------------------------------------ #
     # batch API
@@ -177,6 +218,7 @@ class CertainEngine:
         databases: Iterable[Database],
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        want_witness: bool = False,
     ) -> List[EngineReport]:
         """Answer ``certain(q)`` for a batch of databases.
 
@@ -194,17 +236,22 @@ class CertainEngine:
         is a drop-in replacement for the sequential one.  ``chunk_size``
         overrides the default sharding granularity (``len / (4 * workers)``,
         at least 1); ``workers`` of ``None``, 0 or 1 stays sequential and
-        lazy per database.
+        lazy per database.  ``want_witness`` is forwarded to every
+        :meth:`explain` call (witnesses travel back from the workers).
         """
         if not workers or workers <= 1:
-            return list(self.explain_stream(databases))
+            return list(self.explain_stream(databases, want_witness=want_witness))
         items = list(databases)
         if len(items) <= 1:
-            return list(self.explain_stream(items))
-        return self._explain_sharded(items, workers, chunk_size)
+            return list(self.explain_stream(items, want_witness=want_witness))
+        return self._explain_sharded(items, workers, chunk_size, want_witness)
 
     def _explain_sharded(
-        self, items: Sequence[Database], workers: int, chunk_size: Optional[int]
+        self,
+        items: Sequence[Database],
+        workers: int,
+        chunk_size: Optional[int],
+        want_witness: bool = False,
     ) -> List[EngineReport]:
         if chunk_size is None:
             # Several chunks per worker smooth over databases of uneven cost
@@ -213,17 +260,21 @@ class CertainEngine:
         chunks = [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
         processes = min(workers, len(chunks))
         if processes <= 1:
-            return list(self.explain_stream(items))
+            return list(self.explain_stream(items, want_witness=want_witness))
         with multiprocessing.Pool(
-            processes=processes, initializer=_init_pool_worker, initargs=(self,)
+            processes=processes,
+            initializer=_init_pool_worker,
+            initargs=(self, want_witness),
         ) as pool:
             shard_results = pool.map(_explain_chunk_in_worker, chunks)
         return [report for shard in shard_results for report in shard]
 
-    def explain_stream(self, databases: Iterable[Database]) -> Iterator[EngineReport]:
+    def explain_stream(
+        self, databases: Iterable[Database], want_witness: bool = False
+    ) -> Iterator[EngineReport]:
         """Lazy variant of :meth:`explain_many` for long streams."""
         for database in databases:
-            yield self.explain(database)
+            yield self.explain(database, want_witness=want_witness)
 
     def is_certain_many(
         self,
@@ -256,16 +307,21 @@ class CertainEngine:
 #: Per-worker engine installed by the pool initialiser, so the engine state is
 #: unpickled once per worker process instead of once per chunk.
 _POOL_ENGINE: Optional[CertainEngine] = None
+_POOL_WANT_WITNESS: bool = False
 
 
-def _init_pool_worker(engine: CertainEngine) -> None:
-    global _POOL_ENGINE
+def _init_pool_worker(engine: CertainEngine, want_witness: bool = False) -> None:
+    global _POOL_ENGINE, _POOL_WANT_WITNESS
     _POOL_ENGINE = engine
+    _POOL_WANT_WITNESS = want_witness
 
 
 def _explain_chunk_in_worker(databases: Sequence[Database]) -> List[EngineReport]:
     assert _POOL_ENGINE is not None, "pool worker used before initialisation"
-    return [_POOL_ENGINE.explain(database) for database in databases]
+    return [
+        _POOL_ENGINE.explain(database, want_witness=_POOL_WANT_WITNESS)
+        for database in databases
+    ]
 
 
 def default_worker_count() -> int:

@@ -20,7 +20,7 @@ by a verified witness or by an argument preserved under instantiation) or
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

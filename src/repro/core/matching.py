@@ -20,7 +20,7 @@ with no fork-tripath (Theorem 10.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from ..db.fact_store import Database, Repair
 from ..graphs.bipartite import BipartiteGraph, maximum_matching

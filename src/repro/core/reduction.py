@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..db.fact_store import Database
-from ..logic.cnf import Clause, CnfFormula, Literal
+from ..logic.cnf import CnfFormula
 from .query import TwoAtomQuery
 from .terms import Element, Fact
 from .tripath import FORK, NiceWitness, Tripath, find_tripath_for_query

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.fact_store import Database
-from ..eval.deltas import FactDelta, graph_maintainer
+from ..eval.deltas import DeltaUnsupported, FactDelta, graph_maintainer
 from ..eval.matcher import AtomMatcher
 from ..graphs.components import UnionFind
 from .query import TwoAtomQuery
@@ -249,6 +249,93 @@ def build_solution_graph_naive(query: TwoAtomQuery, database: Database) -> Solut
     return solution_graph_from_pairs(facts, pairs())
 
 
+class BlockComponentState:
+    """The delta-maintained block-level union-find of Proposition 10.6.
+
+    Holds the union-find over block ids (two blocks are merged whenever some
+    facts of theirs form a solution) plus a memo of the materialised
+    component sub-databases.  The union-find survives fact additions — the
+    maintainer unions in only the new fact's solution pairs — while the memo
+    is dropped whenever the partition may have changed.
+    """
+
+    __slots__ = ("union_find", "_components")
+
+    def __init__(self, union_find: UnionFind) -> None:
+        self.union_find = union_find
+        self._components: Optional[List[Database]] = None
+
+    def materialize(self, database: Database) -> List[Database]:
+        """The component sub-databases of ``database``, memoised."""
+        if self._components is None:
+            components: Dict[object, Database] = {}
+            for block in database.blocks():
+                representative = self.union_find.find(block.block_id)
+                component = components.setdefault(representative, Database())
+                component.add_all(block.facts)
+            self._components = list(components.values())
+        return self._components
+
+
+class BlockComponentMaintainer:
+    """Builds and delta-maintains the block-level union-find of one query.
+
+    Doubles as the cache *builder* (:meth:`build`, deriving the union-find
+    from the — itself delta-maintained — solution graph) and the cache
+    *maintainer* (``__call__``): a fact addition probes the index for the new
+    fact's solution pairs only and unions their blocks in, instead of
+    re-running the union-find over every edge of the graph.  Removals can
+    split components, which a union-find cannot undo, so they raise
+    :class:`~repro.eval.deltas.DeltaUnsupported` and fall back to a rebuild —
+    the rebuild still reuses the delta-maintained graph, so the expensive
+    pair discovery is never repeated.
+    """
+
+    def __init__(self, query: TwoAtomQuery) -> None:
+        self.query = query
+        self._graph_maintainer = graph_maintainer(query)
+
+    def build(self, database: Database) -> BlockComponentState:
+        graph = build_solution_graph(self.query, database)
+        union_find: UnionFind = UnionFind(block.block_id for block in database.blocks())
+        for fact, adjacent in graph.edges.items():
+            for other in adjacent:
+                union_find.union(fact.block_id(), other.block_id())
+        for fact in graph.self_loops:
+            union_find.add(fact.block_id())
+        return BlockComponentState(union_find)
+
+    def __call__(
+        self, database: Database, state: BlockComponentState, delta: FactDelta
+    ) -> BlockComponentState:
+        if not delta.is_add:
+            raise DeltaUnsupported(
+                "a fact removal can split q-connected block components"
+            )
+        fact = delta.fact
+        union_find = state.union_find
+        union_find.add(fact.block_id())
+        for first, second in self._graph_maintainer.pairs_of(database, fact):
+            union_find.add(first.block_id())
+            union_find.add(second.block_id())
+            union_find.union(first.block_id(), second.block_id())
+        state._components = None
+        return state
+
+
+_BLOCK_COMPONENT_MAINTAINERS: Dict[TwoAtomQuery, BlockComponentMaintainer] = {}
+
+
+def block_component_maintainer(query: TwoAtomQuery) -> BlockComponentMaintainer:
+    """The shared :class:`BlockComponentMaintainer` of ``query``."""
+    maintainer = _BLOCK_COMPONENT_MAINTAINERS.get(query)
+    if maintainer is None:
+        if len(_BLOCK_COMPONENT_MAINTAINERS) >= 512:  # leak guard, as in deltas
+            _BLOCK_COMPONENT_MAINTAINERS.clear()
+        maintainer = _BLOCK_COMPONENT_MAINTAINERS[query] = BlockComponentMaintainer(query)
+    return maintainer
+
+
 def q_connected_block_components(
     query: TwoAtomQuery, database: Database
 ) -> List[Database]:
@@ -260,29 +347,14 @@ def q_connected_block_components(
     blocks of one equivalence class (so the components partition ``D``).
 
     The decomposition is cached on the database (treat the returned
-    sub-databases as read-only); it consumes the delta-maintained solution
-    graph, so after a mutation only the block-level union-find is redone —
-    the expensive pair discovery is not.
+    sub-databases as read-only) and maintained under the delta pipeline: a
+    fact addition is absorbed by unioning in only that fact's solution pairs
+    (see :class:`BlockComponentMaintainer`), a removal falls back to redoing
+    the block-level union-find over the delta-maintained solution graph — in
+    neither case is the pair discovery repeated.
     """
-    return database.cached(
-        ("q_block_components", query),
-        lambda db: _q_connected_block_components(query, db),
+    maintainer = block_component_maintainer(query)
+    state: BlockComponentState = database.cached(
+        ("q_block_components", query), maintainer.build, maintainer=maintainer
     )
-
-
-def _q_connected_block_components(
-    query: TwoAtomQuery, database: Database
-) -> List[Database]:
-    graph = build_solution_graph(query, database)
-    union_find: UnionFind = UnionFind(block.block_id for block in database.blocks())
-    for fact, adjacent in graph.edges.items():
-        for other in adjacent:
-            union_find.union(fact.block_id(), other.block_id())
-    for fact in graph.self_loops:
-        union_find.add(fact.block_id())
-    components: Dict[object, Database] = {}
-    for block in database.blocks():
-        representative = union_find.find(block.block_id)
-        component = components.setdefault(representative, Database())
-        component.add_all(block.facts)
-    return list(components.values())
+    return state.materialize(database)

@@ -29,16 +29,15 @@ completeness).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..db.fact_store import Database
-from .branching import BranchingTriple, g_bar, g_elements, triple_is_triangle
+from .branching import BranchingTriple, g_elements, triple_is_triangle
 from .query import TwoAtomQuery
 from .solutions import build_solution_graph
 from .terms import Element, Fact
 from .unification import (
-    Const,
     FreshElements,
     UnificationError,
     Unifier,

@@ -45,6 +45,22 @@ def load_csv(
     return database
 
 
+def csv_row_count(path: PathLike, has_header: bool = True, delimiter: str = ",") -> int:
+    """The number of data rows in a CSV file, without building any facts.
+
+    A cheap size probe used by the service planner to pick an execution
+    strategy before a dataset is actually loaded.
+    """
+    count = 0
+    with open(path, newline="", encoding="utf-8") as handle:
+        for index, row in enumerate(csv.reader(handle, delimiter=delimiter)):
+            if has_header and index == 0:
+                continue
+            if row:
+                count += 1
+    return count
+
+
 def save_csv(
     database: Database,
     path: PathLike,

@@ -395,6 +395,21 @@ class Database:
             f"max_block={self.max_block_size()}, repairs={self.repair_count()})"
         )
 
+    def describe_dict(self) -> Dict[str, int]:
+        """The :meth:`describe` shape as a JSON-ready dict, plus the version.
+
+        Used by the service layer's answer envelopes: the ``version`` field
+        lets a client correlate an answer with the mutation state of the
+        database it was computed against.
+        """
+        return {
+            "facts": len(self),
+            "blocks": self.block_count(),
+            "max_block": self.max_block_size(),
+            "repairs": self.repair_count(),
+            "version": self.version,
+        }
+
     def pretty(self) -> str:
         """Multi-line rendering grouped by block."""
         lines = []

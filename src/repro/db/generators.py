@@ -20,7 +20,7 @@ Three families are provided:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.query import TwoAtomQuery
 from ..core.terms import Element, Fact, RelationSchema

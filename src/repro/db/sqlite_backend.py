@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import re
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.certk import certk_seed_cache_key
 from ..core.query import TwoAtomQuery
@@ -241,6 +241,19 @@ class SqliteFactStore:
         if database is None:
             database = Database(self.fetch_facts())
         return solution_graph_from_pairs(database.facts(), self.evaluate_query(query))
+
+    def dataset_ref(self):
+        """This store as a service-layer dataset reference.
+
+        Bridges the PR 1/2 API into the unified front door: the returned
+        :class:`~repro.service.datasets.DatasetRef` resolves through
+        :meth:`to_indexed_database` (SQL pushdown) when the planner picks the
+        SQLite strategy.  Imported lazily — the db layer stays importable
+        without the service layer.
+        """
+        from ..service.datasets import DatasetRef
+
+        return DatasetRef.sqlite(self)
 
     def close(self) -> None:
         self.connection.close()

@@ -20,7 +20,7 @@ from typing import Iterable, List, Optional, Tuple
 from ..core.certk import NaiveCertK
 from ..core.matching import MatchingAlgorithm, MatchingResult
 from ..core.query import TwoAtomQuery
-from ..core.solutions import SolutionGraph, build_solution_graph_naive
+from ..core.solutions import build_solution_graph_naive
 from ..core.terms import Fact
 from ..db.fact_store import Database
 

@@ -12,7 +12,7 @@ regenerate Figure 1 and Figure 2.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from .core.query import TwoAtomQuery, paper_queries, parse_query
 from .core.terms import Fact, RelationSchema

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from .cnf import CnfFormula, Literal
+from .cnf import CnfFormula
 
 IntClause = FrozenSet[int]
 

@@ -18,7 +18,7 @@ serves as the scalable exact oracle used by tests and benchmarks.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from ..core.query import TwoAtomQuery
 from ..core.terms import Fact

@@ -1,0 +1,44 @@
+"""Unified CQA service layer: one front door over the whole library.
+
+The paper frames consistent query answering as a *dispatch* problem —
+classify the query once, then route every instance to the cheapest complete
+procedure.  This package makes that framing the API:
+
+* :class:`~repro.service.session.Session` owns a registry of
+  parsed+classified queries and pooled :class:`~repro.core.certain.CertainEngine`
+  state shared across queries;
+* :class:`~repro.service.datasets.DatasetRef` unifies the three data sources
+  (in-memory :class:`~repro.db.fact_store.Database`, a
+  :class:`~repro.db.sqlite_backend.SqliteFactStore`, lazily-loaded CSV paths,
+  plus inline rows for wire payloads);
+* :class:`~repro.service.planner.Planner` inspects each request (operation,
+  batch size, dataset backends, classification, ``workers``) and picks the
+  execution strategy — indexed in-memory, SQLite solution-pair/seed pushdown,
+  or the sharded multiprocessing pool;
+* every operation (certain / explain / witness / support / classify /
+  reduce) flows through one typed
+  :class:`~repro.service.envelope.Request` → :class:`~repro.service.envelope.Answer`
+  envelope carrying the verdict, algorithm provenance, timings, database
+  version and an optional inline falsifying repair;
+* :mod:`~repro.service.runner` drives whole JSONL workloads through one
+  session (the CLI's ``repro run``).
+"""
+
+from .datasets import DatasetRef
+from .envelope import Answer, Request, request_from_json_dict
+from .planner import Plan, Planner
+from .runner import iter_requests, run_workload
+from .session import QueryHandle, Session
+
+__all__ = [
+    "Answer",
+    "DatasetRef",
+    "Plan",
+    "Planner",
+    "QueryHandle",
+    "Request",
+    "Session",
+    "iter_requests",
+    "request_from_json_dict",
+    "run_workload",
+]

@@ -1,0 +1,245 @@
+"""Dataset references: one handle over the library's three data sources.
+
+Every request addresses its data through a :class:`DatasetRef` — a lazy,
+backend-tagged handle that the planner can inspect (kind, cheap size hint)
+*before* any facts are materialised, and that the session resolves into an
+in-memory :class:`~repro.db.fact_store.Database` only when an answer actually
+needs one.  Four kinds exist:
+
+``memory``
+    An already-built :class:`~repro.db.fact_store.Database`.
+``csv``
+    A CSV path loaded lazily through :func:`~repro.db.csvio.load_csv`
+    (the schema comes from the request's query at resolve time).
+``sqlite``
+    A :class:`~repro.db.sqlite_backend.SqliteFactStore` (or a path to one);
+    resolution goes through :meth:`~repro.db.sqlite_backend.SqliteFactStore.to_indexed_database`
+    so the solution pairs and ``Cert_k`` seeds are pushed down to SQL.
+``rows``
+    Inline rows (the wire form used by JSONL workload files).
+
+Resolutions are memoised per (query, pushdown) so that several requests over
+the same reference share one load, and the handle survives being answered
+for several different queries over the same relation schema.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Sequence, Union
+
+from ..core.query import TwoAtomQuery
+from ..core.terms import RelationSchema
+from ..db.csvio import csv_row_count, facts_from_rows, load_csv
+from ..db.fact_store import Database
+from ..db.sqlite_backend import SqliteFactStore
+
+PathLike = Union[str, Path]
+
+
+class DatasetRef:
+    """A lazy, backend-tagged reference to one dataset (see module docs)."""
+
+    MEMORY = "memory"
+    CSV = "csv"
+    SQLITE = "sqlite"
+    ROWS = "rows"
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        database: Optional[Database] = None,
+        path: Optional[PathLike] = None,
+        store: Optional[SqliteFactStore] = None,
+        rows: Optional[Sequence[Sequence[object]]] = None,
+        has_header: bool = True,
+        label: Optional[str] = None,
+    ) -> None:
+        if kind not in (self.MEMORY, self.CSV, self.SQLITE, self.ROWS):
+            raise ValueError(f"unknown dataset kind {kind!r}")
+        self.kind = kind
+        self._database = database
+        self.path = str(path) if path is not None else None
+        self._store = store
+        self._owns_store = False
+        self._rows = [tuple(row) for row in rows] if rows is not None else None
+        self.has_header = has_header
+        self._label = label
+        self._resolved: Dict[Hashable, Database] = {}
+        self._size_hint: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def in_memory(cls, database: Database, label: Optional[str] = None) -> "DatasetRef":
+        """Wrap an already-built in-memory database."""
+        return cls(cls.MEMORY, database=database, label=label)
+
+    @classmethod
+    def csv(cls, path: PathLike, has_header: bool = True) -> "DatasetRef":
+        """A CSV file, loaded lazily at first resolution."""
+        return cls(cls.CSV, path=path, has_header=has_header)
+
+    @classmethod
+    def sqlite(
+        cls, store_or_path: Union[SqliteFactStore, PathLike]
+    ) -> "DatasetRef":
+        """A SQLite fact store (opened lazily when given a path)."""
+        if isinstance(store_or_path, SqliteFactStore):
+            return cls(cls.SQLITE, store=store_or_path, path=store_or_path.path)
+        return cls(cls.SQLITE, path=store_or_path)
+
+    @classmethod
+    def inline_rows(
+        cls, rows: Sequence[Sequence[object]], label: Optional[str] = None
+    ) -> "DatasetRef":
+        """Inline fact rows (one tuple of values per fact)."""
+        return cls(cls.ROWS, rows=rows, label=label)
+
+    # ------------------------------------------------------------------ #
+    # planner-facing inspection
+    # ------------------------------------------------------------------ #
+    def size_hint(self) -> Optional[int]:
+        """A cheap fact-count estimate, or ``None`` when none is available.
+
+        Never materialises facts: CSVs are scanned row-wise (once — the
+        count is memoised on the reference), SQLite stores answer with
+        ``COUNT(*)``, an unopened SQLite path stays unknown.  An already
+        resolved reference answers from the resolved database for free.
+        """
+        if self.kind == self.MEMORY:
+            return len(self._database)
+        if self.kind == self.ROWS:
+            return len(self._rows)
+        if self._resolved:
+            return len(next(iter(self._resolved.values())))
+        if self.kind == self.CSV:
+            if self._size_hint is None:
+                try:
+                    self._size_hint = csv_row_count(self.path, has_header=self.has_header)
+                except OSError:
+                    return None
+            return self._size_hint
+        if self._store is not None:
+            return self._store.count()
+        return None
+
+    def describe(self) -> str:
+        """A short ``kind:source`` label used by envelopes and reports."""
+        if self._label is not None:
+            return f"{self.kind}:{self._label}"
+        if self.kind == self.MEMORY:
+            return f"memory:{self._database.describe()}"
+        if self.kind == self.ROWS:
+            return f"rows:{len(self._rows)}"
+        return f"{self.kind}:{self.path}"
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self, query: TwoAtomQuery, pushdown: bool = True) -> Database:
+        """The dataset as an in-memory database, memoised per (query, pushdown).
+
+        ``pushdown`` only affects SQLite references: with it (the default,
+        and what the planner's ``sqlite-pushdown`` strategy selects) the
+        rehydrated database arrives with the SQL-computed solution graph and
+        ``Cert_k`` seed antichain primed into its derived cache.
+        """
+        if self.kind == self.MEMORY:
+            return self._database
+        key = self._memo_key(query.schema, query, pushdown)
+        resolved = self._resolved.get(key)
+        if resolved is None:
+            resolved = self._load(query, pushdown)
+            self._resolved[key] = resolved
+        return resolved
+
+    def _memo_key(
+        self, schema: RelationSchema, query: TwoAtomQuery, pushdown: bool
+    ) -> Hashable:
+        if self.kind == self.SQLITE:
+            # Pushdown primes per-query caches, so the memo is per query.
+            return (schema, query if pushdown else None, pushdown)
+        return schema
+
+    def _load(self, query: TwoAtomQuery, pushdown: bool) -> Database:
+        if self.kind == self.ROWS:
+            return Database(facts_from_rows(query.schema, self._rows))
+        if self.kind == self.CSV:
+            return load_csv(self.path, query.schema, has_header=self.has_header)
+        store = self._ensure_store(query.schema)
+        if pushdown:
+            return store.to_indexed_database(query)
+        return store.to_database()
+
+    def _ensure_store(self, schema: RelationSchema) -> SqliteFactStore:
+        if self._store is None:
+            # Opening a missing path would silently create an empty store
+            # (sqlite3.connect + CREATE TABLE IF NOT EXISTS) and answer the
+            # query over zero facts; a read reference must fail instead,
+            # like the CSV path does.
+            if self.path != ":memory:" and not Path(self.path).exists():
+                raise FileNotFoundError(
+                    f"SQLite dataset does not exist: {self.path!r}"
+                )
+            self._store = SqliteFactStore(schema, self.path)
+            self._owns_store = True
+        return self._store
+
+    def close(self) -> None:
+        """Release resources this reference opened itself (idempotent).
+
+        Only SQLite stores opened from a path are closed — stores handed in
+        by the caller stay theirs to manage.  Resolution memos are dropped
+        either way, so a long-running session can bound its memory.
+        """
+        if self._owns_store and self._store is not None:
+            self._store.close()
+            self._store = None
+            self._owns_store = False
+        self._resolved.clear()
+        self._size_hint = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatasetRef({self.describe()})"
+
+
+def dataset_refs_from_json(
+    payload: Dict[str, object], base_dir: Optional[PathLike] = None
+) -> List[DatasetRef]:
+    """Extract the dataset references of one JSON request payload.
+
+    Recognised keys: ``csv`` (path or list of paths), ``sqlite`` (path or
+    list of paths), ``rows`` (a list of row-lists, one inline dataset).  A
+    relative path is tried as given first, then against ``base_dir`` (the
+    directory of the workload file), so workloads stay runnable from
+    anywhere.  ``has_header`` applies to every CSV of the request.
+    """
+    refs: List[DatasetRef] = []
+    has_header = bool(payload.get("has_header", True))
+    for path in _as_paths(payload.get("csv")):
+        refs.append(DatasetRef.csv(_locate(path, base_dir), has_header=has_header))
+    for path in _as_paths(payload.get("sqlite")):
+        refs.append(DatasetRef.sqlite(_locate(path, base_dir)))
+    rows = payload.get("rows")
+    if rows is not None:
+        refs.append(DatasetRef.inline_rows(rows))
+    return refs
+
+
+def _as_paths(value: object) -> List[str]:
+    if value is None:
+        return []
+    if isinstance(value, (str, Path)):
+        return [str(value)]
+    return [str(item) for item in value]
+
+
+def _locate(path: str, base_dir: Optional[PathLike]) -> str:
+    candidate = Path(path)
+    if candidate.exists() or base_dir is None:
+        return str(candidate)
+    relocated = Path(base_dir) / candidate
+    return str(relocated) if relocated.exists() else str(candidate)

@@ -1,0 +1,185 @@
+"""The backend-aware planner: from a request to an execution strategy.
+
+Before PR 3 every caller hand-picked the code path — in-memory engine, the
+SQLite pushdown pipeline, or the sharded multiprocessing pool — and flags
+like ``--workers`` were silently ignored where a path did not support them.
+The planner centralises that choice.  It inspects the request's operation,
+the dataset backends and their cheap size hints, the query's classification
+and the ``workers`` setting, and returns a :class:`Plan` naming one of three
+strategies:
+
+``indexed-memory``
+    The sequential path over in-memory databases (the default).
+``sqlite-pushdown``
+    Resolution through the SQLite backend's SQL pushdown: the solution
+    pairs and ``Cert_k`` seeds arrive precomputed in the rehydrated
+    database's derived cache.
+``sharded-pool``
+    The batch sharded across a multiprocessing pool (several datasets,
+    more than one effective worker).
+
+Settings the chosen strategy cannot honour are *reported*, not dropped: the
+plan carries warnings (e.g. ``workers`` on a single-dataset request) that
+the session copies into every answer envelope and the CLI prints to stderr.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.certain import default_worker_count
+from ..core.classification import ClassificationResult
+from .datasets import DatasetRef
+from .envelope import Request
+
+INDEXED_MEMORY = "indexed-memory"
+SQLITE_PUSHDOWN = "sqlite-pushdown"
+SHARDED_POOL = "sharded-pool"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's verdict for one request."""
+
+    strategy: str
+    workers: Optional[int]
+    pushdown: bool
+    reason: str
+    warnings: Tuple[str, ...] = ()
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.strategy == SHARDED_POOL
+
+
+class Planner:
+    """Pick the execution strategy for a request (see module docs).
+
+    ``auto_shard_threshold`` is the smallest batch that auto-sharding (when
+    ``workers`` is left unset) will put on the pool per available core;
+    coNP-complete queries shard at half that, because every database pays a
+    SAT solve.  ``auto_shard_min_facts`` keeps batches whose cheap
+    :meth:`~repro.service.datasets.DatasetRef.size_hint` totals are known to
+    be tiny off the pool (start-up would dominate).  ``default_workers``
+    overrides the machine's detected core count (useful for tests and for
+    capping a shared host).
+    """
+
+    def __init__(
+        self,
+        default_workers: Optional[int] = None,
+        auto_shard_threshold: int = 8,
+        auto_shard_min_facts: int = 500,
+    ) -> None:
+        self.default_workers = default_workers
+        self.auto_shard_threshold = auto_shard_threshold
+        self.auto_shard_min_facts = auto_shard_min_facts
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        request: Request,
+        classification: Optional[ClassificationResult] = None,
+    ) -> Plan:
+        datasets = request.datasets
+        if request.op in ("classify", "reduce") or not datasets:
+            return Plan(INDEXED_MEMORY, None, False, f"{request.op}: no dataset routing")
+        warnings: list = []
+        pushdown = self._pushdown(request, datasets, warnings)
+        workers = self._effective_workers(request, classification, datasets, warnings)
+        if workers is not None and workers > 1:
+            reason = (
+                f"batch of {len(datasets)} datasets sharded over {workers} workers"
+            )
+            return Plan(SHARDED_POOL, workers, pushdown, reason, tuple(warnings))
+        if pushdown and all(ref.kind == DatasetRef.SQLITE for ref in datasets):
+            return Plan(
+                SQLITE_PUSHDOWN,
+                None,
+                True,
+                "SQLite-resident data: solution pairs and Cert_k seeds pushed to SQL",
+                tuple(warnings),
+            )
+        return Plan(
+            INDEXED_MEMORY,
+            None,
+            pushdown,
+            "sequential indexed in-memory evaluation",
+            tuple(warnings),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _pushdown(
+        self, request: Request, datasets: Sequence[DatasetRef], warnings: list
+    ) -> bool:
+        """Whether SQLite references resolve through the SQL pushdown."""
+        if request.backend == "memory":
+            return False
+        if request.backend == "sqlite" and not any(
+            ref.kind == DatasetRef.SQLITE for ref in datasets
+        ):
+            warnings.append(
+                "backend=sqlite requested but no dataset is SQLite-resident; "
+                "answering on the in-memory path"
+            )
+        elif request.backend not in (None, "sqlite"):
+            warnings.append(
+                f"unknown backend={request.backend!r} ignored "
+                "(expected 'memory' or 'sqlite'); planner default applies"
+            )
+        return True
+
+    def _effective_workers(
+        self,
+        request: Request,
+        classification: Optional[ClassificationResult],
+        datasets: Sequence[DatasetRef],
+        warnings: list,
+    ) -> Optional[int]:
+        batch_size = len(datasets)
+        requested = request.workers
+        if requested == 0:
+            requested = self._machine_workers()
+        if request.op == "support":
+            if requested is not None and requested > 1:
+                warnings.append(
+                    "workers ignored: support sampling runs on the sequential path"
+                )
+            return None
+        if batch_size <= 1:
+            if requested is not None and requested > 1:
+                warnings.append(
+                    f"workers={request.workers} ignored: a single dataset is "
+                    "answered on the sequential path (sharding needs a batch)"
+                )
+            return None
+        if requested is not None:
+            return max(1, requested)
+        # Auto mode: shard only when the batch is large enough to amortise
+        # pool start-up, scaled to the machine; SAT-dominated (coNP) queries
+        # amortise sooner because every database pays a solver call.
+        threshold = self.auto_shard_threshold
+        if classification is not None and classification.is_conp_complete:
+            threshold = max(2, threshold // 2)
+        machine = self._machine_workers()
+        if machine <= 1 or batch_size < threshold:
+            return None
+        # A batch of datasets known (from the cheap size hints) to be tiny
+        # never amortises pool start-up and per-worker engine shipping;
+        # unknown sizes do not block sharding.
+        hints = [ref.size_hint() for ref in datasets]
+        if all(hint is not None for hint in hints):
+            if sum(hints) < self.auto_shard_min_facts:
+                return None
+        return min(machine, math.ceil(batch_size / threshold))
+
+    def _machine_workers(self) -> int:
+        if self.default_workers is not None:
+            return max(1, self.default_workers)
+        return default_worker_count()

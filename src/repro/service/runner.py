@@ -1,0 +1,115 @@
+"""Drive a whole JSONL workload through one session (``repro run``).
+
+A workload file holds one JSON request per line (blank lines and ``#``
+comments are skipped), e.g.::
+
+    {"op": "classify", "query": "q2"}
+    {"op": "certain", "query": "R(x|y) R(y|z)", "csv": ["facts.csv"], "witness": true}
+    {"op": "certain", "query": "q3", "sqlite": "facts.db"}
+    {"op": "support", "query": "q3", "rows": [["a", "b"], ["a", "c"]], "samples": 200, "seed": 7}
+
+All requests share one :class:`~repro.service.session.Session`: queries are
+classified once, engines are pooled across the mix, and the planner routes
+every request to its backend.  Faults are isolated per request — a bad line
+becomes an ``ok: false`` answer envelope and the run continues.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from .envelope import Answer, Request, request_from_json_dict
+from .session import Session
+
+PathLike = Union[str, Path]
+
+
+def _parse_line(
+    text: str, line_number: int, base_dir: str
+) -> Union[Request, Answer]:
+    """One workload line as a :class:`Request`, or an error :class:`Answer`.
+
+    Any failure to interpret the line — malformed JSON, a payload that is
+    not a request, wrong-typed fields (``"csv": 123``) — becomes an
+    ``ok: false`` envelope; the parse itself never raises.
+    """
+    payload: object = None
+    try:
+        payload = json.loads(text)
+        return request_from_json_dict(payload, base_dir=base_dir)
+    except Exception as error:  # noqa: BLE001 - any bad line must be enveloped
+        op = "?"
+        query = "?"
+        if isinstance(payload, dict):
+            op = str(payload.get("op", "?"))
+            query = str(payload.get("query", "?"))
+        return _error_answer(
+            op, query, ValueError(f"line {line_number}: {error}"), None
+        )
+
+
+def _iter_lines(path: PathLike) -> Iterator[Tuple[int, str, str]]:
+    """``(line_number, text, base_dir)`` for every non-blank, non-comment line."""
+    path = Path(path)
+    base_dir = str(path.parent)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if text and not text.startswith("#"):
+                yield line_number, text, base_dir
+
+
+def iter_requests(path: PathLike) -> Iterator[Tuple[int, Request]]:
+    """Yield ``(line_number, Request)`` for every request line of a workload.
+
+    Raises ``ValueError`` (with the line number) on a line that does not
+    describe a request; relative dataset paths are located against the
+    workload file's directory as a fallback.
+    """
+    for line_number, text, base_dir in _iter_lines(path):
+        parsed = _parse_line(text, line_number, base_dir)
+        if isinstance(parsed, Answer):
+            raise ValueError(f"{path}:{parsed.error}")
+        yield line_number, parsed
+
+
+def run_workload(
+    path: PathLike, session: Optional[Session] = None
+) -> List[Answer]:
+    """Answer every request of a workload file through one session.
+
+    Per-request faults (a bad line, a missing CSV, an unparsable query, a
+    reduction that does not apply) are converted into ``ok: false``
+    envelopes carrying the error text, so one bad request never aborts the
+    stream.  Dataset references are closed after each request, bounding the
+    resources a long workload holds open.
+    """
+    session = session or Session()
+    answers: List[Answer] = []
+    for line_number, text, base_dir in _iter_lines(path):
+        parsed = _parse_line(text, line_number, base_dir)
+        if isinstance(parsed, Answer):  # a parse failure, already enveloped
+            answers.append(parsed)
+            continue
+        try:
+            answers.extend(session.answer(parsed))
+        except Exception as error:  # noqa: BLE001 - fault isolation is the point
+            answers.append(_error_answer(parsed.op, parsed.query, error, parsed))
+        finally:
+            for ref in parsed.datasets:
+                ref.close()
+    return answers
+
+
+def _error_answer(
+    op: str, query: str, error: Exception, request: Optional[Request]
+) -> Answer:
+    return Answer(
+        op=op,
+        query=query,
+        ok=False,
+        error=f"{type(error).__name__}: {error}",
+        request_id=request.request_id if request is not None else None,
+    )

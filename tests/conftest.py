@@ -11,7 +11,6 @@ from repro import (
     Fact,
     RelationSchema,
     paper_queries,
-    parse_query,
 )
 from repro.fixtures import (
     figure_1b_database,

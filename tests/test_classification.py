@@ -1,7 +1,5 @@
 """Unit tests for the dichotomy classifier (Sections 3-10)."""
 
-import pytest
-
 from repro import Complexity, Method, classify, parse_query
 from repro.fixtures import expected_classifications
 

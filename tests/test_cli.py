@@ -75,6 +75,12 @@ class TestCertainCommand:
         assert "batch     : 2 databases" in output
         assert "certain=False" in output and "certain=True" in output
 
+    def test_certain_single_csv_warns_when_workers_ignored(self, capsys, hr_csv):
+        assert main(["certain", HR_QUERY, hr_csv, "--workers", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "workers=4 ignored" in captured.err
+        assert "certain   : False" in captured.out
+
     def test_certain_batch_with_witness(self, capsys, hr_csv, tmp_path):
         other = tmp_path / "copy.csv"
         other.write_text(

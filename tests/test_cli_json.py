@@ -1,0 +1,259 @@
+"""The CLI's ``--json`` contract: golden envelopes, parsed back and schema-checked.
+
+Every CLI command can emit its answers as JSON envelopes (JSONL for
+batches).  These tests capture that output, parse it back, validate it
+against the envelope schema, and compare the stable fields against golden
+dictionaries (volatile fields — timings — are checked structurally, not by
+value).  ``repro run`` is exercised over a mixed-query, mixed-backend
+workload answered by one session.
+"""
+
+import json
+
+import pytest
+
+from repro import Fact, SqliteFactStore, parse_query
+from repro.cli import main
+from repro.service.envelope import ENVELOPE_SCHEMA_VERSION
+
+HR_QUERY = "Assignment(e|m,p) Assignment(m|e,p)"
+
+#: Envelope schema: required key -> allowed types (None via type(None)).
+ENVELOPE_SCHEMA = {
+    "schema_version": (int,),
+    "op": (str,),
+    "query": (str,),
+    "ok": (bool,),
+    "verdict": (bool, str, float, int, type(None)),
+    "algorithm": (str,),
+    "backend": (str,),
+    "exact": (bool, type(None)),
+    "timings": (dict,),
+    "database": (dict, type(None)),
+    "source": (str, type(None)),
+    "witness": (list, type(None)),
+    "details": (dict,),
+    "warnings": (list,),
+    "error": (str, type(None)),
+    "request_id": (str, type(None)),
+}
+
+
+def parse_envelopes(capsys):
+    lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+    return [json.loads(line) for line in lines]
+
+
+def check_schema(envelope):
+    assert set(envelope) == set(ENVELOPE_SCHEMA)
+    for key, types in ENVELOPE_SCHEMA.items():
+        assert isinstance(envelope[key], types), (key, envelope[key])
+    assert envelope["schema_version"] == ENVELOPE_SCHEMA_VERSION
+    for value in envelope["timings"].values():
+        assert isinstance(value, float) and value >= 0.0
+    if envelope["database"] is not None:
+        assert {"facts", "blocks", "max_block", "repairs", "version"} <= set(
+            envelope["database"]
+        )
+    return envelope
+
+
+def stable(envelope):
+    """The envelope minus its volatile (timing) fields, for golden comparison."""
+    trimmed = dict(envelope)
+    trimmed.pop("timings")
+    return trimmed
+
+
+@pytest.fixture
+def hr_csv(tmp_path):
+    path = tmp_path / "assignments.csv"
+    path.write_text(
+        "employee,manager,project\n"
+        "alice,bob,apollo\n"
+        "alice,carol,hermes\n"
+        "bob,alice,apollo\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+@pytest.fixture
+def consistent_csv(tmp_path):
+    path = tmp_path / "consistent.csv"
+    path.write_text(
+        "employee,manager,project\nalice,bob,apollo\nbob,alice,apollo\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestClassifyJson:
+    def test_golden_envelope(self, capsys):
+        assert main(["classify", "q3", "--json"]) == 0
+        [envelope] = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert stable(envelope) == {
+            "schema_version": 1,
+            "op": "classify",
+            "query": "q3",
+            "ok": True,
+            "verdict": "PTime",
+            "algorithm": "Cert_2(q)",
+            "backend": "indexed-memory",
+            "exact": True,
+            "database": None,
+            "source": None,
+            "witness": None,
+            "details": {
+                "summary": "R(x|y) ∧ R(y|z): PTime via SYNTACTIC_EASY [Cert_2(q)] (exact)",
+                "method": "SYNTACTIC_EASY",
+                "method_statement": "Theorem 6.1 (Cert_2 computes certainty)",
+                "is_2way_determined": False,
+                "notes": "",
+            },
+            "warnings": [],
+            "error": None,
+            "request_id": None,
+        }
+
+    def test_paper_batch_is_jsonl(self, capsys):
+        assert main(["classify", "--paper", "--depth", "3", "--json"]) == 0
+        envelopes = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert len(envelopes) == 7
+        verdicts = {e["query"]: e["verdict"] for e in envelopes}
+        assert verdicts["q1"] == "coNP-complete"
+        assert verdicts["q3"] == "PTime"
+
+
+class TestCertainJson:
+    def test_single_database_with_witness(self, capsys, hr_csv):
+        assert main(["certain", HR_QUERY, hr_csv, "--witness", "--json"]) == 0
+        [envelope] = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert envelope["op"] == "certain"
+        assert envelope["verdict"] is False
+        assert envelope["backend"] == "indexed-memory"
+        assert envelope["source"] == f"csv:{hr_csv}"
+        assert envelope["database"]["facts"] == 3
+        assert envelope["database"]["blocks"] == 2
+        assert envelope["witness"] is not None
+        assert all(fact.startswith("Assignment(") for fact in envelope["witness"])
+        # The inline witness is a repair: one fact per block.
+        assert len(envelope["witness"]) == envelope["database"]["blocks"]
+
+    def test_batch_is_jsonl_in_input_order(self, capsys, hr_csv, consistent_csv):
+        assert main(["certain", HR_QUERY, hr_csv, consistent_csv, "--json"]) == 0
+        envelopes = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert [e["verdict"] for e in envelopes] == [False, True]
+        assert [e["source"] for e in envelopes] == [
+            f"csv:{hr_csv}",
+            f"csv:{consistent_csv}",
+        ]
+
+    def test_single_database_workers_warning_lands_in_envelope(self, capsys, hr_csv):
+        assert main(["certain", HR_QUERY, hr_csv, "--workers", "3", "--json"]) == 0
+        [envelope] = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert any("workers=3 ignored" in warning for warning in envelope["warnings"])
+
+
+class TestSupportJson:
+    def test_envelope_is_seeded_and_bounded(self, capsys, hr_csv):
+        argv = ["support", HR_QUERY, hr_csv, "--samples", "80", "--seed", "5", "--json"]
+        assert main(argv) == 0
+        [first] = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert main(argv) == 0
+        [second] = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert first["verdict"] == second["verdict"]
+        assert first["details"]["samples"] == 80
+        assert 0.0 <= first["details"]["lower_bound"] <= first["verdict"]
+        assert first["verdict"] <= first["details"]["upper_bound"] <= 1.0
+
+
+class TestReduceJson:
+    def test_envelope_checks_the_lemma(self, capsys):
+        assert main(["reduce", "q2", "--json", "--", "-1,2,3", "1,-2,-3"]) == 0
+        [envelope] = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert envelope["op"] == "reduce"
+        assert envelope["details"]["lemma_9_2"] is True
+        assert envelope["details"]["satisfiable"] == (not envelope["verdict"])
+        assert envelope["source"] == "reduction:D[phi]"
+
+
+class TestRunCommand:
+    @pytest.fixture
+    def workload(self, tmp_path, hr_csv):
+        query = parse_query(HR_QUERY)
+        sqlite_path = tmp_path / "facts.db"
+        with SqliteFactStore(query.schema, str(sqlite_path)) as store:
+            store.insert_facts(
+                [
+                    Fact(query.schema, ("alice", "bob", "apollo")),
+                    Fact(query.schema, ("bob", "alice", "apollo")),
+                ]
+            )
+        lines = [
+            '{"op": "classify", "query": "q3", "id": "c"}',
+            json.dumps(
+                {"op": "certain", "query": HR_QUERY, "csv": [hr_csv],
+                 "witness": True, "id": "csv"}
+            ),
+            json.dumps(
+                {"op": "certain", "query": HR_QUERY, "sqlite": str(sqlite_path),
+                 "id": "sql"}
+            ),
+            "# a comment line, skipped",
+            json.dumps(
+                {"op": "support", "query": HR_QUERY,
+                 "rows": [["a", "b", "p"], ["a", "c", "p"]],
+                 "samples": 40, "seed": 3, "id": "sup"}
+            ),
+        ]
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_mixed_workload_one_envelope_per_request(self, capsys, workload):
+        assert main(["run", workload, "--json"]) == 0
+        envelopes = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert [e["request_id"] for e in envelopes] == ["c", "csv", "sql", "sup"]
+        assert all(e["ok"] for e in envelopes)
+        # Two distinct queries through one session...
+        assert {e["query"] for e in envelopes} == {"q3", HR_QUERY}
+        # ... over at least two backends, each with provenance and timings.
+        backends = {e["backend"] for e in envelopes}
+        assert {"indexed-memory", "sqlite-pushdown"} <= backends
+        assert all(e["algorithm"] for e in envelopes)
+        assert all("total_s" in e["timings"] for e in envelopes)
+        # The witness request got its repair inline.
+        by_id = {e["request_id"]: e for e in envelopes}
+        assert by_id["csv"]["verdict"] is False and by_id["csv"]["witness"]
+        assert by_id["sql"]["verdict"] is True
+
+    def test_human_mode_summarises_each_answer(self, capsys, workload):
+        assert main(["run", workload]) == 0
+        output = capsys.readouterr().out
+        assert "[c] classify q3" in output
+        assert "[sql] certain" in output and "sqlite-pushdown" in output
+
+    def test_bad_request_is_fault_isolated(self, capsys, tmp_path, hr_csv):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"op": "certain", "query": HR_QUERY, "csv": [hr_csv]})
+            + "\n"
+            + '{"op": "nope", "query": "q3"}\n'
+            + json.dumps({"op": "certain", "query": HR_QUERY, "csv": 123})
+            + "\n"
+            + "{not json at all\n"
+            + json.dumps({"op": "classify", "query": "q3"})
+            + "\n",
+            encoding="utf-8",
+        )
+        assert main(["run", str(path), "--json"]) == 1
+        envelopes = [check_schema(e) for e in parse_envelopes(capsys)]
+        assert [e["ok"] for e in envelopes] == [True, False, False, False, True]
+        assert "nope" in envelopes[1]["error"]
+        # Wrong-typed fields and malformed JSON are enveloped, not raised.
+        assert envelopes[2]["error"] and envelopes[3]["error"]
+
+    def test_missing_workload_file(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read workload" in capsys.readouterr().err

@@ -35,6 +35,7 @@ from repro import (
     RepairOracle,
     SeedAntichain,
     SqliteFactStore,
+    block_component_maintainer,
     build_solution_graph,
     build_solution_graph_naive,
     certk_seed_cache_key,
@@ -43,6 +44,7 @@ from repro import (
     q_connected_block_components,
     sample_repair,
 )
+from repro.graphs.components import UnionFind
 from repro.core.certain import EngineReport
 from repro.core.solutions import solution_graph_cache_key
 from repro.db.generators import random_fact, random_solution_database
@@ -190,6 +192,54 @@ class TestSolutionGraphDeltas:
             assert graph.clique_map() == {
                 fact: fresh.clique_of(fact) for fact in fresh.facts
             }
+
+    def test_q_block_components_match_naive_oracle_under_mutation(self):
+        """Randomised interleavings pinned to a from-scratch decomposition."""
+
+        def naive_partition(query, database):
+            graph = build_solution_graph_naive(query, database)
+            union_find = UnionFind(block.block_id for block in database.blocks())
+            for fact, adjacent in graph.edges.items():
+                for other in adjacent:
+                    union_find.union(fact.block_id(), other.block_id())
+            partition = {}
+            for block in database.blocks():
+                partition.setdefault(union_find.find(block.block_id), set()).update(
+                    block.facts
+                )
+            return {frozenset(members) for members in partition.values()}
+
+        for name in sorted(QUERY_CLASSES):
+            query = QUERIES[name]
+            rng = random.Random(2000 + hash(name) % 1000)
+            database = random_solution_database(query, 5, 4, 4, rng)
+            live = database.facts()
+            q_connected_block_components(query, database)  # warm the cache
+            for _ in range(30):
+                mutate(database, rng, query, live)
+                components = q_connected_block_components(query, database)
+                assert {
+                    frozenset(component.facts()) for component in components
+                } == naive_partition(query, database)
+
+    def test_q_block_union_find_is_maintained_across_adds(self):
+        query = QUERIES["easy_cert2"]
+        schema = query.schema
+        database = Database([Fact(schema, (1, 2)), Fact(schema, (7, 8))])
+        maintainer = block_component_maintainer(query)
+        q_connected_block_components(query, database)
+        key = ("q_block_components", query)
+        state = database.cached(key, maintainer.build)
+        database.add(Fact(schema, (2, 3)))  # joins (1,2)'s component
+        assert len(q_connected_block_components(query, database)) == 2
+        # The add was absorbed in place: same state, same union-find.
+        assert database.cached(key, maintainer.build) is state
+        database.remove(Fact(schema, (2, 3)))
+        assert sorted(
+            len(component) for component in q_connected_block_components(query, database)
+        ) == [1, 1]
+        # The removal forced a rebuild (a union-find cannot split).
+        assert database.cached(key, maintainer.build) is not state
 
     def test_q_block_components_cached_and_refreshed(self):
         query = QUERIES["easy_cert2"]

@@ -1,7 +1,5 @@
 """Unit tests for the paper fixtures and the benchmark harness utilities."""
 
-import pytest
-
 from repro import certain_exact, classify, is_satisfiable
 from repro.bench.harness import AgreementResult, ExperimentReport, compare_with_oracle, timed
 from repro.bench.reporting import ReportCollector

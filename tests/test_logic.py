@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import CnfFormula, Database, DpllSolver, Fact, Literal, RelationSchema, is_satisfiable, parse_query
+from repro import CnfFormula, Database, DpllSolver, Fact, Literal, is_satisfiable, parse_query
 from repro.logic.cnf import (
     Clause,
     ensure_mixed_polarity,

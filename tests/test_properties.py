@@ -7,7 +7,6 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro import (
     Database,
     Fact,
-    RelationSchema,
     build_solution_graph,
     cert_2,
     cert_k,

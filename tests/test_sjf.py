@@ -11,7 +11,6 @@ from repro import (
     certain_bruteforce,
     certain_sjf_bruteforce,
     classify_sjf,
-    parse_query,
     reduce_sjf_database,
     sjf,
 )

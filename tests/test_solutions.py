@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, Fact, RelationSchema, build_solution_graph, parse_query, q_connected_block_components
+from repro import Database, Fact, build_solution_graph, parse_query, q_connected_block_components
 from repro.db.generators import solution_triangle
 
 

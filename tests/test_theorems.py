@@ -12,7 +12,6 @@ import pytest
 from repro import (
     CertainEngine,
     CertK,
-    MatchingAlgorithm,
     cert_2,
     cert_k,
     certain_bruteforce,
