@@ -1,0 +1,275 @@
+"""Experiment IV — the server layer: resident process + answer caching.
+
+Measures what the PR 4 ``repro.server`` front end buys:
+
+* **IV.a — resident server vs per-process CLI invocation.**  The same mixed
+  JSONL workload is answered (1) the pre-server way — one ``repro run``
+  subprocess per request, paying interpreter startup, import, classification
+  and planning every time — and (2) through a single ``repro serve --stdio``
+  subprocess fed every line over one pipe.  Verdicts must agree exactly; the
+  throughput ratio is the headline number (the ROADMAP's resident-process
+  motivation).
+* **IV.b — cached vs uncached repeated mixed stream.**  A mixed-query
+  request stream is replayed several times through two in-process servers —
+  one with the fingerprint-keyed :class:`~repro.server.cache.AnswerCache`,
+  one with caching disabled.  Answers must agree exactly and every replayed
+  answer must carry ``cache: "hit"`` provenance; the speedup is gated
+  against the committed baseline (>2x regression fails, with an absolute
+  floor so shared-runner noise cannot flake).
+
+Environment knobs (for CI smoke runs): ``BENCH_SERVER_REQUESTS`` (workload
+size for IV.a), ``BENCH_SERVER_STREAM`` (distinct requests for IV.b),
+``BENCH_SERVER_REPEATS`` (stream replays).  A JSON baseline is written next
+to this file as ``BENCH_server.json`` on default-sized runs.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro import CQAServer, DatasetRef, Request
+from repro.bench.harness import ExperimentReport, timed
+from repro.bench.reporting import emit, write_json
+from repro.db.generators import random_solution_database
+from repro.fixtures import example_queries
+
+QUERIES = example_queries()
+
+_REQUESTS = int(os.environ.get("BENCH_SERVER_REQUESTS", "12"))
+_STREAM = int(os.environ.get("BENCH_SERVER_STREAM", "12"))
+_REPEATS = int(os.environ.get("BENCH_SERVER_REPEATS", "5"))
+
+_DEFAULT_SIZED_RUN = not any(
+    knob in os.environ
+    for knob in ("BENCH_SERVER_REQUESTS", "BENCH_SERVER_STREAM", "BENCH_SERVER_REPEATS")
+)
+
+#: IV.a acceptance: the resident server must beat per-process CLI >= 5x on
+#: default-sized runs (smoke runs assert a reduced bound).
+_TARGET_RESIDENT_SPEEDUP = 5.0
+#: Regression gate vs the committed baseline (matches the other suites).
+_REGRESSION_FACTOR = 2.0
+#: Absolute cap on gate thresholds, so timing noise on sub-millisecond
+#: windows cannot flake the job; a genuine cache loss collapses toward 1x.
+_GATE_FLOOR = 4.0
+
+_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_server.json"
+
+_JSON_REPORTS = []
+#: experiment key -> measured speedup, consumed by the regression gate.
+_MEASURED = {}
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = _SRC_DIR + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _wire_workload(count):
+    """A mixed run-dialect workload over inline rows (wire-friendly)."""
+    lines = []
+    names = ("q3", "q6", "q2")
+    for index in range(count):
+        name = names[index % len(names)]
+        query = QUERIES[name]
+        database = random_solution_database(
+            query,
+            solution_count=6,
+            noise_count=3,
+            domain_size=8,
+            rng=random.Random(4000 + 31 * index),
+        )
+        rows = [list(fact.values) for fact in database.facts()]
+        lines.append(json.dumps({"op": "certain", "query": name, "rows": rows}))
+    return lines
+
+
+def test_resident_server_vs_per_process_cli():
+    """IV.a: one `repro serve --stdio` process vs one `repro run` per request."""
+    lines = _wire_workload(_REQUESTS)
+
+    def per_process():
+        verdicts = []
+        with tempfile.TemporaryDirectory() as scratch:
+            for index, line in enumerate(lines):
+                workload = Path(scratch) / f"request_{index}.jsonl"
+                workload.write_text(line + "\n", encoding="utf-8")
+                result = subprocess.run(
+                    [sys.executable, "-m", "repro", "run", str(workload), "--json"],
+                    capture_output=True,
+                    text=True,
+                    env=_subprocess_env(),
+                    check=True,
+                )
+                [envelope] = [
+                    json.loads(out_line)
+                    for out_line in result.stdout.splitlines()
+                    if out_line.strip()
+                ]
+                verdicts.append(envelope["verdict"])
+        return verdicts
+
+    def resident():
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stdio"],
+            input="\n".join(lines) + "\n",
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(),
+            check=True,
+        )
+        return [
+            json.loads(out_line)["verdict"]
+            for out_line in result.stdout.splitlines()
+            if out_line.strip()
+        ]
+
+    per_process_verdicts, per_process_time = timed(per_process)
+    resident_verdicts, resident_time = timed(resident)
+    assert resident_verdicts == per_process_verdicts
+    speedup = per_process_time / resident_time if resident_time else float("inf")
+    # Keyed by workload size: amortisation scales with the request count, so
+    # the regression gate only compares runs of the same shape.
+    _MEASURED[f"resident-vs-cli@{len(lines)}"] = speedup
+    report = ExperimentReport(
+        "Experiment IV.a — mixed workload: per-process CLI vs resident stdio server",
+        ["requests", "per-process (s)", "resident (s)", "speedup"],
+    )
+    report.add(
+        requests=len(lines),
+        **{
+            "per-process (s)": f"{per_process_time:.4f}",
+            "resident (s)": f"{resident_time:.4f}",
+            "speedup": f"{speedup:.1f}x",
+        },
+    )
+    emit(report)
+    _JSON_REPORTS.append(report)
+    # Startup amortisation is the whole point of a resident process; even a
+    # smoke-sized workload must clearly win.
+    floor = _TARGET_RESIDENT_SPEEDUP if _DEFAULT_SIZED_RUN else 2.0
+    assert speedup >= floor, (
+        f"resident server only {speedup:.1f}x over per-process CLI "
+        f"(required >= {floor}x for {len(lines)} requests)"
+    )
+
+
+def _stream_requests():
+    """Distinct in-memory certain-requests for the IV.b replayed stream."""
+    names = ("q3", "q6", "q2")
+    requests = []
+    for index in range(_STREAM):
+        name = names[index % len(names)]
+        query = QUERIES[name]
+        database = random_solution_database(
+            query,
+            solution_count=120,
+            noise_count=60,
+            domain_size=90,
+            rng=random.Random(7000 + 13 * index),
+        )
+        requests.append((name, database))
+    return requests
+
+
+def test_cached_vs_uncached_repeated_stream():
+    """IV.b: the answer cache on a repeated mixed stream of larger databases."""
+    stream = _stream_requests()
+
+    def replay(server):
+        verdicts = []
+        for _ in range(_REPEATS):
+            for name, database in stream:
+                [answer] = server.handle_request(
+                    Request(
+                        op="certain",
+                        query=name,
+                        datasets=(DatasetRef.in_memory(database),),
+                    )
+                )
+                verdicts.append(answer.verdict)
+        return verdicts
+
+    uncached_verdicts, uncached_time = timed(lambda: replay(CQAServer(enable_cache=False)))
+    cached_server = CQAServer()
+    cached_verdicts, cached_time = timed(lambda: replay(cached_server))
+    assert cached_verdicts == uncached_verdicts
+    expected_hits = len(stream) * (_REPEATS - 1)
+    assert cached_server.cache.stats["hits"] == expected_hits
+    assert cached_server.cache.stats["misses"] == len(stream)
+    speedup = uncached_time / cached_time if cached_time else float("inf")
+    _MEASURED[f"cached-vs-uncached@{len(stream)}x{_REPEATS}"] = speedup
+    report = ExperimentReport(
+        "Experiment IV.b — repeated mixed stream: answer cache on vs off",
+        ["stream", "repeats", "uncached (s)", "cached (s)", "hit rate", "speedup"],
+    )
+    report.add(
+        stream=len(stream),
+        repeats=_REPEATS,
+        **{
+            "uncached (s)": f"{uncached_time:.4f}",
+            "cached (s)": f"{cached_time:.4f}",
+            "hit rate": f"{cached_server.cache.hit_rate():.2f}",
+            "speedup": f"{speedup:.2f}x",
+        },
+    )
+    emit(report)
+    _JSON_REPORTS.append(report)
+    # With all but the first pass served from the cache, the replayed stream
+    # must not be slower than the uncached path (it should be much faster).
+    assert speedup >= (2.0 if _DEFAULT_SIZED_RUN else 1.0), (
+        f"answer cache did not pay for itself: {speedup:.2f}x"
+    )
+
+
+def test_server_regression_vs_baseline():
+    """Gate: measured speedups may not regress >2x vs the committed baseline."""
+    if not _BASELINE_PATH.exists():
+        return
+    baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline_speedups = {}
+    for entry in baseline.get("reports", ()):
+        title = entry.get("title", "")
+        for row in entry.get("rows", ()):
+            if "per-process CLI vs resident" in title:
+                key = f"resident-vs-cli@{row.get('requests')}"
+            elif "answer cache on vs off" in title:
+                key = f"cached-vs-uncached@{row.get('stream')}x{row.get('repeats')}"
+            else:
+                continue
+            speedup_text = str(row.get("speedup", "")).rstrip("x")
+            try:
+                baseline_speedups[key] = float(speedup_text)
+            except ValueError:
+                continue
+    checked = 0
+    for key, measured in _MEASURED.items():
+        reference = baseline_speedups.get(key)
+        if not reference:
+            continue
+        checked += 1
+        threshold = min(reference / _REGRESSION_FACTOR, _GATE_FLOOR)
+        assert measured >= threshold, (
+            f"{key}: speedup regressed to {measured:.1f}x "
+            f"(baseline {reference:.1f}x, gate threshold {threshold:.1f}x)"
+        )
+    if _MEASURED:
+        assert checked or not _DEFAULT_SIZED_RUN, "default run must match baseline rows"
+
+
+def test_write_baseline_json():
+    """Persist the measured reports as the committed JSON baseline."""
+    if not _JSON_REPORTS:  # pragma: no cover - ordering guard
+        return
+    if _DEFAULT_SIZED_RUN:
+        write_json(_BASELINE_PATH, _JSON_REPORTS)
+        assert json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))["reports"]

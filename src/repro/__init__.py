@@ -146,6 +146,27 @@ from .service import (
 
 __version__ = "1.0.0"
 
+#: Server-layer symbols re-exported lazily (PEP 562): the resident front end
+#: drags in http.server/socketserver/urllib, which a plain ``import repro``
+#: — in particular every per-process CLI invocation — should not pay for.
+_SERVER_EXPORTS = frozenset(
+    {
+        "AnswerCache",
+        "CQAServer",
+        "CachingSession",
+        "start_http_server",
+        "start_jsonl_server",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     # terms / queries
     "Atom", "Element", "Fact", "RelationSchema",
@@ -188,5 +209,8 @@ __all__ = [
     # service layer (the unified front door)
     "Session", "Request", "Answer", "DatasetRef", "Planner", "Plan",
     "QueryHandle", "request_from_json_dict", "run_workload",
+    # server layer (the resident front end; resolved lazily via __getattr__)
+    "CQAServer", "CachingSession", "AnswerCache",  # noqa: F822
+    "start_http_server", "start_jsonl_server",  # noqa: F822
     "__version__",
 ]

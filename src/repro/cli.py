@@ -14,6 +14,13 @@ Commands
 ``run``
     Drive a whole JSONL workload (mixed queries, mixed backends) through one
     service session.
+``serve``
+    Run the long-lived server front end: a stdio JSONL loop, a TCP JSONL
+    socket and/or a stdlib HTTP endpoint, all over one resident session pool
+    with fingerprint-keyed answer caching.
+``client``
+    Scripted calls against a running server (JSONL socket or HTTP): send a
+    workload file, or fetch the server's ``stats`` envelope.
 
 The CLI is a thin client of the service layer
 (:class:`~repro.service.session.Session`): every command builds typed
@@ -98,6 +105,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("requests", help="path to a JSONL file, one request per line")
     run_parser.add_argument("--json", action="store_true",
                             help="emit one JSON answer envelope per answer (JSONL)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the resident server (stdio/socket JSONL and/or HTTP)"
+    )
+    serve_parser.add_argument("--stdio", action="store_true",
+                              help="serve the JSONL dialect on stdin/stdout until EOF")
+    serve_parser.add_argument("--socket", type=int, default=None, metavar="PORT",
+                              help="serve the JSONL dialect on a TCP port (0 = ephemeral)")
+    serve_parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                              help="serve the HTTP endpoint on a TCP port (0 = ephemeral)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address for --socket/--http (default 127.0.0.1)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the fingerprint-keyed answer cache")
+    serve_parser.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                              help="answer-cache capacity in envelopes (default 1024)")
+    serve_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                              help="cap the planner's worker pool (0 = one per CPU)")
+
+    client_parser = subparsers.add_parser(
+        "client", help="send requests to a running server (JSONL socket or HTTP)"
+    )
+    client_parser.add_argument("requests", nargs="?", default=None,
+                               help="JSONL workload file to send (omit with --stats)")
+    client_parser.add_argument("--socket", metavar="HOST:PORT", default=None,
+                               help="address of a JSONL socket server")
+    client_parser.add_argument("--http", metavar="URL", default=None,
+                               help="base URL of an HTTP server (e.g. http://127.0.0.1:8080)")
+    client_parser.add_argument("--stats", action="store_true",
+                               help="fetch the server's stats envelope instead of a workload")
+    client_parser.add_argument("--json", action="store_true",
+                               help="emit the raw JSON envelopes (JSONL)")
     return parser
 
 
@@ -284,6 +323,111 @@ def _run_run(args) -> int:
     return 0 if all(answer.ok for answer in answers) else 1
 
 
+def _run_serve(args) -> int:
+    from .server import CQAServer, serve_stdio, start_http_server, start_jsonl_server
+
+    if not (args.stdio or args.socket is not None or args.http is not None):
+        print("serve needs a transport: --stdio, --socket PORT and/or --http PORT",
+              file=sys.stderr)
+        return 2
+    if args.cache_size < 1:
+        print("--cache-size must be positive", file=sys.stderr)
+        return 2
+    server = CQAServer(
+        cache_entries=args.cache_size,
+        enable_cache=not args.no_cache,
+        # 0 means "one per CPU", which is the planner's own default; passing
+        # it through would instead cap the pool at one worker.
+        default_workers=args.workers if args.workers else None,
+    )
+    background = []
+    try:
+        if args.socket is not None:
+            jsonl_server = start_jsonl_server(server, host=args.host, port=args.socket)
+            background.append(jsonl_server)
+            print(f"serving JSONL on {args.host}:{jsonl_server.port}", file=sys.stderr)
+        if args.http is not None:
+            http_server = start_http_server(server, host=args.host, port=args.http)
+            background.append(http_server)
+            print(f"serving HTTP on http://{args.host}:{http_server.port}",
+                  file=sys.stderr)
+        if args.stdio:
+            serve_stdio(server)
+        elif background:
+            # Foreground until interrupted; the transports run on their own
+            # threads, all answering through the one resident session pool.
+            import threading
+
+            threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for transport in background:
+            transport.shutdown()
+            transport.server_close()
+    return 0
+
+
+def _render_client_envelopes(envelopes, as_json: bool) -> int:
+    if as_json:
+        for envelope in envelopes:
+            print(json.dumps(envelope))
+        return 0 if all(envelope.get("ok", False) for envelope in envelopes) else 1
+    for index, envelope in enumerate(envelopes):
+        tag = envelope.get("request_id") or str(index)
+        if envelope.get("op") == "stats":
+            details = envelope.get("details", {})
+            cache = details.get("cache") or {}
+            print(f"[{tag}] stats: hit_rate={envelope.get('verdict')} "
+                  f"entries={cache.get('entries')} "
+                  f"requests={details.get('transport', {}).get('requests')}")
+        elif envelope.get("ok"):
+            cache_tag = envelope.get("details", {}).get("cache")
+            marker = f" cache={cache_tag}" if cache_tag else ""
+            print(f"[{tag}] {envelope.get('op')} {envelope.get('query')}: "
+                  f"{envelope.get('verdict')} [{envelope.get('algorithm')}] "
+                  f"({envelope.get('backend')}{marker})")
+        else:
+            print(f"[{tag}] {envelope.get('op')} {envelope.get('query')}: "
+                  f"ERROR {envelope.get('error')}")
+    return 0 if all(envelope.get("ok", False) for envelope in envelopes) else 1
+
+
+def _run_client(args) -> int:
+    from .server.client import (
+        call_http,
+        call_jsonl,
+        fetch_stats,
+        parse_host_port,
+        workload_lines,
+    )
+
+    if (args.socket is None) == (args.http is None):
+        print("client needs exactly one of --socket HOST:PORT or --http URL",
+              file=sys.stderr)
+        return 2
+    if not args.stats and args.requests is None:
+        print("client needs a workload file (or --stats)", file=sys.stderr)
+        return 2
+    try:
+        if args.stats:
+            if args.http is not None:
+                envelope = fetch_stats(http_url=args.http)
+            else:
+                envelope = fetch_stats(jsonl_address=parse_host_port(args.socket))
+            envelopes = [envelope]
+        elif args.http is not None:
+            payloads = [json.loads(line) for line in workload_lines(args.requests)]
+            envelopes = call_http(args.http, payloads)
+        else:
+            host, port = parse_host_port(args.socket)
+            envelopes = call_jsonl(host, port, workload_lines(args.requests))
+    except (OSError, ValueError) as error:
+        print(f"client error: {error}", file=sys.stderr)
+        return 2
+    return _render_client_envelopes(envelopes, args.json)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -293,6 +437,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "support": _run_support,
         "reduce": _run_reduce,
         "run": _run_run,
+        "serve": _run_serve,
+        "client": _run_client,
     }
     return handlers[args.command](args)
 

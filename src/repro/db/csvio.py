@@ -8,8 +8,9 @@ repairs or diagnostics they compute.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..core.terms import Fact, RelationSchema
 from .fact_store import Database
@@ -28,20 +29,49 @@ def load_csv(
     Every row must have exactly ``schema.arity`` columns; values are kept as
     strings (elements only need equality).
     """
-    database = Database()
     with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        for index, row in enumerate(reader):
-            if has_header and index == 0:
-                continue
-            if not row:
-                continue
-            if len(row) != schema.arity:
-                raise ValueError(
-                    f"row {index} of {path} has {len(row)} columns, "
-                    f"expected {schema.arity}"
-                )
-            database.add(Fact(schema, tuple(value.strip() for value in row)))
+        return _load_rows(csv.reader(handle, delimiter=delimiter), schema, has_header, path)
+
+
+def load_csv_text(
+    text: str,
+    schema: RelationSchema,
+    has_header: bool = True,
+    delimiter: str = ",",
+    source: object = "<text>",
+) -> Database:
+    """:func:`load_csv` over already-read CSV text.
+
+    Lets a caller read a file exactly once and both parse and fingerprint
+    the same bytes (the service layer's answer-cache identity must describe
+    the facts actually loaded, with no reread race in between).
+    """
+    return _load_rows(
+        csv.reader(io.StringIO(text, newline=""), delimiter=delimiter),
+        schema,
+        has_header,
+        source,
+    )
+
+
+def _load_rows(
+    reader: Iterator[List[str]],
+    schema: RelationSchema,
+    has_header: bool,
+    source: object,
+) -> Database:
+    database = Database()
+    for index, row in enumerate(reader):
+        if has_header and index == 0:
+            continue
+        if not row:
+            continue
+        if len(row) != schema.arity:
+            raise ValueError(
+                f"row {index} of {source} has {len(row)} columns, "
+                f"expected {schema.arity}"
+            )
+        database.add(Fact(schema, tuple(value.strip() for value in row)))
     return database
 
 

@@ -299,8 +299,15 @@ class Database:
         # Delta listeners are process-local observers (often closures); the
         # derived cache and its maintainers travel with the database so that
         # parallel workers keep primed structures (e.g. SQL pushdowns).
+        # Cache-identity markers (the service layer's fingerprint token and
+        # the answer cache's watcher set) must not travel either: a pickled
+        # copy is a *different* database that has no delta listener, so
+        # letting it alias the original's cache identity could serve stale
+        # answers after the copy diverges.
         state = dict(self.__dict__)
         state["_delta_listeners"] = []
+        state.pop("_repro_fingerprint_token", None)
+        state.pop("_repro_cache_watchers", None)
         return state
 
     # ------------------------------------------------------------------ #

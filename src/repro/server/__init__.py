@@ -1,0 +1,58 @@
+"""Long-lived server front end over the service layer.
+
+PR 3's :class:`~repro.service.session.Session` gave every caller one typed
+front door — but a caller still paid process startup, query classification
+and dataset resolution per *invocation*.  This package makes the session
+resident and its answers reusable:
+
+* :class:`~repro.server.app.CQAServer` — one session pool + lock behind every
+  transport, the ``repro run`` line dialect, per-request fault isolation, and
+  a ``stats`` operation;
+* :class:`~repro.server.cache.AnswerCache` /
+  :class:`~repro.server.app.CachingSession` — fingerprint-keyed answer
+  caching with delta-driven invalidation (the certain answer is a pure
+  function of (query, database), so a cached envelope is sound whenever the
+  dataset fingerprint and version match);
+* :mod:`~repro.server.jsonl` — stdio and TCP JSONL transports;
+* :mod:`~repro.server.http_transport` — a stdlib ``http.server`` endpoint
+  (``POST /answer``, ``GET /stats``, ``GET /healthz``);
+* :mod:`~repro.server.client` — scripted-call helpers (``repro client``).
+
+Quickstart::
+
+    from repro.server import CQAServer, start_http_server
+    from repro.server.client import call_http
+
+    app = CQAServer()
+    http = start_http_server(app, port=0)
+    [envelope] = call_http(
+        f"http://127.0.0.1:{http.port}",
+        {"op": "certain", "query": "R(x|y) R(y|z)", "rows": [["a", "b"]]},
+    )
+    http.shutdown()
+"""
+
+from .app import STATS_OP, CachingSession, CQAServer
+from .cache import AnswerCache, CacheKey, settings_digest
+from .client import call_http, call_jsonl, fetch_stats, workload_lines
+from .http_transport import HttpServer, start_http_server
+from .jsonl import JsonlServer, serve_stdio, serve_stream, start_jsonl_server
+
+__all__ = [
+    "AnswerCache",
+    "CacheKey",
+    "CachingSession",
+    "CQAServer",
+    "HttpServer",
+    "JsonlServer",
+    "STATS_OP",
+    "call_http",
+    "call_jsonl",
+    "fetch_stats",
+    "serve_stdio",
+    "serve_stream",
+    "settings_digest",
+    "start_http_server",
+    "start_jsonl_server",
+    "workload_lines",
+]

@@ -1,0 +1,356 @@
+"""The resident server core: a cache-aware session behind one front door.
+
+Two classes live here:
+
+* :class:`CachingSession` — a :class:`~repro.service.session.Session` that
+  consults an :class:`~repro.server.cache.AnswerCache` *before* the planner
+  runs.  A fully-cached request short-circuits strategy selection entirely
+  (:meth:`~repro.service.planner.Planner.cache_plan`); a partially-cached
+  batch re-plans only over the missing datasets.  Every served envelope
+  carries cache provenance in ``details["cache"]`` (``"hit"`` / ``"miss"``).
+* :class:`CQAServer` — the transport-independent server: one caching session
+  plus a lock (the JSONL socket and HTTP transports are threaded), the
+  workload-line protocol shared with ``repro run``
+  (:func:`~repro.service.runner.parse_request_line` dialect), per-request
+  fault isolation, and the ``stats`` operation exposing hit rates and
+  per-query timings.
+
+Transports (:mod:`repro.server.jsonl`, :mod:`repro.server.http_transport`)
+hold a :class:`CQAServer` and translate bytes to
+:meth:`CQAServer.handle_line` / :meth:`CQAServer.handle_payload` calls; they
+never touch the session directly, so every transport sees the same pool and
+the same cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..service.datasets import DatasetRef
+from ..service.envelope import Answer, Request, request_from_json_dict
+from ..service.runner import error_answer, normalize_workload_line
+from ..service.session import Session
+from .cache import AnswerCache, CacheKey, settings_digest
+
+#: The server-level operation answering with cache/session/transport stats.
+STATS_OP = "stats"
+
+#: Fingerprint placeholder for dataset-independent operations.
+_NO_DATASET = ("none",)
+
+#: Operations whose answer ignores the request's datasets entirely: they
+#: produce exactly one envelope and cache under the no-dataset key even when
+#: a caller attaches datasets (the envelope count must not depend on cache
+#: state).
+_DATASET_INDEPENDENT_OPS = ("classify", "reduce")
+
+
+class CachingSession(Session):
+    """A session with a fingerprint-keyed answer cache in front of the planner.
+
+    ``cache=None`` disables caching entirely (every request flows through
+    the plain :class:`~repro.service.session.Session` path) — the CLI's
+    ``repro serve --no-cache``.
+    """
+
+    def __init__(self, cache: Optional[AnswerCache] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.cache = cache
+        self.stats.update(cache_hits=0, cache_misses=0, plans_skipped=0)
+
+    # ------------------------------------------------------------------ #
+    # the cache-aware front door
+    # ------------------------------------------------------------------ #
+    def answer(self, request: Request) -> List[Answer]:
+        cache = self.cache
+        if cache is None:
+            return super().answer(request)
+        started = time.perf_counter()
+        handle = self.resolve_query(request.query, depth=request.depth)
+        digest = settings_digest(request, self)
+        if digest is None:  # e.g. unseeded support: not a pure function
+            return super().answer(request)
+        normalized = str(handle.query)
+        keys = self._keys_for(cache, normalized, digest, request)
+        hits: Dict[int, Answer] = {}
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            stored = cache.get(key)
+            if stored is not None:
+                hits[index] = stored
+        if len(hits) == len(keys):
+            return self._serve_all_hits(request, hits, started)
+        computed = self._answer_misses(request, normalized, digest, keys, hits)
+        self.stats["cache_hits"] += len(hits)
+        self.stats["cache_misses"] += sum(
+            1 for index, key in enumerate(keys) if key is not None and index not in hits
+        )
+        # Merge: hits keep their original position in the dataset order.
+        merged: List[Answer] = []
+        total = time.perf_counter() - started
+        for index in range(len(keys)):
+            if index in hits:
+                merged.append(self._serve_hit(hits[index], request, total))
+            elif computed:
+                merged.append(computed.pop(0))
+        merged.extend(computed)
+        self.stats["answers"] += len(hits)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _keys_for(
+        self, cache: AnswerCache, normalized: str, digest: tuple, request: Request
+    ) -> List[Optional[CacheKey]]:
+        if not request.datasets or request.op in _DATASET_INDEPENDENT_OPS:
+            return [cache.make_key(normalized, request.op, digest, _NO_DATASET, None)]
+        return [
+            cache.make_key(
+                normalized, request.op, digest, ref.fingerprint(), ref.version_hint()
+            )
+            for ref in request.datasets
+        ]
+
+    def _answer_misses(
+        self,
+        request: Request,
+        normalized: str,
+        digest: tuple,
+        keys: List[Optional[CacheKey]],
+        hits: Dict[int, Answer],
+    ) -> List[Answer]:
+        """Answer the non-hit part through the normal planned path and store it."""
+        cache = self.cache
+        if not request.datasets or request.op in _DATASET_INDEPENDENT_OPS:
+            computed = super().answer(request)
+            if keys[0] is not None and len(computed) == 1 and computed[0].ok:
+                cache.put(keys[0], computed[0])
+                computed[0].details["cache"] = "miss"
+            return computed
+        missing = [
+            (index, ref)
+            for index, ref in enumerate(request.datasets)
+            if index not in hits
+        ]
+        sub_request = replace(request, datasets=tuple(ref for _, ref in missing))
+        computed = super().answer(sub_request)
+        if len(computed) == len(missing):
+            for (index, ref), answer in zip(missing, computed):
+                if not answer.ok:
+                    continue
+                answer.details["cache"] = "miss"
+                if keys[index] is None:
+                    continue
+                if ref.kind == DatasetRef.MEMORY:
+                    # Memory refs store under the *lookup* key: its version
+                    # is the one the computation started from, so a delta
+                    # racing the computation (before the eviction listener
+                    # is registered below) leaves the entry unreachable
+                    # instead of aliased to the post-delta version.
+                    store_key = keys[index]
+                    cache.watch_database(ref.memory_database)
+                else:
+                    # File-backed refs derive the store key *after*
+                    # answering: a resolved reference now fingerprints the
+                    # content it was actually loaded from, so a source
+                    # rewritten between lookup and resolution can never park
+                    # a stale verdict under the new content's identity.
+                    store_key = cache.make_key(
+                        normalized,
+                        request.op,
+                        digest,
+                        ref.fingerprint(),
+                        ref.version_hint(),
+                    )
+                    if store_key is None:
+                        continue
+                cache.put(store_key, answer)
+        return computed
+
+    def _serve_all_hits(
+        self, request: Request, hits: Dict[int, Answer], started: float
+    ) -> List[Answer]:
+        """Every answer was cached: skip the planner entirely."""
+        plan = self.planner.cache_plan(request)  # no strategy selection ran
+        self.stats["plans_skipped"] += 1
+        self.stats["requests"] += 1
+        total = time.perf_counter() - started
+        answers = [
+            self._serve_hit(hits[index], request, total) for index in sorted(hits)
+        ]
+        for answer in answers:
+            answer.warnings.extend(plan.warnings)
+        self.stats["cache_hits"] += len(answers)
+        self.stats["answers"] += len(answers)
+        return answers
+
+    @staticmethod
+    def _serve_hit(stored: Answer, request: Request, total_s: float) -> Answer:
+        """Adapt a cached envelope (already a private copy) to this request."""
+        stored.op = request.op  # certain/explain/witness share cache entries
+        stored.query = request.query  # entries are shared across query aliases
+        stored.request_id = request.request_id
+        stored.details["cache"] = "hit"
+        stored.timings = {"total_s": total_s}
+        return stored
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self.cache is None:
+            return base
+        return f"{base[:-1]}, cache={len(self.cache)}/{self.cache.max_entries})"
+
+
+class CQAServer:
+    """One resident session pool + cache behind every transport (see module docs)."""
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        *,
+        cache_entries: int = 1024,
+        enable_cache: bool = True,
+        practical_k: int = 3,
+        strict_polynomial: bool = False,
+        default_workers: Optional[int] = None,
+        base_dir: Optional[str] = None,
+    ) -> None:
+        if session is None:
+            cache = AnswerCache(max_entries=cache_entries) if enable_cache else None
+            session = CachingSession(
+                cache=cache,
+                practical_k=practical_k,
+                strict_polynomial=strict_polynomial,
+                default_workers=default_workers,
+            )
+        self.session = session
+        self.base_dir = base_dir or os.getcwd()
+        self._lock = threading.RLock()
+        # Counters get their own lock: bumping them (and serving the stats
+        # op) must never stall behind a long-running computation holding the
+        # session lock — monitoring has to stay responsive.
+        self._stats_lock = threading.Lock()
+        self._started = time.monotonic()
+        self.transport_stats: Dict[str, int] = {
+            "lines": 0,
+            "requests": 0,
+            "answers": 0,
+            "errors": 0,
+            "stats_requests": 0,
+        }
+
+    @property
+    def cache(self) -> Optional[AnswerCache]:
+        return getattr(self.session, "cache", None)
+
+    # ------------------------------------------------------------------ #
+    # the wire protocol (shared by every transport)
+    # ------------------------------------------------------------------ #
+    def handle_line(self, text: str, line_number: int = 0) -> List[Answer]:
+        """Answer one JSONL workload line (the ``repro run`` dialect).
+
+        Blank lines, ``#`` comments and a stray UTF-8 BOM are skipped (an
+        empty list is returned); any other failure — malformed JSON, a
+        payload that is not a request, a dataset that cannot be resolved —
+        becomes an ``ok: false`` envelope.  This method never raises.
+        """
+        text = normalize_workload_line(text)
+        if text is None:
+            return []
+        self._bump("lines")
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            self._bump("errors")
+            return [
+                error_answer(
+                    "?", "?", ValueError(f"line {line_number}: {error}"), None
+                )
+            ]
+        return self.handle_payload(payload, line_number=line_number)
+
+    def handle_payload(self, payload: object, line_number: int = 0) -> List[Answer]:
+        """Answer one decoded JSON request payload (the HTTP body shape)."""
+        if isinstance(payload, dict) and payload.get("op") == STATS_OP:
+            self._bump("stats_requests")
+            answer = self.stats_answer()
+            request_id = payload.get("id")
+            answer.request_id = str(request_id) if request_id is not None else None
+            return [answer]
+        try:
+            request = request_from_json_dict(payload, base_dir=self.base_dir)
+        except Exception as error:  # noqa: BLE001 - every bad payload is enveloped
+            self._bump("errors")
+            op = query = "?"
+            if isinstance(payload, dict):
+                op = str(payload.get("op", "?"))
+                query = str(payload.get("query", "?"))
+            return [
+                error_answer(
+                    op, query, ValueError(f"line {line_number}: {error}"), None
+                )
+            ]
+        return self.handle_request(request)
+
+    def handle_request(self, request: Request) -> List[Answer]:
+        """Answer one typed request with fault isolation (never raises)."""
+        self._bump("requests")
+        with self._lock:
+            try:
+                answers = self.session.answer(request)
+            except Exception as error:  # noqa: BLE001 - fault isolation
+                answers = [error_answer(request.op, request.query, error, request)]
+            finally:
+                for ref in request.datasets:
+                    ref.close()
+        self._bump("answers", len(answers))
+        self._bump("errors", sum(1 for answer in answers if not answer.ok))
+        return answers
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        """Increment a transport counter atomically (transports are threaded)."""
+        if not amount:
+            return
+        with self._stats_lock:
+            self.transport_stats[key] += amount
+
+    # ------------------------------------------------------------------ #
+    # the stats operation
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Uptime, transport counters, session pool stats and cache stats."""
+        cache = self.cache
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "transport": dict(self.transport_stats),
+            "session": dict(self.session.stats),
+            "cache": cache.describe_dict() if cache is not None else None,
+        }
+
+    def stats_answer(self) -> Answer:
+        """The ``stats`` operation's envelope; the verdict is the hit rate."""
+        cache = self.cache
+        return Answer(
+            op=STATS_OP,
+            query="*",
+            verdict=cache.hit_rate() if cache is not None else None,
+            algorithm="server statistics",
+            backend="server",
+            exact=True,
+            details=self.stats(),
+        )
+
+    def describe(self) -> str:
+        """One-line server summary."""
+        return (
+            f"CQAServer(requests={self.transport_stats['requests']}, "
+            f"answers={self.transport_stats['answers']}, "
+            f"session={self.session.describe()})"
+        )

@@ -1,0 +1,358 @@
+"""Fingerprint-keyed answer caching for the long-lived server front end.
+
+The dichotomy (and the Koutris–Suciu line of work it extends) makes the
+certain-answer verdict a *pure function* of the pair (query, database
+instance): no hidden state, no randomness on the exact paths.  That purity is
+what licenses this cache — an :class:`Answer` computed once can be replayed
+for any later request that provably addresses the same pair.
+
+The cache key has five components::
+
+    (normalized query, op group, settings digest, dataset fingerprint, db version)
+
+* *normalized query* — the parsed query's canonical text, so ``"q3"`` and
+  ``"R(x|y) R(y|z)"`` share entries;
+* *op group* + *settings digest* — everything else that can change the
+  envelope: witness extraction, sampling parameters (seeded only), reduction
+  clauses, session knobs (``practical_k``, ``strict_polynomial``), depth,
+  requested workers/backend (see :func:`settings_digest`);
+* *dataset fingerprint* — :meth:`repro.service.datasets.DatasetRef.fingerprint`,
+  a cheap content identity (file hash for CSV/SQLite, identity token for
+  in-memory databases, row digest for inline rows);
+* *db version* — :meth:`~repro.service.datasets.DatasetRef.version_hint`,
+  the mutation counter component that a
+  :class:`~repro.eval.deltas.FactDelta` bumps.
+
+Invalidation follows three independent rules, each sufficient on its own:
+
+1. **version keying** — a mutated in-memory database answers lookups under a
+   new version, so stale entries become unreachable;
+2. **delta eviction** — :meth:`AnswerCache.watch_database` registers a
+   listener on the database's typed delta stream; every
+   :class:`~repro.eval.deltas.FactDelta` actively drops the entries of that
+   database (so rule 1's unreachable entries do not linger until LRU
+   eviction);
+3. **version-regression guard** — if a database's version counter is ever
+   observed to *decrease* (a wrapped or reset counter), the epoch of its
+   identity token is bumped and every earlier entry is dropped, so even a
+   colliding (token, version) pair can never serve a stale verdict.
+
+Entries are stored and served as deep copies: callers may mutate the
+envelopes they receive without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import weakref
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional, Tuple
+
+from ..service.envelope import Answer, Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.fact_store import Database
+    from ..service.session import Session
+
+#: Fingerprint kind whose identity-token entries the delta listener evicts.
+_MEMORY_KIND = "memory"
+
+#: Ops that share one cache group (identical computation, different op tag).
+_CERTAIN_GROUP = ("certain", "explain", "witness")
+
+
+def settings_digest(request: Request, session: "Session") -> Optional[Tuple]:
+    """Every request/session setting that can change the answer envelope.
+
+    Returns ``None`` when the operation is not cacheable at all — today that
+    is only *unseeded* ``support`` (Monte-Carlo sampling with OS entropy is
+    not a pure function of the database).  Seeded ``support`` is
+    deterministic and caches like everything else.
+
+    ``certain``/``explain``/``witness`` share one group: they run the exact
+    same computation and only differ in the envelope's ``op`` tag (which the
+    cache rewrites on every hit) and in witness extraction (which the digest
+    separates via ``wants_witness``).
+    """
+    base = (
+        session.practical_k,
+        session.strict_polynomial,
+        request.depth,
+        request.backend,
+    )
+    if request.op in _CERTAIN_GROUP:
+        return ("certain", request.wants_witness, request.workers) + base
+    if request.op == "classify":
+        return ("classify",) + base
+    if request.op == "reduce":
+        return ("reduce", request.clauses) + base
+    if request.op == "support":
+        if request.seed is None:
+            return None
+        return ("support", request.samples, request.confidence, request.seed) + base
+    return None
+
+
+class CacheKey(NamedTuple):
+    """One answer-cache key (see the module docs for the component anatomy)."""
+
+    query: str
+    group: str
+    digest: Tuple
+    fingerprint: Tuple
+    version: Optional[int]
+    epoch: int
+
+
+class _Entry:
+    __slots__ = ("answer", "compute_s")
+
+    def __init__(self, answer: Answer, compute_s: float) -> None:
+        self.answer = answer
+        self.compute_s = compute_s
+
+
+class AnswerCache:
+    """LRU cache of answer envelopes keyed by (query, dataset identity).
+
+    Thread-safe: the server's transports share one instance across
+    connections.  ``max_entries`` bounds the resident envelopes; eviction is
+    least-recently-used.  ``stats`` and :meth:`per_query` feed the server's
+    ``stats`` operation.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        #: token -> set of live keys (for O(degree) delta eviction).
+        self._token_keys: Dict[int, set] = {}
+        #: token -> (last observed version, epoch) for the regression guard.
+        self._token_state: Dict[int, Tuple[Optional[int], int]] = {}
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "invalidations": 0,
+            "uncacheable": 0,
+        }
+        self._per_query: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # key construction
+    # ------------------------------------------------------------------ #
+    def make_key(
+        self,
+        query: str,
+        op: str,
+        digest: Tuple,
+        fingerprint: Optional[Tuple],
+        version: Optional[int],
+    ) -> Optional[CacheKey]:
+        """Build the cache key, or ``None`` when the request is uncacheable.
+
+        Applies the version-regression guard: when the dataset carries an
+        identity token and its version moved backwards since last observed,
+        the token's epoch is bumped (dropping every older entry) before the
+        key is issued.
+        """
+        if fingerprint is None:
+            with self._lock:
+                self.stats["uncacheable"] += 1
+            return None
+        group = "certain" if op in _CERTAIN_GROUP else op
+        epoch = 0
+        token = self._token_of(fingerprint)
+        if token is not None:
+            epoch = self._note_version(token, version)
+        return CacheKey(query, group, digest, fingerprint, version, epoch)
+
+    @staticmethod
+    def _token_of(fingerprint: Tuple) -> Optional[int]:
+        if fingerprint and fingerprint[0] == _MEMORY_KIND:
+            return fingerprint[1]
+        return None
+
+    def _note_version(self, token: int, version: Optional[int]) -> int:
+        with self._lock:
+            last, epoch = self._token_state.get(token, (None, 0))
+            if version is not None and last is not None and version < last:
+                # A wrapped or reset counter: every earlier entry of this
+                # database could now collide with a live (token, version)
+                # pair, so the whole token moves to a fresh epoch.
+                epoch += 1
+                self._drop_token_keys(token)
+            if version is not None:
+                last = version
+            self._token_state[token] = (last, epoch)
+            if len(self._token_state) > 4 * self.max_entries:
+                # Leak guard for servers seeing unbounded ephemeral
+                # databases: states without live entries cannot be needed
+                # again (identity tokens are never reused).
+                for stale in [
+                    t for t in self._token_state if t not in self._token_keys
+                ]:
+                    if stale != token:
+                        del self._token_state[stale]
+            return epoch
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: CacheKey) -> Optional[Answer]:
+        """The cached envelope for ``key`` (a private deep copy), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            query_stats = self._query_stats(key.query)
+            if entry is None:
+                self.stats["misses"] += 1
+                query_stats["misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+            query_stats["hits"] += 1
+            query_stats["saved_s"] += entry.compute_s
+            return copy.deepcopy(entry.answer)
+
+    def put(self, key: CacheKey, answer: Answer) -> None:
+        """Store a computed envelope (deep-copied, provenance marker stripped)."""
+        stored = copy.deepcopy(answer)
+        stored.details.pop("cache", None)
+        compute_s = float(stored.timings.get("total_s", 0.0))
+        with self._lock:
+            self._entries[key] = _Entry(stored, compute_s)
+            self._entries.move_to_end(key)
+            self.stats["stores"] += 1
+            query_stats = self._query_stats(key.query)
+            query_stats["compute_s"] += compute_s
+            token = self._token_of(key.fingerprint)
+            if token is not None:
+                self._token_keys.setdefault(token, set()).add(key)
+            while len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
+                evicted_token = self._token_of(evicted_key.fingerprint)
+                if evicted_token is not None:
+                    keys = self._token_keys.get(evicted_token)
+                    if keys is not None:
+                        keys.discard(evicted_key)
+                        if not keys:
+                            del self._token_keys[evicted_token]
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def watch_database(self, database: "Database") -> None:
+        """Subscribe to a database's delta stream (idempotent per database).
+
+        Every later :class:`~repro.eval.deltas.FactDelta` the database emits
+        evicts all cached answers computed against it.  The listener closes
+        only over the identity token, so the cache never pins the database.
+        The already-watched marker lives *on the database* (keyed by this
+        cache's own never-reused identity token) rather than in a cache-side
+        set, so a long-lived server watching millions of ephemeral databases
+        holds no per-database state — the marker dies with the database.
+        The listener holds only a weak reference to the cache, so a database
+        outliving its caches (server restarts, recreated caches) does not
+        pin every cache it was ever served from.
+        """
+        from ..service.datasets import _identity_token
+
+        token = _identity_token(database)
+        cache_token = _identity_token(self)
+        with self._lock:
+            watchers = getattr(database, "_repro_cache_watchers", None)
+            if watchers is None:
+                watchers = database._repro_cache_watchers = set()
+            if cache_token in watchers:
+                return
+            watchers.add(cache_token)
+        cache_ref = weakref.ref(self)
+
+        def _evict(delta, _token=token, _cache_ref=cache_ref):
+            cache = _cache_ref()
+            if cache is not None:
+                cache.invalidate_token(_token)
+
+        database.add_delta_listener(_evict)
+
+    def invalidate_token(self, token: int) -> int:
+        """Drop every entry of one watched database; returns the count."""
+        with self._lock:
+            return self._drop_token_keys(token)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._token_keys.clear()
+            self.stats["invalidations"] += dropped
+
+    def _drop_token_keys(self, token: int) -> int:
+        keys = self._token_keys.pop(token, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            if self._entries.pop(key, None) is not None:
+                dropped += 1
+        self.stats["invalidations"] += dropped
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def _query_stats(self, query: str) -> Dict[str, float]:
+        stats = self._per_query.get(query)
+        if stats is None:
+            if len(self._per_query) >= max(64, 2 * self.max_entries):
+                # Leak guard for servers answering unbounded streams of
+                # distinct ad-hoc query texts (mirrors the maintainer-memo
+                # bound in repro.eval.deltas): per-query stats restart
+                # rather than grow — and bloat every stats payload —
+                # forever.
+                self._per_query.clear()
+            stats = self._per_query[query] = {
+                "hits": 0,
+                "misses": 0,
+                "saved_s": 0.0,
+                "compute_s": 0.0,
+            }
+        return stats
+
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        with self._lock:
+            lookups = self.stats["hits"] + self.stats["misses"]
+            return self.stats["hits"] / lookups if lookups else 0.0
+
+    def per_query(self) -> Dict[str, Dict[str, float]]:
+        """Per-normalized-query hit/miss counts and timings (a snapshot)."""
+        with self._lock:
+            return {query: dict(stats) for query, stats in self._per_query.items()}
+
+    def describe_dict(self) -> Dict[str, object]:
+        """The JSON shape served by the ``stats`` operation."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hit_rate": self.hit_rate(),
+                **dict(self.stats),
+                "per_query": self.per_query(),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnswerCache(entries={len(self)}, hits={self.stats['hits']}, "
+            f"misses={self.stats['misses']})"
+        )

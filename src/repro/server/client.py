@@ -1,0 +1,133 @@
+"""Client helpers for scripted calls against a running server (``repro client``).
+
+Thin stdlib wrappers over the two wire transports:
+
+* :func:`call_jsonl` — open a TCP connection to a JSONL server, send request
+  lines, half-close the write side and read every answer envelope until EOF;
+* :func:`call_http` — ``POST /answer`` with one request payload or a list;
+* :func:`fetch_stats` — the ``stats`` operation over either transport.
+
+All functions return decoded JSON envelopes (dicts), not :class:`Answer`
+objects: the client side of the wire deliberately treats the envelope as the
+contract, exactly like any non-Python consumer would.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.request
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+STATS_LINE = '{"op": "stats"}'
+
+
+def workload_lines(path: PathLike) -> List[str]:
+    """The request lines of a JSONL workload file, ready to send.
+
+    Exactly the runner's line discipline (one shared iterator): decoded with
+    ``utf-8-sig`` (BOM-safe), blank lines and ``#`` comments dropped.  Lines
+    are sent verbatim — the *server* resolves relative dataset paths against
+    its own working directory, so wire workloads should carry inline
+    ``rows`` or absolute paths.
+    """
+    from ..service.runner import _iter_lines
+
+    return [text for _, text, _ in _iter_lines(path)]
+
+
+def call_jsonl(
+    host: str,
+    port: int,
+    lines: Iterable[str],
+    timeout: float = 30.0,
+) -> List[Dict[str, object]]:
+    """Send request lines to a JSONL socket server; returns all envelopes.
+
+    The reply stream is drained on a separate thread *while* the lines are
+    written: the server answers each line as it reads it, so a write-all-
+    then-read client would deadlock on TCP backpressure once a large
+    workload's answers fill both socket buffers.  The write side is shut
+    down after the last line, so the server sees EOF and the drain runs to
+    completion — one connection, arbitrarily many requests.
+    """
+    envelopes: List[Dict[str, object]] = []
+    drain_errors: List[BaseException] = []
+    with socket.create_connection((host, port), timeout=timeout) as connection:
+        writer = connection.makefile("w", encoding="utf-8", newline="\n")
+        reader = connection.makefile("r", encoding="utf-8")
+
+        def drain() -> None:
+            try:
+                for line in reader:
+                    if line.strip():
+                        envelopes.append(json.loads(line))
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                drain_errors.append(error)
+
+        drainer = threading.Thread(target=drain, name="repro-jsonl-drain")
+        drainer.start()
+        try:
+            for line in lines:
+                writer.write(line.rstrip("\n") + "\n")
+            writer.flush()
+            connection.shutdown(socket.SHUT_WR)
+        finally:
+            drainer.join()
+            writer.close()
+            reader.close()
+    if drain_errors:
+        raise drain_errors[0]
+    return envelopes
+
+
+def call_http(
+    url: str,
+    payload: Union[Dict[str, object], List[Dict[str, object]]],
+    timeout: float = 30.0,
+) -> List[Dict[str, object]]:
+    """``POST /answer`` one request payload (or a list); returns the envelopes."""
+    request = urllib.request.Request(
+        url.rstrip("/") + "/answer",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        body = json.loads(response.read().decode("utf-8"))
+    return list(body.get("answers", []))
+
+
+def fetch_stats(
+    *,
+    http_url: Optional[str] = None,
+    jsonl_address: Optional[Tuple[str, int]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, object]:
+    """The ``stats`` envelope from a running server, over either transport."""
+    if http_url is not None:
+        request = urllib.request.Request(http_url.rstrip("/") + "/stats")
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    if jsonl_address is not None:
+        host, port = jsonl_address
+        envelopes = call_jsonl(host, port, [STATS_LINE], timeout=timeout)
+        if not envelopes:
+            raise ConnectionError("server closed the connection without answering")
+        return envelopes[0]
+    raise ValueError("fetch_stats needs an http_url or a jsonl_address")
+
+
+def parse_host_port(text: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """``"host:port"`` or ``"port"`` as an address tuple (CLI convenience)."""
+    host, separator, port = text.rpartition(":")
+    if not separator:
+        host = default_host
+    try:
+        return (host or default_host), int(port)
+    except ValueError:
+        raise ValueError(f"cannot parse socket address {text!r} (expected HOST:PORT)")

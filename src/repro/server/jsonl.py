@@ -1,0 +1,150 @@
+"""The JSONL transports: a stdio loop and a threaded TCP socket server.
+
+Both speak exactly the ``repro run`` workload dialect — one JSON request per
+line in, one JSON answer envelope per line out (a batch request emits one
+line per dataset).  Blank lines and ``#`` comments are ignored; a bad line
+becomes an ``ok: false`` envelope, never a dropped connection.  Output is
+flushed after every request so a pipelined client can read each answer as
+soon as it exists.
+
+* :func:`serve_stream` — the core loop over text streams; :func:`serve_stdio`
+  binds it to the process's stdin/stdout (the CLI's ``repro serve --stdio``).
+* :class:`JsonlServer` / :func:`start_jsonl_server` — a
+  ``socketserver.ThreadingTCPServer`` running the same loop per connection.
+  Connections are independent, but all of them answer through the one
+  :class:`~repro.server.app.CQAServer` (one session pool, one cache).
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+from typing import IO, Optional, Tuple
+
+from ..service.runner import error_answer
+from .app import CQAServer
+
+#: Longest accepted request line, mirroring the HTTP transport's body cap:
+#: the resident server must not buffer an unbounded line into memory before
+#: it can even decide the request is bad.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def _oversized_answer(line_number: int):
+    return error_answer(
+        "?",
+        "?",
+        ValueError(
+            f"line {line_number}: request line exceeds {MAX_LINE_BYTES} bytes"
+        ),
+    )
+
+
+def serve_stream(server: CQAServer, input_stream: IO[str], output_stream: IO[str]) -> int:
+    """Answer every line of ``input_stream``; returns the envelope count."""
+    emitted = 0
+    line_number = 0
+    while True:
+        line = input_stream.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            break
+        line_number += 1
+        if len(line) > MAX_LINE_BYTES:
+            # Skip the remainder of the oversized line, then report it.
+            while True:
+                rest = input_stream.readline(MAX_LINE_BYTES)
+                if not rest or rest.endswith("\n"):
+                    break
+            answers = [_oversized_answer(line_number)]
+        else:
+            answers = server.handle_line(line, line_number)
+        for answer in answers:
+            output_stream.write(json.dumps(answer.to_json_dict()) + "\n")
+            emitted += 1
+        if answers:
+            output_stream.flush()
+    output_stream.flush()
+    return emitted
+
+
+def serve_stdio(
+    server: CQAServer,
+    input_stream: Optional[IO[str]] = None,
+    output_stream: Optional[IO[str]] = None,
+) -> int:
+    """The stdio loop: serve until EOF on stdin; returns the envelope count."""
+    return serve_stream(
+        server,
+        input_stream if input_stream is not None else sys.stdin,
+        output_stream if output_stream is not None else sys.stdout,
+    )
+
+
+class _JsonlConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: the stream loop over the socket's file views."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised over real sockets
+        app: CQAServer = self.server.app
+        line_number = 0
+        while True:
+            raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if not raw:
+                break
+            line_number += 1
+            if len(raw) > MAX_LINE_BYTES:
+                # Answer the oversize error, then drop the connection — the
+                # remaining bytes of the runaway line cannot be resynced
+                # into a line stream worth trusting.
+                answer = _oversized_answer(line_number)
+                self.wfile.write(
+                    (json.dumps(answer.to_json_dict()) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+                return
+            text = raw.decode("utf-8", errors="replace")
+            for answer in app.handle_line(text, line_number):
+                payload = json.dumps(answer.to_json_dict()) + "\n"
+                self.wfile.write(payload.encode("utf-8"))
+            self.wfile.flush()
+
+
+class JsonlServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server speaking the JSONL dialect (see module docs)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, app: CQAServer, address: Tuple[str, int] = ("127.0.0.1", 0)) -> None:
+        self.app = app
+        super().__init__(address, _JsonlConnectionHandler)
+
+    def handle_error(self, request, client_address) -> None:
+        """Clients that disconnect mid-reply are not server errors (no traceback)."""
+        if isinstance(sys.exc_info()[1], (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self.server_address[1]
+
+
+def start_jsonl_server(
+    app: CQAServer, host: str = "127.0.0.1", port: int = 0, in_thread: bool = True
+) -> JsonlServer:
+    """Bind a :class:`JsonlServer` and (by default) serve it on a daemon thread.
+
+    With ``in_thread=False`` the caller owns the accept loop and must call
+    ``serve_forever()`` itself (the CLI's foreground mode).  Either way the
+    returned server exposes the bound ``port`` and ``shutdown()``.
+    """
+    server = JsonlServer(app, (host, port))
+    if in_thread:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-jsonl-server", daemon=True
+        )
+        thread.start()
+    return server

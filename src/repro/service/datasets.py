@@ -25,16 +25,61 @@ for several different queries over the same relation schema.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 from pathlib import Path
-from typing import Dict, Hashable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from ..core.query import TwoAtomQuery
 from ..core.terms import RelationSchema
-from ..db.csvio import csv_row_count, facts_from_rows, load_csv
+from ..db.csvio import csv_row_count, facts_from_rows, load_csv_text
 from ..db.fact_store import Database
 from ..db.sqlite_backend import SqliteFactStore
 
 PathLike = Union[str, Path]
+
+#: Opaque identity tokens handed to in-memory databases and stores the first
+#: time a fingerprint is taken.  ``id()`` alone is unsafe as a cache identity
+#: (CPython reuses addresses after garbage collection); a token attribute
+#: travels with the object for its whole lifetime instead.
+_identity_tokens = itertools.count(1)
+
+
+def _identity_token(obj: object) -> int:
+    token = getattr(obj, "_repro_fingerprint_token", None)
+    if token is None:
+        token = next(_identity_tokens)
+        obj._repro_fingerprint_token = token
+    return token
+
+
+def _hash_file(path: str) -> Optional[str]:
+    """Content digest of a file, or ``None`` when it cannot be read."""
+    digest = hashlib.blake2b(digest_size=16)
+    try:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError:
+        return None
+    return digest.hexdigest()
+
+
+def _hash_wal(path: str) -> Optional[str]:
+    """Digest of a SQLite write-ahead log, with an empty log mapped to ``None``.
+
+    Merely *opening* a WAL-mode database creates a zero-byte ``-wal`` file,
+    which holds no committed frames — fingerprinting it would make the same
+    content look different before and after the first reader.  A log with
+    actual frames (committed but un-checkpointed writes) must change the
+    fingerprint; see the sqlite branch of :meth:`DatasetRef.fingerprint`.
+    """
+    try:
+        if Path(path).stat().st_size == 0:
+            return None
+    except OSError:
+        return None
+    return _hash_file(path)
 
 
 class DatasetRef:
@@ -67,7 +112,10 @@ class DatasetRef:
         self.has_header = has_header
         self._label = label
         self._resolved: Dict[Hashable, Database] = {}
+        self._loaded_versions: Dict[Hashable, int] = {}
+        self._loaded_fingerprint: Optional[Tuple[object, ...]] = None
         self._size_hint: Optional[int] = None
+        self._rows_digest: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -126,6 +174,11 @@ class DatasetRef:
             return self._store.count()
         return None
 
+    @property
+    def memory_database(self) -> Optional[Database]:
+        """The live database of a ``memory`` reference (``None`` otherwise)."""
+        return self._database
+
     def describe(self) -> str:
         """A short ``kind:source`` label used by envelopes and reports."""
         if self._label is not None:
@@ -135,6 +188,107 @@ class DatasetRef:
         if self.kind == self.ROWS:
             return f"rows:{len(self._rows)}"
         return f"{self.kind}:{self.path}"
+
+    # ------------------------------------------------------------------ #
+    # content fingerprinting (the answer-cache identity of the dataset)
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> Optional[Tuple[object, ...]]:
+        """A cheap content identity for answer caching, or ``None``.
+
+        Two references with equal fingerprints denote the same fact set
+        that :meth:`resolve` answers with; a reference whose content cannot
+        be identified cheaply and safely answers ``None`` and is simply not
+        cached.  A reference holding a memoised resolution reports the
+        fingerprint captured *at load time* — resolution memos do not track
+        later source changes (the PR 3 contract), so the identity must
+        describe the facts actually served, not the bytes currently on
+        disk; a fresh or closed reference fingerprints the current source.
+        Per kind:
+
+        ``memory``
+            ``("memory", token)`` — an identity token pinned to the database
+            object.  Content changes are captured by :meth:`version_hint`
+            (the database's mutation counter), which the cache key includes
+            alongside the fingerprint.
+        ``csv``
+            ``("csv", path, has_header, content-digest)`` — the file bytes
+            are hashed on every call, so a rewrite with identical size
+            **and** identical mtime (``os.utime`` tricks, archive restores)
+            still changes the fingerprint; stat data (size, mtime) is
+            deliberately *not* trusted as a change signal.  ``has_header``
+            is part of the identity because it changes which rows become
+            facts.
+        ``sqlite``
+            For file-backed stores, ``("sqlite", path, content-digest)`` over
+            the database file — out-of-band writers (other connections,
+            other processes) change the committed file image.  For
+            ``:memory:`` stores, an identity token plus the connection's
+            ``total_changes`` counter and the row count.
+        ``rows``
+            ``("rows", content-digest)`` over the (immutable) row tuples,
+            memoised on the reference.
+        """
+        if self._loaded_fingerprint is not None and self._resolved:
+            return self._loaded_fingerprint
+        return self._content_fingerprint()
+
+    def _content_fingerprint(self) -> Optional[Tuple[object, ...]]:
+        """The current-source fingerprint (see :meth:`fingerprint`)."""
+        if self.kind == self.MEMORY:
+            return (self.MEMORY, _identity_token(self._database))
+        if self.kind == self.ROWS:
+            if self._rows_digest is None:
+                digest = hashlib.blake2b(digest_size=16)
+                for row in self._rows:
+                    digest.update(repr(row).encode("utf-8"))
+                self._rows_digest = digest.hexdigest()
+            return (self.ROWS, self._rows_digest)
+        if self.kind == self.CSV:
+            content = _hash_file(self.path)
+            if content is None:
+                return None
+            # has_header changes which rows become facts, so it is part of
+            # the content identity, not just a load option.
+            return (self.CSV, self.path, self.has_header, content)
+        # SQLite: a real path is fingerprinted from the committed file image
+        # *plus* the write-ahead log — in WAL mode committed out-of-band
+        # writes live in ``<path>-wal`` until a checkpoint and leave the
+        # main file byte-identical, so hashing the main file alone would
+        # serve stale verdicts.  :memory: stores fall back to
+        # connection-local mutation counters.
+        if self.path is not None and self.path != ":memory:":
+            content = _hash_file(self.path)
+            if content is None:
+                return None
+            return (self.SQLITE, self.path, content, _hash_wal(self.path + "-wal"))
+        if self._store is not None:
+            return (
+                self.SQLITE,
+                _identity_token(self._store),
+                self._store.connection.total_changes,
+                self._store.count(),
+            )
+        return None
+
+    def version_hint(self) -> Optional[int]:
+        """The mutation version of the database this reference resolves to.
+
+        For in-memory references this is the live database's monotone
+        version counter — the cache key component that a
+        :class:`~repro.eval.deltas.FactDelta` bumps.  For other kinds it is
+        the number of mutations applied to a memoised resolution *after* it
+        was loaded (a caller may have mutated it in place); a fresh or
+        unresolved reference answers ``0`` — its content fingerprint alone
+        identifies the fact set.
+        """
+        if self.kind == self.MEMORY:
+            return self._database.version
+        if not self._resolved:
+            return 0
+        return max(
+            database.version - self._loaded_versions.get(key, 0)
+            for key, database in self._resolved.items()
+        )
 
     # ------------------------------------------------------------------ #
     # resolution
@@ -152,8 +306,24 @@ class DatasetRef:
         key = self._memo_key(query.schema, query, pushdown)
         resolved = self._resolved.get(key)
         if resolved is None:
+            # The load-time fingerprint is captured *before* reading the
+            # source: fingerprint() must keep describing the loaded content
+            # even if the source changes while the memo is held, and a
+            # source rewritten mid-request must never park the old
+            # content's answer under the new content's identity.  The CSV
+            # loader tightens this further by digesting the exact bytes it
+            # parsed (no window at all); see _load.
+            pre_load = (
+                self._content_fingerprint()
+                if self._loaded_fingerprint is None and self.kind != self.CSV
+                else None
+            )
             resolved = self._load(query, pushdown)
             self._resolved[key] = resolved
+            # Remembered so version_hint() can report mutations-since-load.
+            self._loaded_versions[key] = resolved.version
+            if self._loaded_fingerprint is None:
+                self._loaded_fingerprint = pre_load
         return resolved
 
     def _memo_key(
@@ -168,7 +338,21 @@ class DatasetRef:
         if self.kind == self.ROWS:
             return Database(facts_from_rows(query.schema, self._rows))
         if self.kind == self.CSV:
-            return load_csv(self.path, query.schema, has_header=self.has_header)
+            # One read serves both the parse and the content digest, so the
+            # cache identity describes exactly the bytes the facts came
+            # from — a rewrite racing the load cannot split them.
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+            database = load_csv_text(
+                data.decode("utf-8"),
+                query.schema,
+                has_header=self.has_header,
+                source=self.path,
+            )
+            if self._loaded_fingerprint is None:
+                digest = hashlib.blake2b(data, digest_size=16).hexdigest()
+                self._loaded_fingerprint = (self.CSV, self.path, self.has_header, digest)
+            return database
         store = self._ensure_store(query.schema)
         if pushdown:
             return store.to_indexed_database(query)
@@ -200,6 +384,8 @@ class DatasetRef:
             self._store = None
             self._owns_store = False
         self._resolved.clear()
+        self._loaded_versions.clear()
+        self._loaded_fingerprint = None
         self._size_hint = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

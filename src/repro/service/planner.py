@@ -37,6 +37,9 @@ from .envelope import Request
 INDEXED_MEMORY = "indexed-memory"
 SQLITE_PUSHDOWN = "sqlite-pushdown"
 SHARDED_POOL = "sharded-pool"
+#: The server-layer short-circuit: every dataset of the request was served
+#: from the answer cache, so no execution strategy was selected at all.
+ANSWER_CACHE = "answer-cache"
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,22 @@ class Planner:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def cache_plan(request: Request) -> Plan:
+        """The short-circuit plan used when the answer cache covers a request.
+
+        Taken *before* strategy selection (see
+        :class:`repro.server.app.CachingSession`): when every answer of the
+        request is already cached there is nothing to route, so neither the
+        sharding heuristics nor the pushdown inspection run.
+        """
+        return Plan(
+            ANSWER_CACHE,
+            None,
+            False,
+            f"{request.op}: every answer served from the cache",
+        )
+
     def plan(
         self,
         request: Request,

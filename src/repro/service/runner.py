@@ -26,14 +26,30 @@ from .session import Session
 PathLike = Union[str, Path]
 
 
-def _parse_line(
-    text: str, line_number: int, base_dir: str
+def normalize_workload_line(text: str) -> Optional[str]:
+    """One raw workload line reduced to its request text, or ``None`` to skip.
+
+    The single definition of the JSONL line discipline, shared by
+    :func:`run_workload`, the server transports and the client: surrounding
+    whitespace and a stray UTF-8 BOM are removed; blank lines and ``#``
+    comments are skipped.
+    """
+    text = text.strip("\ufeff \t\r\n")
+    if not text or text.startswith("#"):
+        return None
+    return text
+
+
+def parse_request_line(
+    text: str, line_number: int = 0, base_dir: Optional[str] = None
 ) -> Union[Request, Answer]:
     """One workload line as a :class:`Request`, or an error :class:`Answer`.
 
     Any failure to interpret the line — malformed JSON, a payload that is
     not a request, wrong-typed fields (``"csv": 123``) — becomes an
-    ``ok: false`` envelope; the parse itself never raises.
+    ``ok: false`` envelope; the parse itself never raises.  Shared by
+    :func:`run_workload` and the long-lived server front end
+    (:mod:`repro.server`), so both speak exactly the same wire dialect.
     """
     payload: object = None
     try:
@@ -51,13 +67,19 @@ def _parse_line(
 
 
 def _iter_lines(path: PathLike) -> Iterator[Tuple[int, str, str]]:
-    """``(line_number, text, base_dir)`` for every non-blank, non-comment line."""
+    """``(line_number, text, base_dir)`` for every non-blank, non-comment line.
+
+    Decodes with ``utf-8-sig`` so a leading byte-order mark (files written by
+    Windows tooling) is consumed instead of corrupting the first request; a
+    BOM-only or whitespace-only file therefore yields no lines, exactly like
+    an empty file.
+    """
     path = Path(path)
     base_dir = str(path.parent)
-    with open(path, encoding="utf-8") as handle:
+    with open(path, encoding="utf-8-sig") as handle:
         for line_number, line in enumerate(handle, start=1):
-            text = line.strip()
-            if text and not text.startswith("#"):
+            text = normalize_workload_line(line)
+            if text is not None:
                 yield line_number, text, base_dir
 
 
@@ -69,7 +91,7 @@ def iter_requests(path: PathLike) -> Iterator[Tuple[int, Request]]:
     workload file's directory as a fallback.
     """
     for line_number, text, base_dir in _iter_lines(path):
-        parsed = _parse_line(text, line_number, base_dir)
+        parsed = parse_request_line(text, line_number, base_dir)
         if isinstance(parsed, Answer):
             raise ValueError(f"{path}:{parsed.error}")
         yield line_number, parsed
@@ -89,7 +111,7 @@ def run_workload(
     session = session or Session()
     answers: List[Answer] = []
     for line_number, text, base_dir in _iter_lines(path):
-        parsed = _parse_line(text, line_number, base_dir)
+        parsed = parse_request_line(text, line_number, base_dir)
         if isinstance(parsed, Answer):  # a parse failure, already enveloped
             answers.append(parsed)
             continue
@@ -103,9 +125,10 @@ def run_workload(
     return answers
 
 
-def _error_answer(
-    op: str, query: str, error: Exception, request: Optional[Request]
+def error_answer(
+    op: str, query: str, error: Exception, request: Optional[Request] = None
 ) -> Answer:
+    """An ``ok: false`` envelope for a failed request (shared fault shape)."""
     return Answer(
         op=op,
         query=query,
@@ -113,3 +136,7 @@ def _error_answer(
         error=f"{type(error).__name__}: {error}",
         request_id=request.request_id if request is not None else None,
     )
+
+
+#: Backwards-compatible private alias (pre-server internal name).
+_error_answer = error_answer

@@ -1,0 +1,354 @@
+"""AnswerCache eviction and fingerprint edge cases.
+
+The stale-verdict adversaries: a CSV rewritten in place with identical size
+*and* identical mtime, a SQLite store mutated by another connection, and an
+in-memory version counter that wraps back onto a previously-seen value.
+Every one of them must miss — a cheaper fingerprint that served any of them
+stale would be a soundness bug, not a performance bug.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import (
+    AnswerCache,
+    Database,
+    DatasetRef,
+    Fact,
+    Request,
+    SqliteFactStore,
+)
+from repro.server import CachingSession, settings_digest
+from repro.service.envelope import Answer
+
+Q3 = "R(x|y) R(y|z)"
+
+
+def _certain(session, ref):
+    [answer] = session.answer(Request(op="certain", query=Q3, datasets=(ref,)))
+    return answer
+
+
+def _key(cache, tag, version=None, fingerprint=None):
+    return cache.make_key(
+        "q", "certain", ("digest",), fingerprint or ("csv", tag, tag), version
+    )
+
+
+def _answer(tag):
+    return Answer(op="certain", query="q", verdict=True, details={"tag": tag})
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(max_entries=2)
+        k1, k2, k3 = (_key(cache, tag) for tag in ("a", "b", "c"))
+        cache.put(k1, _answer("a"))
+        cache.put(k2, _answer("b"))
+        assert cache.get(k1).details["tag"] == "a"  # refresh k1: k2 becomes LRU
+        cache.put(k3, _answer("c"))
+        assert len(cache) == 2
+        assert cache.stats["evictions"] == 1
+        assert cache.get(k2) is None  # the least recently used entry left
+        assert cache.get(k1) is not None and cache.get(k3) is not None
+
+    def test_put_is_idempotent_per_key(self):
+        cache = AnswerCache(max_entries=2)
+        key = _key(cache, "a")
+        cache.put(key, _answer("first"))
+        cache.put(key, _answer("second"))
+        assert len(cache) == 1
+        assert cache.get(key).details["tag"] == "second"
+
+    def test_entries_are_served_as_private_copies(self):
+        cache = AnswerCache()
+        key = _key(cache, "a")
+        cache.put(key, _answer("a"))
+        served = cache.get(key)
+        served.details["mutated"] = True
+        assert "mutated" not in cache.get(key).details
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnswerCache(max_entries=0)
+
+    def test_clear_counts_invalidations(self):
+        cache = AnswerCache()
+        cache.put(_key(cache, "a"), _answer("a"))
+        cache.put(_key(cache, "b"), _answer("b"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats["invalidations"] == 2
+
+    def test_session_level_eviction_never_breaks_answers(self, schema21):
+        session = CachingSession(cache=AnswerCache(max_entries=2))
+        rng = random.Random(7)
+        for index in range(6):
+            facts = [
+                Fact(schema21, (rng.randrange(3), rng.randrange(3)))
+                for _ in range(3)
+            ]
+            ref = DatasetRef.in_memory(Database(facts))
+            answer = _certain(session, ref)
+            assert answer.ok
+        assert len(session.cache) <= 2
+        assert session.cache.stats["evictions"] >= 1
+
+
+class TestCsvFingerprint:
+    def test_same_size_same_mtime_rewrite_must_miss(self, tmp_path):
+        """The satellite's adversarial rewrite: size and mtime both preserved."""
+        path = tmp_path / "facts.csv"
+        path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")
+        stat = path.stat()
+        session = CachingSession(cache=AnswerCache())
+        assert _certain(session, DatasetRef.csv(path)).verdict is True
+        # Rewrite: same byte length, different facts, mtime restored exactly.
+        path.write_text("x,y\na,b\na,c\n", encoding="utf-8")
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        after = path.stat()
+        assert after.st_size == stat.st_size and after.st_mtime_ns == stat.st_mtime_ns
+        fresh = _certain(session, DatasetRef.csv(path))
+        assert fresh.details["cache"] == "miss"
+        assert fresh.verdict is False  # the stale verdict would have been True
+        assert session.cache.stats["hits"] == 0
+
+    def test_identical_content_hits_across_references(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")
+        session = CachingSession(cache=AnswerCache())
+        assert _certain(session, DatasetRef.csv(path)).details["cache"] == "miss"
+        warm = _certain(session, DatasetRef.csv(path))
+        assert warm.details["cache"] == "hit" and warm.verdict is True
+
+    def test_missing_file_is_uncacheable_not_fatal(self, tmp_path):
+        ref = DatasetRef.csv(tmp_path / "absent.csv")
+        assert ref.fingerprint() is None
+
+    def test_has_header_is_part_of_the_cache_identity(self, tmp_path):
+        """The same file parsed with/without a header yields different facts,
+        so the two readings must never share a cache entry."""
+        path = tmp_path / "facts.csv"
+        # Header reading: facts {a|b, b|c} (certain).  Headerless reading
+        # also keeps row one, so block a gains the choice a|c (not certain).
+        path.write_text("a,c\na,b\nb,c\n", encoding="utf-8")
+        session = CachingSession(cache=AnswerCache())
+        with_header = _certain(session, DatasetRef.csv(path, has_header=True))
+        without_header = _certain(session, DatasetRef.csv(path, has_header=False))
+        assert with_header.verdict is True  # facts {a|b, b|c}
+        assert without_header.verdict is False  # block a = {a|c, a|b} adds a choice
+        assert without_header.details["cache"] == "miss"
+        # Each reading hits only its own entry on replay.
+        assert _certain(session, DatasetRef.csv(path, has_header=True)).verdict is True
+        assert (
+            _certain(session, DatasetRef.csv(path, has_header=False)).verdict is False
+        )
+
+    def test_reused_ref_with_rewritten_file_cannot_poison_the_cache(self, tmp_path):
+        """A held ref answers from its memo (the PR 3 contract) — but that
+        memo-stale answer must be stored under the *loaded* content's
+        identity, never under the rewritten file's fingerprint."""
+        path = tmp_path / "facts.csv"
+        path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")  # certain: True
+        session = CachingSession(cache=AnswerCache())
+        held = DatasetRef.csv(path)
+        assert _certain(session, held).verdict is True
+        path.write_text("x,y\na,b\na,c\n", encoding="utf-8")  # certain: False
+        # The held ref still resolves to its memoised (old) database and now
+        # fingerprints the loaded content, so this is a consistent hit.
+        stale_but_consistent = _certain(session, held)
+        assert stale_but_consistent.verdict is True
+        assert stale_but_consistent.details["cache"] == "hit"
+        # A fresh reference sees the rewritten file: it must miss and get
+        # the new verdict — a poisoned cache would serve True here.
+        fresh = _certain(session, DatasetRef.csv(path))
+        assert fresh.details["cache"] == "miss"
+        assert fresh.verdict is False
+        # And closing the held ref drops its memo: it rejoins reality.
+        held.close()
+        assert _certain(session, held).verdict is False
+
+
+class TestSqliteFingerprint:
+    def test_out_of_band_mutation_must_miss(self, tmp_path, schema21):
+        path = str(tmp_path / "facts.db")
+        with SqliteFactStore(schema21, path) as store:
+            store.insert_facts(
+                [Fact(schema21, ("a", "b")), Fact(schema21, ("b", "c"))]
+            )
+        session = CachingSession(cache=AnswerCache())
+        assert _certain(session, DatasetRef.sqlite(path)).verdict is True
+        assert _certain(session, DatasetRef.sqlite(path)).details["cache"] == "hit"
+        # Another connection mutates the store out-of-band.
+        with SqliteFactStore(schema21, path) as writer:
+            writer.insert_facts([Fact(schema21, ("a", "c"))])
+        fresh = _certain(session, DatasetRef.sqlite(path))
+        assert fresh.details["cache"] == "miss"
+        # The repair choosing R(a|c) has no successor fact: no longer certain.
+        assert fresh.verdict is False
+
+    def test_wal_mode_out_of_band_commit_must_miss(self, tmp_path, schema21):
+        """Committed WAL writes leave the main file byte-identical until a
+        checkpoint; the fingerprint must cover the -wal file too."""
+        import sqlite3
+
+        path = str(tmp_path / "facts.db")
+        with SqliteFactStore(schema21, path) as store:
+            store.connection.execute("PRAGMA journal_mode=WAL")
+            store.insert_facts(
+                [Fact(schema21, ("a", "b")), Fact(schema21, ("b", "c"))]
+            )
+        session = CachingSession(cache=AnswerCache())
+        assert _certain(session, DatasetRef.sqlite(path)).verdict is True
+        assert _certain(session, DatasetRef.sqlite(path)).details["cache"] == "hit"
+        # An external writer commits into the WAL and stays open, so no
+        # checkpoint folds the write into the main database file.
+        writer = sqlite3.connect(path)
+        writer.execute("PRAGMA journal_mode=WAL")
+        writer.execute(
+            f"INSERT INTO facts_{schema21.name} VALUES (?, ?)",
+            ("str:a", "str:c"),
+        )
+        writer.commit()
+        try:
+            fresh = _certain(session, DatasetRef.sqlite(path))
+            assert fresh.details["cache"] == "miss"
+            assert fresh.verdict is False
+        finally:
+            writer.close()
+
+    def test_open_memory_store_mutation_must_miss(self, schema21):
+        store = SqliteFactStore(schema21)  # :memory:
+        store.insert_facts([Fact(schema21, ("a", "b")), Fact(schema21, ("b", "c"))])
+        ref = DatasetRef.sqlite(store)
+        session = CachingSession(cache=AnswerCache())
+        assert _certain(session, ref).verdict is True
+        assert _certain(session, ref).details["cache"] == "hit"
+        store.insert_facts([Fact(schema21, ("a", "c"))])
+        ref.close()  # drop the resolution memo; the store stays the caller's
+        fresh = _certain(session, ref)
+        assert fresh.details["cache"] == "miss"
+        assert fresh.verdict is False
+        store.close()
+
+
+class TestMemoryVersionWraparound:
+    def test_wrapped_version_counter_must_miss(self, schema21):
+        """(token, version) collision after a counter reset: never served."""
+        database = Database([Fact(schema21, ("a", "b"))])
+        session = CachingSession(cache=AnswerCache())
+        ref = DatasetRef.in_memory(database)
+        baseline_version = database.version
+        assert _certain(session, ref).verdict is False
+        # Mutate to a different fact set, then force the version counter back
+        # onto the previously-cached value (simulating a wrapped counter).
+        database.add(Fact(schema21, ("b", "c")))
+        database.invalidate_derived()  # a real wrap would fool these too;
+        database._version = baseline_version  # the subject here is AnswerCache
+        fresh = _certain(session, ref)
+        assert fresh.verdict is True  # the stale verdict would have been False
+        assert fresh.details["cache"] == "miss"
+
+    def test_version_regression_bumps_the_epoch(self):
+        cache = AnswerCache()
+        fingerprint = ("memory", 12345)
+        first = cache.make_key("q", "certain", (), fingerprint, 5)
+        assert first.epoch == 0
+        cache.put(first, _answer("v5"))
+        # Moving forward keeps the epoch.
+        assert cache.make_key("q", "certain", (), fingerprint, 6).epoch == 0
+        # Moving backwards (wraparound/reset) opens a new epoch and drops
+        # every earlier entry of the token.
+        wrapped = cache.make_key("q", "certain", (), fingerprint, 5)
+        assert wrapped.epoch == 1
+        assert cache.get(wrapped) is None
+        assert cache.stats["invalidations"] >= 1
+
+    def test_watch_database_is_idempotent(self, schema21):
+        cache = AnswerCache()
+        database = Database([Fact(schema21, ("a", "b"))])
+        cache.watch_database(database)
+        cache.watch_database(database)
+        assert len(database._delta_listeners) == 1
+
+    def test_watched_database_does_not_pin_dead_caches(self, schema21):
+        """The eviction listener holds the cache weakly: a database living
+        through several cache generations must not keep them all alive."""
+        import gc
+        import weakref
+
+        database = Database([Fact(schema21, ("a", "b"))])
+        cache = AnswerCache()
+        cache.watch_database(database)
+        grave = weakref.ref(cache)
+        del cache
+        gc.collect()
+        assert grave() is None  # the listener did not pin the cache
+        # The dead cache's listener stays registered but is a harmless no-op.
+        database.add(Fact(schema21, ("b", "c")))
+        # A successor cache registers its own listener and works normally.
+        successor = AnswerCache()
+        successor.watch_database(database)
+        assert len(database._delta_listeners) == 2
+        key = successor.make_key("q", "certain", (), ("memory", 1), 0)
+        successor.put(key, _answer("x"))
+        database.add(Fact(schema21, ("c", "d")))
+        assert successor.stats["invalidations"] == 0  # different token: untouched
+
+
+class TestFingerprints:
+    def test_rows_fingerprint_is_content_based(self):
+        first = DatasetRef.inline_rows([("a", "b"), ("b", "c")])
+        second = DatasetRef.inline_rows([("a", "b"), ("b", "c")])
+        third = DatasetRef.inline_rows([("a", "b"), ("b", "d")])
+        assert first.fingerprint() == second.fingerprint()
+        assert first.fingerprint() != third.fingerprint()
+
+    def test_memory_fingerprint_is_identity_based(self, schema21):
+        shared = Database([Fact(schema21, ("a", "b"))])
+        same_content = Database([Fact(schema21, ("a", "b"))])
+        ref = DatasetRef.in_memory(shared)
+        again = DatasetRef.in_memory(shared)
+        other = DatasetRef.in_memory(same_content)
+        assert ref.fingerprint() == again.fingerprint()
+        assert ref.fingerprint() != other.fingerprint()
+
+    def test_version_hint_tracks_the_live_database(self, schema21):
+        database = Database([Fact(schema21, ("a", "b"))])
+        ref = DatasetRef.in_memory(database)
+        before = ref.version_hint()
+        database.add(Fact(schema21, ("c", "d")))
+        assert ref.version_hint() == before + 1
+
+
+class TestSettingsDigest:
+    def test_unseeded_support_is_uncacheable(self):
+        session = CachingSession(cache=AnswerCache())
+        request = Request(op="support", query=Q3, samples=10)
+        assert settings_digest(request, session) is None
+        assert settings_digest(
+            Request(op="support", query=Q3, samples=10, seed=3), session
+        ) is not None
+
+    def test_witness_flag_separates_digests(self):
+        session = CachingSession(cache=AnswerCache())
+        plain = settings_digest(Request(op="certain", query=Q3), session)
+        with_witness = settings_digest(
+            Request(op="certain", query=Q3, witness=True), session
+        )
+        witness_op = settings_digest(Request(op="witness", query=Q3), session)
+        assert plain != with_witness
+        assert with_witness == witness_op
+
+    def test_session_knobs_separate_digests(self):
+        request = Request(op="certain", query=Q3)
+        loose = settings_digest(request, CachingSession(cache=AnswerCache()))
+        strict = settings_digest(
+            request,
+            CachingSession(cache=AnswerCache(), strict_polynomial=True),
+        )
+        assert loose != strict

@@ -1,5 +1,7 @@
 """Unit tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -115,3 +117,53 @@ class TestReduceCommand:
     def test_reduce_fails_for_query_without_fork_tripath(self, capsys):
         assert main(["reduce", "q5", "--", "-1,2,3", "1,-2,-3"]) == 1
         assert "reduction failed" in capsys.readouterr().err
+
+
+class TestRunCommandEmptyWorkloads:
+    """Regression: degenerate workload files must yield a clean empty result.
+
+    An empty, whitespace-only, comment-only or BOM-prefixed JSONL file is a
+    valid (if vacuous) workload: ``repro run`` exits 0 with no output, and
+    ``--json`` emits an empty stream.  A UTF-8 BOM used to reach the JSON
+    parser and produce an ``ok: false`` envelope plus exit code 1.
+    """
+
+    @staticmethod
+    def _write(tmp_path, payload: bytes):
+        path = tmp_path / "workload.jsonl"
+        path.write_bytes(payload)
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"   \n\n\t\n",
+            b"# only a comment\n\n# another\n",
+            b"\xef\xbb\xbf",
+            b"\xef\xbb\xbf\n   \n",
+            b"\xef\xbb\xbf# commented out\n",
+        ],
+        ids=["empty", "whitespace", "comments", "bom", "bom-whitespace", "bom-comment"],
+    )
+    def test_degenerate_workloads_are_clean(self, capsys, tmp_path, payload):
+        path = self._write(tmp_path, payload)
+        assert main(["run", path]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+        assert main(["run", path, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_bom_prefixed_request_is_still_answered(self, capsys, tmp_path):
+        payload = "\ufeff" + '{"op": "classify", "query": "q3"}\n'
+        path = self._write(tmp_path, payload.encode("utf-8"))
+        assert main(["run", path, "--json"]) == 0
+        [envelope] = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert envelope["ok"] is True and envelope["verdict"] == "PTime"
+
+    def test_missing_workload_still_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read workload" in capsys.readouterr().err
