@@ -134,12 +134,18 @@ from .logic.dpll import DpllSolver, is_satisfiable
 from .logic.encode import FalsifyingRepairEncoding, certain_via_sat
 from .service import (
     Answer,
+    CostEstimate,
+    CostModel,
     DatasetRef,
+    ExecutionContext,
     Plan,
     Planner,
     QueryHandle,
     Request,
+    ScoredStrategy,
     Session,
+    Strategy,
+    StrategyRegistry,
     request_from_json_dict,
     run_workload,
 )
@@ -209,6 +215,9 @@ __all__ = [
     # service layer (the unified front door)
     "Session", "Request", "Answer", "DatasetRef", "Planner", "Plan",
     "QueryHandle", "request_from_json_dict", "run_workload",
+    # strategy API and cost model
+    "Strategy", "StrategyRegistry", "ExecutionContext",
+    "CostModel", "CostEstimate", "ScoredStrategy",
     # server layer (the resident front end; resolved lazily via __getattr__)
     "CQAServer", "CachingSession", "AnswerCache",  # noqa: F822
     "start_http_server", "start_jsonl_server",  # noqa: F822

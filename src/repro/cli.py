@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     certain_parser.add_argument("--workers", type=int, default=None, metavar="N",
                                 help="shard a multi-file batch across N worker "
                                 "processes (default: planner decides; 0 = one per CPU)")
+    certain_parser.add_argument("--explain-plan", action="store_true",
+                                help="show why the planner's cost model picked the "
+                                "execution strategy (and the scored alternatives)")
     certain_parser.add_argument("--json", action="store_true",
                                 help="emit one JSON answer envelope per database (JSONL)")
 
@@ -201,6 +204,29 @@ def _run_classify(args) -> int:
     return 0
 
 
+def _print_plan(answers: Sequence[Answer]) -> None:
+    """Render the ``--explain-plan`` scoreboard (shared by every answer)."""
+    plan = answers[0].details.get("plan") if answers else None
+    if not plan:
+        return
+    headline = f"plan      : {plan['strategy']} — {plan['reason']}"
+    cost = plan.get("cost")
+    if cost is not None:
+        headline += f" (modelled {cost['total_s'] * 1e3:.2f} ms)"
+    print(headline)
+    for scored in plan.get("alternatives", ()):
+        if scored["strategy"] == plan["strategy"]:
+            continue
+        if scored.get("eligible") and scored.get("cost"):
+            line = f"modelled {scored['cost']['total_s'] * 1e3:.2f} ms"
+            speedup = scored["cost"].get("predicted_speedup")
+            if speedup is not None:
+                line += f", predicted speedup {speedup:.2f}x"
+        else:
+            line = "; ".join(scored.get("reasons", ())) or "ineligible"
+        print(f"            {scored['strategy']}: {line}")
+
+
 def _run_certain(args) -> int:
     datasets = tuple(
         DatasetRef.csv(path, has_header=not args.no_header) for path in args.csv
@@ -211,6 +237,7 @@ def _run_certain(args) -> int:
         datasets=datasets,
         workers=args.workers,
         witness=args.witness,
+        explain_plan=args.explain_plan,
     )
     session = Session()
     answers = session.answer(request)
@@ -218,6 +245,8 @@ def _run_certain(args) -> int:
     if args.json:
         _emit_json(answers)
         return 0
+    if args.explain_plan:
+        _print_plan(answers)
     if len(answers) == 1:
         answer = answers[0]
         print(f"query     : {session.resolve_query(args.query).query}")

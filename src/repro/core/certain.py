@@ -29,6 +29,12 @@ from .matching import MatchingAlgorithm
 from .query import TwoAtomQuery, subsuming_homomorphism
 from .terms import Fact
 
+#: Default sharding granularity of :meth:`CertainEngine.explain_many`:
+#: chunks dispatched per pool worker.  Several chunks per worker smooth over
+#: databases of uneven cost without paying one task dispatch per database;
+#: the planner's cost model derives its chunk sizes from the same constant.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
 
 def certain_bruteforce(
     query: TwoAtomQuery, database: Database, limit: Optional[int] = None
@@ -254,9 +260,9 @@ class CertainEngine:
         want_witness: bool = False,
     ) -> List[EngineReport]:
         if chunk_size is None:
-            # Several chunks per worker smooth over databases of uneven cost
-            # without paying one task dispatch per database.
-            chunk_size = max(1, math.ceil(len(items) / (4 * workers)))
+            chunk_size = max(
+                1, math.ceil(len(items) / (DEFAULT_CHUNKS_PER_WORKER * workers))
+            )
         chunks = [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
         processes = min(workers, len(chunks))
         if processes <= 1:

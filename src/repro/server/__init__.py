@@ -32,17 +32,21 @@ Quickstart::
     http.shutdown()
 """
 
-from .app import STATS_OP, CachingSession, CQAServer
+from .app import STATS_OP, AnswerCacheStrategy, CachingSession, CQAServer
 from .cache import AnswerCache, CacheKey, settings_digest
 from .client import call_http, call_jsonl, fetch_stats, workload_lines
 from .http_transport import HttpServer, start_http_server
 from .jsonl import JsonlServer, serve_stdio, serve_stream, start_jsonl_server
+from .pool import ReadWriteLock, SessionPool
 
 __all__ = [
     "AnswerCache",
+    "AnswerCacheStrategy",
     "CacheKey",
     "CachingSession",
     "CQAServer",
+    "ReadWriteLock",
+    "SessionPool",
     "HttpServer",
     "JsonlServer",
     "STATS_OP",

@@ -1,19 +1,26 @@
 """The resident server core: a cache-aware session behind one front door.
 
-Two classes live here:
+Three classes live here:
 
+* :class:`AnswerCacheStrategy` — the ``answer-cache`` short-circuit as a
+  real :class:`~repro.service.strategies.Strategy`: when every answer of a
+  request is already cached, the planner's scored plan names this strategy
+  and *it* serves the envelopes, through the same registry seam that routes
+  the compute paths.
 * :class:`CachingSession` — a :class:`~repro.service.session.Session` that
   consults an :class:`~repro.server.cache.AnswerCache` *before* the planner
   runs.  A fully-cached request short-circuits strategy selection entirely
   (:meth:`~repro.service.planner.Planner.cache_plan`); a partially-cached
   batch re-plans only over the missing datasets.  Every served envelope
   carries cache provenance in ``details["cache"]`` (``"hit"`` / ``"miss"``).
-* :class:`CQAServer` — the transport-independent server: one caching session
-  plus a lock (the JSONL socket and HTTP transports are threaded), the
-  workload-line protocol shared with ``repro run``
+* :class:`CQAServer` — the transport-independent server: one caching
+  session behind a :class:`~repro.server.pool.SessionPool` (read-only
+  requests overlap under per-dataset stripe locks; mutation paths stay
+  exclusive), the workload-line protocol shared with ``repro run``
   (:func:`~repro.service.runner.parse_request_line` dialect), per-request
-  fault isolation, and the ``stats`` operation exposing hit rates and
-  per-query timings.
+  fault isolation, and the ``stats`` operation exposing hit rates,
+  per-query timings, strategy selection counts and the concurrency
+  counters.
 
 Transports (:mod:`repro.server.jsonl`, :mod:`repro.server.http_transport`)
 hold a :class:`CQAServer` and translate bytes to
@@ -33,9 +40,12 @@ from typing import Dict, List, Optional
 
 from ..service.datasets import DatasetRef
 from ..service.envelope import Answer, Request, request_from_json_dict
+from ..service.planner import ANSWER_CACHE
 from ..service.runner import error_answer, normalize_workload_line
 from ..service.session import Session
+from ..service.strategies import ExecutionContext, Strategy, cache_replay_estimate
 from .cache import AnswerCache, CacheKey, settings_digest
+from .pool import SessionPool
 
 #: The server-level operation answering with cache/session/transport stats.
 STATS_OP = "stats"
@@ -50,6 +60,47 @@ _NO_DATASET = ("none",)
 _DATASET_INDEPENDENT_OPS = ("classify", "reduce")
 
 
+class AnswerCacheStrategy(Strategy):
+    """The cache short-circuit behind the Strategy protocol.
+
+    Never selected by the planner's scoring pass — it requires hit state
+    that only :class:`CachingSession` can establish, so ``supports`` always
+    declines there (the reason shows up in ``--explain-plan`` scoreboards).
+    The caching session invokes it directly through the registry once every
+    key of a request has hit.
+    """
+
+    name = ANSWER_CACHE
+    specificity = 30
+
+    def supports(self, request, classification, context):
+        return False, ("requires a fully-cached request (served before planning)",)
+
+    def estimate(self, request, classification, size_hints, context):
+        return cache_replay_estimate(context.cost_model, len(size_hints))
+
+    def execute(self, ctx: ExecutionContext, request: Request) -> List[Answer]:
+        """Serve a fully-hit request (the hits travel in ``ctx.extras``)."""
+        session: "CachingSession" = ctx.session
+        hits: Dict[int, Answer] = ctx.extras["hits"]
+        started: float = ctx.extras["started"]
+        plan = ctx.plan
+        session._bump("plans_skipped")
+        session._bump("requests")
+        session._note_plan(plan.strategy)
+        total = time.perf_counter() - started
+        answers = [
+            session._serve_hit(hits[index], request, total) for index in sorted(hits)
+        ]
+        for answer in answers:
+            answer.warnings.extend(plan.warnings)
+            if request.explain_plan:
+                answer.details["plan"] = plan.to_json_dict()
+        session._bump("cache_hits", len(answers))
+        session._bump("answers", len(answers))
+        return answers
+
+
 class CachingSession(Session):
     """A session with a fingerprint-keyed answer cache in front of the planner.
 
@@ -62,6 +113,8 @@ class CachingSession(Session):
         super().__init__(**kwargs)
         self.cache = cache
         self.stats.update(cache_hits=0, cache_misses=0, plans_skipped=0)
+        if ANSWER_CACHE not in self.planner.registry:
+            self.planner.registry.register(AnswerCacheStrategy())
 
     # ------------------------------------------------------------------ #
     # the cache-aware front door
@@ -85,22 +138,35 @@ class CachingSession(Session):
             if stored is not None:
                 hits[index] = stored
         if len(hits) == len(keys):
-            return self._serve_all_hits(request, hits, started)
+            return self._serve_all_hits(request, handle, hits, started)
         computed = self._answer_misses(request, normalized, digest, keys, hits)
-        self.stats["cache_hits"] += len(hits)
-        self.stats["cache_misses"] += sum(
-            1 for index, key in enumerate(keys) if key is not None and index not in hits
+        self._bump("cache_hits", len(hits))
+        self._bump(
+            "cache_misses",
+            sum(
+                1
+                for index, key in enumerate(keys)
+                if key is not None and index not in hits
+            ),
         )
         # Merge: hits keep their original position in the dataset order.
         merged: List[Answer] = []
         total = time.perf_counter() - started
         for index in range(len(keys)):
             if index in hits:
-                merged.append(self._serve_hit(hits[index], request, total))
+                served = self._serve_hit(hits[index], request, total)
+                if request.explain_plan:
+                    # The re-plan covered only the missing datasets; this
+                    # envelope was routed through the cache short-circuit.
+                    served.details["plan"] = {
+                        "strategy": ANSWER_CACHE,
+                        "reason": f"{request.op}: answer served from the cache",
+                    }
+                merged.append(served)
             elif computed:
                 merged.append(computed.pop(0))
         merged.extend(computed)
-        self.stats["answers"] += len(hits)
+        self._bump("answers", len(hits))
         return merged
 
     # ------------------------------------------------------------------ #
@@ -175,29 +241,31 @@ class CachingSession(Session):
         return computed
 
     def _serve_all_hits(
-        self, request: Request, hits: Dict[int, Answer], started: float
+        self, request: Request, handle, hits: Dict[int, Answer], started: float
     ) -> List[Answer]:
-        """Every answer was cached: skip the planner entirely."""
+        """Every answer was cached: dispatch the answer-cache strategy."""
         plan = self.planner.cache_plan(request)  # no strategy selection ran
-        self.stats["plans_skipped"] += 1
-        self.stats["requests"] += 1
-        total = time.perf_counter() - started
-        answers = [
-            self._serve_hit(hits[index], request, total) for index in sorted(hits)
-        ]
-        for answer in answers:
-            answer.warnings.extend(plan.warnings)
-        self.stats["cache_hits"] += len(answers)
-        self.stats["answers"] += len(answers)
-        return answers
+        strategy = self.planner.resolve_strategy(ANSWER_CACHE)
+        ctx = ExecutionContext(
+            self, handle, plan, extras={"hits": hits, "started": started}
+        )
+        return strategy.execute(ctx, request)
 
     @staticmethod
     def _serve_hit(stored: Answer, request: Request, total_s: float) -> Answer:
-        """Adapt a cached envelope (already a private copy) to this request."""
+        """Adapt a cached envelope (already a private copy) to this request.
+
+        Plan details never replay: entries are shared across requests that
+        did and did not ask for ``explain_plan`` (the digest rightly ignores
+        it — it cannot change the verdict), so the stored plan describes a
+        *different* request's routing.  The serving path attaches the
+        answer-cache plan instead when this request asked for one.
+        """
         stored.op = request.op  # certain/explain/witness share cache entries
         stored.query = request.query  # entries are shared across query aliases
         stored.request_id = request.request_id
         stored.details["cache"] = "hit"
+        stored.details.pop("plan", None)
         stored.timings = {"total_s": total_s}
         return stored
 
@@ -209,7 +277,12 @@ class CachingSession(Session):
 
 
 class CQAServer:
-    """One resident session pool + cache behind every transport (see module docs)."""
+    """One resident session pool + cache behind every transport (see module docs).
+
+    ``concurrent=False`` restores the pre-pool single-lock behaviour (every
+    request exclusive) — the baseline of ``benchmarks/bench_concurrency.py``
+    and an operator escape hatch.
+    """
 
     def __init__(
         self,
@@ -217,10 +290,11 @@ class CQAServer:
         *,
         cache_entries: int = 1024,
         enable_cache: bool = True,
-        practical_k: int = 3,
+        practical_k: Optional[int] = None,
         strict_polynomial: bool = False,
         default_workers: Optional[int] = None,
         base_dir: Optional[str] = None,
+        concurrent: bool = True,
     ) -> None:
         if session is None:
             cache = AnswerCache(max_entries=cache_entries) if enable_cache else None
@@ -231,11 +305,11 @@ class CQAServer:
                 default_workers=default_workers,
             )
         self.session = session
+        self.pool = SessionPool(session, serialize=not concurrent)
         self.base_dir = base_dir or os.getcwd()
-        self._lock = threading.RLock()
         # Counters get their own lock: bumping them (and serving the stats
         # op) must never stall behind a long-running computation holding the
-        # session lock — monitoring has to stay responsive.
+        # pool — monitoring has to stay responsive.
         self._stats_lock = threading.Lock()
         self._started = time.monotonic()
         self.transport_stats: Dict[str, int] = {
@@ -300,16 +374,20 @@ class CQAServer:
         return self.handle_request(request)
 
     def handle_request(self, request: Request) -> List[Answer]:
-        """Answer one typed request with fault isolation (never raises)."""
+        """Answer one typed request with fault isolation (never raises).
+
+        Read-only requests overlap through the pool's stripe locks; a
+        request whose datasets cannot be cheaply identified falls back to
+        exclusive answering (see :class:`~repro.server.pool.SessionPool`).
+        """
         self._bump("requests")
-        with self._lock:
-            try:
-                answers = self.session.answer(request)
-            except Exception as error:  # noqa: BLE001 - fault isolation
-                answers = [error_answer(request.op, request.query, error, request)]
-            finally:
-                for ref in request.datasets:
-                    ref.close()
+        try:
+            answers = self.pool.answer(request)
+        except Exception as error:  # noqa: BLE001 - fault isolation
+            answers = [error_answer(request.op, request.query, error, request)]
+        finally:
+            for ref in request.datasets:
+                ref.close()
         self._bump("answers", len(answers))
         self._bump("errors", sum(1 for answer in answers if not answer.ok))
         return answers
@@ -325,13 +403,16 @@ class CQAServer:
     # the stats operation
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """Uptime, transport counters, session pool stats and cache stats."""
+        """Uptime, transport counters, session/cache stats, plans, concurrency."""
         cache = self.cache
         return {
             "uptime_s": time.monotonic() - self._started,
             "transport": dict(self.transport_stats),
             "session": dict(self.session.stats),
             "cache": cache.describe_dict() if cache is not None else None,
+            "plans": dict(getattr(self.session, "plan_counts", {})),
+            "strategies": self.session.planner.registry.names(),
+            "concurrency": self.pool.describe_dict(),
         }
 
     def stats_answer(self) -> Answer:

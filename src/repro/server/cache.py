@@ -118,14 +118,24 @@ class AnswerCache:
 
     Thread-safe: the server's transports share one instance across
     connections.  ``max_entries`` bounds the resident envelopes; eviction is
-    least-recently-used.  ``stats`` and :meth:`per_query` feed the server's
-    ``stats`` operation.
+    *cost-aware* LRU — the victim is the cheapest-to-recompute entry among
+    the ``eviction_window`` least-recently-used ones (ties go to the oldest,
+    so equal-cost entries evict in pure LRU order).  A cached coNP SAT
+    verdict therefore outlives a cheap PTime lookup of the same age: losing
+    the former costs a solver call, losing the latter costs microseconds.
+    The window bounds the privilege — an expensive entry only survives while
+    a cheaper candidate sits in the window, so a cache full of SAT verdicts
+    still ages out normally.  ``eviction_window=1`` restores pure LRU.
+    ``stats`` and :meth:`per_query` feed the server's ``stats`` operation.
     """
 
-    def __init__(self, max_entries: int = 1024) -> None:
+    def __init__(self, max_entries: int = 1024, eviction_window: int = 8) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if eviction_window < 1:
+            raise ValueError("eviction_window must be positive")
         self.max_entries = max_entries
+        self.eviction_window = eviction_window
         self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         #: token -> set of live keys (for O(degree) delta eviction).
@@ -222,6 +232,9 @@ class AnswerCache:
         """Store a computed envelope (deep-copied, provenance marker stripped)."""
         stored = copy.deepcopy(answer)
         stored.details.pop("cache", None)
+        # Plan details are per-request routing provenance, not part of the
+        # answer: entries are shared across explain_plan settings.
+        stored.details.pop("plan", None)
         compute_s = float(stored.timings.get("total_s", 0.0))
         with self._lock:
             self._entries[key] = _Entry(stored, compute_s)
@@ -233,7 +246,8 @@ class AnswerCache:
             if token is not None:
                 self._token_keys.setdefault(token, set()).add(key)
             while len(self._entries) > self.max_entries:
-                evicted_key, _ = self._entries.popitem(last=False)
+                evicted_key = self._eviction_victim(protect=key)
+                del self._entries[evicted_key]
                 self.stats["evictions"] += 1
                 evicted_token = self._token_of(evicted_key.fingerprint)
                 if evicted_token is not None:
@@ -242,6 +256,28 @@ class AnswerCache:
                         keys.discard(evicted_key)
                         if not keys:
                             del self._token_keys[evicted_token]
+
+    def _eviction_victim(self, protect: CacheKey) -> CacheKey:
+        """Cost-aware LRU victim (see the class docs).
+
+        Scans the ``eviction_window`` least-recently-used entries and picks
+        the one with the smallest recorded compute time; on ties the scan
+        order (oldest first) wins, which is exactly LRU.  The entry being
+        inserted (``protect``) is never its own victim — a store must stick.
+        """
+        victim: Optional[CacheKey] = None
+        victim_cost = 0.0
+        scanned = 0
+        for key, entry in self._entries.items():
+            if key == protect:
+                continue
+            if victim is None or entry.compute_s < victim_cost:
+                victim, victim_cost = key, entry.compute_s
+            scanned += 1
+            if scanned >= self.eviction_window:
+                break
+        assert victim is not None  # max_entries >= 1 and protect is excluded
+        return victim
 
     # ------------------------------------------------------------------ #
     # invalidation

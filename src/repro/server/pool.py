@@ -1,0 +1,195 @@
+"""Striped concurrency over one resident session (the server's lock model).
+
+Until this layer the server answered under a single ``RLock``: two requests
+over *unrelated* datasets still queued behind each other, so a multi-core
+host never overlapped independent work.  The :class:`SessionPool` replaces
+that with two cooperating mechanisms:
+
+* a **read/write gate** — read-only answering holds the gate in shared
+  mode; mutation/maintenance paths (:meth:`SessionPool.exclusive`, and any
+  request whose datasets cannot be cheaply identified) hold it exclusively,
+  draining every in-flight reader first;
+* **per-dataset-fingerprint stripes** — concurrent readers additionally
+  hold one lock per distinct :meth:`~repro.service.datasets.DatasetRef.stripe_key`
+  of their request, acquired in a canonical order (sorted stripe index) so
+  two requests can never deadlock.  Requests over the *same* source
+  serialise — a shared resolved database's derived-structure cache
+  (:meth:`repro.db.fact_store.Database.cached`) is not internally locked —
+  while requests over different sources genuinely overlap.
+
+The session itself guards its registry, engine pool and counters with its
+own lock (see :class:`~repro.service.session.Session`), and the
+:class:`~repro.server.cache.AnswerCache` is fully thread-safe, so shared
+readers only need the stripes for per-database state.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence
+
+from ..service.envelope import Answer, Request
+from ..service.session import Session
+
+#: Default stripe count: collisions only serialise, so a modest power of
+#: two comfortably covers the concurrency a Python server can express.
+DEFAULT_STRIPES = 64
+
+
+class ReadWriteLock:
+    """A writer-preferring shared/exclusive lock (stdlib has none).
+
+    Readers overlap; a writer drains the readers and blocks new ones
+    (writer preference, so a steady read stream cannot starve mutations).
+    Not reentrant in either mode.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class SessionPool:
+    """Concurrent request answering over one session (see module docs).
+
+    ``serialize=True`` restores the pre-pool behaviour — every request
+    exclusive — which the concurrency benchmark uses as its baseline and
+    operators can use to bisect a suspected concurrency fault.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        stripe_count: int = DEFAULT_STRIPES,
+        serialize: bool = False,
+    ) -> None:
+        if stripe_count < 1:
+            raise ValueError("stripe_count must be positive")
+        self.session = session
+        self.serialize = serialize
+        self._gate = ReadWriteLock()
+        self._stripes = [threading.Lock() for _ in range(stripe_count)]
+        self._stats_lock = threading.Lock()
+        self._active_readers = 0
+        self.stats: Dict[str, int] = {
+            "shared_requests": 0,
+            "exclusive_requests": 0,
+            "peak_concurrency": 1 if serialize else 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # the two entry points
+    # ------------------------------------------------------------------ #
+    def answer(self, request: Request) -> List[Answer]:
+        """Answer one request under the appropriate locking mode."""
+        indices = None if self.serialize else self._stripe_indices(request)
+        if indices is None:
+            with self._stats_lock:
+                self.stats["exclusive_requests"] += 1
+            with self._gate.write():
+                return self.session.answer(request)
+        with self._stats_lock:
+            self.stats["shared_requests"] += 1
+        with self._gate.read():
+            self._note_reader(+1)
+            acquired = [self._stripes[index] for index in indices]
+            for lock in acquired:
+                lock.acquire()
+            try:
+                return self.session.answer(request)
+            finally:
+                for lock in reversed(acquired):
+                    lock.release()
+                self._note_reader(-1)
+
+    @contextmanager
+    def exclusive(self):
+        """Exclusive access for mutation/maintenance (deltas, cache surgery).
+
+        Drains every in-flight shared request, then yields the session; use
+        this around in-place mutations of databases the server also answers
+        from, so no reader observes a half-applied delta.
+        """
+        with self._stats_lock:
+            self.stats["exclusive_requests"] += 1
+        with self._gate.write():
+            yield self.session
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _stripe_indices(self, request: Request) -> Optional[Sequence[int]]:
+        """Sorted distinct stripe indices, or ``None`` to answer exclusively."""
+        if not request.datasets:
+            # classify/reduce touch only the session's internally-locked
+            # registry and engine pool: safe to overlap freely.
+            return ()
+        indices = set()
+        for ref in request.datasets:
+            key = ref.stripe_key()
+            if key is None:
+                return None
+            indices.add(hash(key) % len(self._stripes))
+        return sorted(indices)
+
+    def _note_reader(self, delta: int) -> None:
+        with self._stats_lock:
+            self._active_readers += delta
+            if self._active_readers > self.stats["peak_concurrency"]:
+                self.stats["peak_concurrency"] = self._active_readers
+
+    def describe_dict(self) -> Dict[str, object]:
+        """The ``stats`` operation's concurrency payload."""
+        with self._stats_lock:
+            return {
+                "mode": "serialized" if self.serialize else "striped",
+                "stripes": len(self._stripes),
+                "active_readers": self._active_readers,
+                **dict(self.stats),
+            }

@@ -11,10 +11,16 @@ procedure.  This package makes that framing the API:
   (in-memory :class:`~repro.db.fact_store.Database`, a
   :class:`~repro.db.sqlite_backend.SqliteFactStore`, lazily-loaded CSV paths,
   plus inline rows for wire payloads);
-* :class:`~repro.service.planner.Planner` inspects each request (operation,
-  batch size, dataset backends, classification, ``workers``) and picks the
-  execution strategy — indexed in-memory, SQLite solution-pair/seed pushdown,
-  or the sharded multiprocessing pool;
+* :class:`~repro.service.strategies.Strategy` /
+  :class:`~repro.service.strategies.StrategyRegistry` make the execution
+  paths pluggable: each strategy reports what it supports, prices a request
+  through the shared :class:`~repro.service.costmodel.CostModel`
+  (per-dataset setup + per-fact eval + per-SAT-solve terms), and executes
+  the envelopes itself;
+* :class:`~repro.service.planner.Planner` scores every registered strategy
+  and returns a :class:`~repro.service.planner.Plan` carrying the winner
+  *and* the scored alternatives (surfaced by ``--explain-plan`` and the
+  server ``stats`` op);
 * every operation (certain / explain / witness / support / classify /
   reduce) flows through one typed
   :class:`~repro.service.envelope.Request` → :class:`~repro.service.envelope.Answer`
@@ -24,20 +30,34 @@ procedure.  This package makes that framing the API:
   session (the CLI's ``repro run``).
 """
 
+from .costmodel import CostModel
 from .datasets import DatasetRef
 from .envelope import Answer, Request, request_from_json_dict
 from .planner import Plan, Planner
 from .runner import iter_requests, run_workload
 from .session import QueryHandle, Session
+from .strategies import (
+    CostEstimate,
+    ExecutionContext,
+    ScoredStrategy,
+    Strategy,
+    StrategyRegistry,
+)
 
 __all__ = [
     "Answer",
+    "CostEstimate",
+    "CostModel",
     "DatasetRef",
+    "ExecutionContext",
     "Plan",
     "Planner",
     "QueryHandle",
     "Request",
+    "ScoredStrategy",
     "Session",
+    "Strategy",
+    "StrategyRegistry",
     "iter_requests",
     "request_from_json_dict",
     "run_workload",

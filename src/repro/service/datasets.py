@@ -270,6 +270,33 @@ class DatasetRef:
             )
         return None
 
+    def stripe_key(self) -> Optional[Hashable]:
+        """A cheap *source* identity for concurrency striping.
+
+        Unlike :meth:`fingerprint` this never hashes file contents: two
+        requests over the same path/store/database must land on the same
+        lock stripe of the server's :class:`~repro.server.pool.SessionPool`
+        (so their shared resolved database's derived caches are never
+        touched concurrently), and the check runs on every request.
+        Distinct sources mapping to one stripe is harmless — it only
+        serialises them.  ``None`` means the source cannot be identified
+        cheaply; the pool falls back to exclusive answering.
+        """
+        if self.kind == self.MEMORY:
+            return (self.MEMORY, _identity_token(self._database))
+        if self.kind == self.ROWS:
+            # Inline rows are immutable and copied per request; the rows
+            # digest (memoised) is a stable content identity.
+            fingerprint = self._content_fingerprint()
+            return fingerprint
+        if self.kind == self.SQLITE and self.path in (None, ":memory:"):
+            if self._store is None:
+                return None
+            return (self.SQLITE, _identity_token(self._store))
+        if self.path is None:
+            return None
+        return (self.kind, self.path)
+
     def version_hint(self) -> Optional[int]:
         """The mutation version of the database this reference resolves to.
 

@@ -43,6 +43,9 @@ class Request:
     depth: int = 4
     backend: Optional[str] = None
     request_id: Optional[str] = None
+    #: Attach the planner's scored alternatives to every answer's
+    #: ``details["plan"]`` (the CLI's ``--explain-plan``).
+    explain_plan: bool = False
 
     def __post_init__(self) -> None:
         if self.op not in OPERATIONS:
@@ -113,7 +116,7 @@ def request_from_json_dict(
     paper name like ``q3`` or inline query text), the dataset keys of
     :func:`~repro.service.datasets.dataset_refs_from_json`, and the option
     keys ``workers``, ``witness``, ``samples``, ``confidence``, ``seed``,
-    ``clauses``, ``depth``, ``backend``, ``id``.
+    ``clauses``, ``depth``, ``backend``, ``id``, ``explain_plan``.
     """
     if not isinstance(payload, dict):
         raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
@@ -140,4 +143,5 @@ def request_from_json_dict(
         depth=int(payload.get("depth", 4)),
         backend=payload.get("backend"),
         request_id=str(request_id) if request_id is not None else None,
+        explain_plan=bool(payload.get("explain_plan", False)),
     )

@@ -9,20 +9,33 @@ A :class:`Session` is the service layer's stateful front door.  It owns
   distinct query, built from the registry's classification, shared across
   all requests of the session (so ``Cert_k`` runners, matchers and the
   classification survive a whole mixed-query workload);
-* a :class:`~repro.service.planner.Planner` consulted per request.
+* a :class:`~repro.service.planner.Planner` consulted per request, whose
+  :class:`~repro.service.strategies.StrategyRegistry` holds the execution
+  strategies.  The certain-answer operations are dispatched *through* the
+  winning :class:`~repro.service.strategies.Strategy` object — there is no
+  strategy-name ``if/elif`` ladder here — so a strategy registered via
+  ``Session(strategies=[...])`` (or the ``repro.strategies`` entry-point
+  group) executes end-to-end like a built-in.
 
 Every operation goes through :meth:`Session.answer`, which returns one
 :class:`~repro.service.envelope.Answer` per dataset (exactly one for the
 dataset-less ``classify`` and ``reduce``).  Exceptions propagate — callers
 that need per-request fault isolation (the workload runner) wrap the call.
+
+The registry, engine pool and counters are guarded by an internal lock, so
+one session can answer *independent* requests from several threads (the
+server's :class:`~repro.server.pool.SessionPool` relies on this; requests
+touching the same dataset are serialised by the pool's stripes because
+per-database derived caches are not internally locked).
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.approximate import estimate_support
 from ..core.certain import CertainEngine, EngineReport
@@ -35,6 +48,7 @@ from ..logic.dpll import is_satisfiable
 from .datasets import DatasetRef
 from .envelope import Answer, Request
 from .planner import Plan, Planner
+from .strategies import CERTAIN_OPS, ExecutionContext, Strategy
 
 
 @dataclass(frozen=True)
@@ -47,20 +61,37 @@ class QueryHandle:
 
 
 class Session:
-    """Pooled, planner-driven consistent query answering (see module docs)."""
+    """Pooled, planner-driven consistent query answering (see module docs).
+
+    ``practical_k=None`` (the default) takes the ``Cert_k`` cut-off from the
+    planner's cost model instead of a hardcoded constant; pass an explicit
+    integer to override.  ``strategies`` registers extra
+    :class:`~repro.service.strategies.Strategy` objects into this session's
+    planner registry before the first request.
+    """
 
     def __init__(
         self,
-        practical_k: int = 3,
+        practical_k: Optional[int] = None,
         strict_polynomial: bool = False,
         planner: Optional[Planner] = None,
         default_workers: Optional[int] = None,
+        strategies: Iterable[Strategy] = (),
     ) -> None:
-        self.practical_k = practical_k
-        self.strict_polynomial = strict_polynomial
         self.planner = planner or Planner(default_workers=default_workers)
+        for strategy in strategies:
+            self.planner.registry.register(strategy, replace=True)
+        self.practical_k = (
+            practical_k
+            if practical_k is not None
+            else self.planner.cost_model.practical_k()
+        )
+        self.strict_polynomial = strict_polynomial
         self._handles: Dict[Hashable, QueryHandle] = {}
         self._engines: Dict[TwoAtomQuery, CertainEngine] = {}
+        #: Guards the registry, the engine pool and every counter below, so
+        #: independent requests can be answered from several threads.
+        self._state_lock = threading.Lock()
         self.stats: Dict[str, int] = {
             "requests": 0,
             "answers": 0,
@@ -69,17 +100,28 @@ class Session:
             "engines_built": 0,
             "engine_hits": 0,
         }
+        #: Winning-strategy counts, surfaced by the server's ``stats`` op.
+        self.plan_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # query registry and engine pool
     # ------------------------------------------------------------------ #
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._state_lock:
+            self.stats[key] = self.stats.get(key, 0) + amount
+
+    def _note_plan(self, strategy: str) -> None:
+        with self._state_lock:
+            self.plan_counts[strategy] = self.plan_counts.get(strategy, 0) + 1
+
     def resolve_query(self, text: str, depth: int = 4) -> QueryHandle:
         """Parse and classify ``text`` (or a paper name), memoised per session."""
         key = (text, depth)
-        handle = self._handles.get(key)
-        if handle is not None:
-            self.stats["registry_hits"] += 1
-            return handle
+        with self._state_lock:
+            handle = self._handles.get(key)
+            if handle is not None:
+                self.stats["registry_hits"] += 1
+                return handle
         named = paper_queries()
         query = named[text] if text in named else parse_query(text)
         kwargs: Dict[str, object] = {"tripath_depth": depth}
@@ -87,43 +129,55 @@ class Session:
             # Wide schemas explode the tripath candidate space; bound the
             # search the same way the CLI always has.
             kwargs.update(tripath_merges=1, max_candidates=2000)
-        handle = QueryHandle(text, query, classify(query, **kwargs))
-        self._handles[key] = handle
-        self.stats["queries_classified"] += 1
-        return handle
+        built = QueryHandle(text, query, classify(query, **kwargs))
+        with self._state_lock:
+            handle = self._handles.get(key)
+            if handle is not None:  # raced: keep the first classification
+                self.stats["registry_hits"] += 1
+                return handle
+            self._handles[key] = built
+            self.stats["queries_classified"] += 1
+        return built
 
     def engine(self, handle: QueryHandle) -> CertainEngine:
         """The pooled engine of ``handle``'s query (built on first use)."""
-        engine = self._engines.get(handle.query)
-        if engine is not None:
-            self.stats["engine_hits"] += 1
-            return engine
-        engine = CertainEngine(
+        with self._state_lock:
+            engine = self._engines.get(handle.query)
+            if engine is not None:
+                self.stats["engine_hits"] += 1
+                return engine
+        built = CertainEngine(
             handle.query,
             practical_k=self.practical_k,
             strict_polynomial=self.strict_polynomial,
             classification=handle.classification,
         )
-        self._engines[handle.query] = engine
-        self.stats["engines_built"] += 1
-        return engine
+        with self._state_lock:
+            engine = self._engines.get(handle.query)
+            if engine is not None:  # raced: keep the first engine
+                self.stats["engine_hits"] += 1
+                return engine
+            self._engines[handle.query] = built
+            self.stats["engines_built"] += 1
+        return built
 
     # ------------------------------------------------------------------ #
     # the one front door
     # ------------------------------------------------------------------ #
     def answer(self, request: Request) -> List[Answer]:
         """Answer one request; returns one envelope per dataset (min. one)."""
-        self.stats["requests"] += 1
+        self._bump("requests")
         started = time.perf_counter()
         handle = self.resolve_query(request.query, depth=request.depth)
         plan = self.planner.plan(request, handle.classification)
+        self._note_plan(plan.strategy)
         if request.op == "classify":
             answers = [self._answer_classify(request, handle, plan)]
         elif request.op == "reduce":
             answers = [self._answer_reduce(request, handle, plan)]
         elif request.op == "support":
             answers = self._answer_support(request, handle, plan)
-        elif request.op in ("certain", "explain", "witness"):
+        elif request.op in CERTAIN_OPS:
             answers = self._answer_certain(request, handle, plan)
         else:  # pragma: no cover - Request.__post_init__ rejects unknown ops
             raise ValueError(f"unknown operation {request.op!r}")
@@ -132,7 +186,9 @@ class Session:
             answer.timings.setdefault("total_s", total)
             answer.warnings.extend(plan.warnings)
             answer.request_id = request.request_id
-        self.stats["answers"] += len(answers)
+            if request.explain_plan:
+                answer.details["plan"] = plan.to_json_dict()
+        self._bump("answers", len(answers))
         return answers
 
     # ------------------------------------------------------------------ #
@@ -224,53 +280,10 @@ class Session:
     def _answer_certain(
         self, request: Request, handle: QueryHandle, plan: Plan
     ) -> List[Answer]:
+        """Dispatch through the winning strategy object — no name switching."""
         self._require_datasets(request)
-        engine = self.engine(handle)
-        want_witness = request.wants_witness
-        if plan.is_sharded:
-            # The pool needs the whole batch up front; materialise it.
-            resolved: List[Tuple[DatasetRef, Database, float]] = []
-            for ref in request.datasets:
-                database, load_s = self._resolve(ref, handle, plan)
-                resolved.append((ref, database, load_s))
-            batch_started = time.perf_counter()
-            reports = engine.explain_many(
-                [database for _, database, _ in resolved],
-                workers=plan.workers,
-                want_witness=want_witness,
-            )
-            batch_s = time.perf_counter() - batch_started
-            batch_details = {"batch_size": len(resolved), "workers": plan.workers}
-            return [
-                self._report_to_answer(
-                    request,
-                    handle,
-                    plan,
-                    ref,
-                    database,
-                    report,
-                    # batch_answer_s is the whole batch's wall-clock (the
-                    # shards overlap); the per-database answer_s of the
-                    # sequential path has no meaningful sharded equivalent.
-                    {"load_s": load_s, "batch_answer_s": batch_s},
-                    batch_details,
-                )
-                for (ref, database, load_s), report in zip(resolved, reports)
-            ]
-        # Sequential plan: resolve and answer one dataset at a time, so a
-        # long batch never holds more than one database in memory.
-        answers = []
-        for ref in request.datasets:
-            database, load_s = self._resolve(ref, handle, plan)
-            answer_started = time.perf_counter()
-            report = engine.explain(database, want_witness=want_witness)
-            timings = {"load_s": load_s, "answer_s": time.perf_counter() - answer_started}
-            answers.append(
-                self._report_to_answer(
-                    request, handle, plan, ref, database, report, timings, {}
-                )
-            )
-        return answers
+        strategy = self.planner.resolve_strategy(plan.strategy)
+        return strategy.execute(ExecutionContext(self, handle, plan), request)
 
     def _report_to_answer(
         self,

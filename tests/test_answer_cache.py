@@ -352,3 +352,128 @@ class TestSettingsDigest:
             CachingSession(cache=AnswerCache(), strict_polynomial=True),
         )
         assert loose != strict
+
+
+def _costed(tag, compute_s):
+    """An answer whose recorded compute time drives cost-aware eviction."""
+    return Answer(
+        op="certain",
+        query="q",
+        verdict=True,
+        timings={"total_s": compute_s},
+        details={"tag": tag},
+    )
+
+
+class TestCostAwareEviction:
+    """Eviction weighs recorded compute time: a cached coNP SAT verdict must
+    outlive a cheap PTime lookup of the same age (the ROADMAP satellite)."""
+
+    def test_expensive_entry_outlives_cheaper_newer_entries(self):
+        cache = AnswerCache(max_entries=2)
+        sat = _key(cache, "sat")
+        cheap = _key(cache, "cheap")
+        newest = _key(cache, "new")
+        cache.put(sat, _costed("sat", 5.0))  # oldest but expensive
+        cache.put(cheap, _costed("cheap", 0.0001))  # newer but trivial
+        cache.put(newest, _costed("new", 0.001))
+        # Pure LRU would have evicted the SAT verdict; cost-aware LRU drops
+        # the cheap lookup instead.
+        assert cache.get(sat) is not None
+        assert cache.get(cheap) is None
+        assert cache.get(newest) is not None
+        assert cache.stats["evictions"] == 1
+
+    def test_equal_costs_fall_back_to_pure_lru(self):
+        cache = AnswerCache(max_entries=2)
+        k1, k2, k3 = (_key(cache, tag) for tag in ("a", "b", "c"))
+        cache.put(k1, _costed("a", 0.5))
+        cache.put(k2, _costed("b", 0.5))
+        assert cache.get(k1) is not None  # refresh: k2 becomes LRU
+        cache.put(k3, _costed("c", 0.5))
+        assert cache.get(k2) is None
+        assert cache.get(k1) is not None and cache.get(k3) is not None
+
+    def test_a_store_always_sticks(self):
+        # The entry being inserted is never its own victim, even when it is
+        # the cheapest in the window.
+        cache = AnswerCache(max_entries=2)
+        cache.put(_key(cache, "x"), _costed("x", 9.0))
+        cache.put(_key(cache, "y"), _costed("y", 9.0))
+        free = _key(cache, "free")
+        cache.put(free, _costed("free", 0.0))
+        assert cache.get(free) is not None
+        assert len(cache) == 2
+
+    def test_window_bounds_the_privilege_of_expensive_entries(self):
+        # Beyond the eviction window an expensive entry is invisible to the
+        # victim scan, so a cache full of SAT verdicts still ages out.
+        cache = AnswerCache(max_entries=3, eviction_window=1)
+        old_sat = _key(cache, "old-sat")
+        cache.put(old_sat, _costed("old-sat", 10.0))
+        for tag in ("a", "b", "c"):
+            cache.put(_key(cache, tag), _costed(tag, 0.001))
+        # window=1 is pure LRU: the expensive-but-oldest entry went first.
+        assert cache.get(old_sat) is None
+
+    def test_eviction_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnswerCache(eviction_window=0)
+
+    def test_server_records_compute_time_for_weighting(self, schema21):
+        session = CachingSession(cache=AnswerCache())
+        ref = DatasetRef.in_memory(Database([Fact(schema21, (1, 2))]))
+        [answer] = session.answer(Request(op="certain", query=Q3, datasets=(ref,)))
+        assert answer.ok
+        [(key, entry)] = list(session.cache._entries.items())
+        assert entry.compute_s == pytest.approx(
+            answer.timings["total_s"], rel=1e-6
+        )
+
+
+class TestPlanDetailsNeverReplay:
+    """Cache entries are shared across explain_plan settings: a stored plan
+    describes a different request's routing and must never replay."""
+
+    def test_hit_after_explained_compute_carries_no_stale_plan(self, schema21):
+        session = CachingSession(cache=AnswerCache())
+        database = Database([Fact(schema21, (1, 2))])
+        explained = Request(
+            op="certain",
+            query=Q3,
+            datasets=(DatasetRef.in_memory(database),),
+            explain_plan=True,
+        )
+        [cold] = session.answer(explained)
+        assert cold.details["plan"]["strategy"] == "indexed-memory"
+        plain = Request(
+            op="certain", query=Q3, datasets=(DatasetRef.in_memory(database),)
+        )
+        [warm] = session.answer(plain)
+        assert warm.details["cache"] == "hit"
+        assert "plan" not in warm.details  # the stale scoreboard must not replay
+
+    def test_partial_hit_batch_explains_both_sides(self, schema21):
+        session = CachingSession(cache=AnswerCache())
+        cached_db = Database([Fact(schema21, (1, 2))])
+        fresh_db = Database([Fact(schema21, (3, 4)), Fact(schema21, (4, 5))])
+        session.answer(
+            Request(
+                op="certain", query=Q3, datasets=(DatasetRef.in_memory(cached_db),)
+            )
+        )
+        hit_answer, miss_answer = session.answer(
+            Request(
+                op="certain",
+                query=Q3,
+                datasets=(
+                    DatasetRef.in_memory(cached_db),
+                    DatasetRef.in_memory(fresh_db),
+                ),
+                explain_plan=True,
+            )
+        )
+        assert hit_answer.details["cache"] == "hit"
+        assert hit_answer.details["plan"]["strategy"] == "answer-cache"
+        assert miss_answer.details["cache"] == "miss"
+        assert miss_answer.details["plan"]["strategy"] == "indexed-memory"

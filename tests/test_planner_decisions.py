@@ -1,0 +1,512 @@
+"""Table-driven planner-decision suite for the Strategy API.
+
+Pins, across (op, batch size, backend mix, classification, workers)
+combinations: which strategy the cost-modelled planner selects, which
+warnings it raises, the scored alternatives carried by every plan, the
+cost-model tie-breaks, the unknown-``backend=`` fallback fix, the 1-core
+no-speedup *prediction* (the cost-model re-expression of PR 2's core-gated
+``workers=4`` caveat), and that a custom registered strategy is selected
+and executed end-to-end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Answer,
+    CostEstimate,
+    CostModel,
+    Database,
+    DatasetRef,
+    Fact,
+    Planner,
+    Request,
+    Session,
+    SqliteFactStore,
+    Strategy,
+    StrategyRegistry,
+    parse_query,
+)
+from repro.db.generators import random_solution_database
+from repro.service.costmodel import COMMITTED_CONSTANTS
+from repro.service.planner import (
+    ANSWER_CACHE,
+    INDEXED_MEMORY,
+    SHARDED_POOL,
+    SQLITE_PUSHDOWN,
+)
+from repro.service.strategies import ScoredStrategy
+
+Q3 = "R(x|y) R(y|z)"  # PTime (SYNTACTIC_EASY: Cert_2, SAT-free)
+Q2 = "R(x,u|x,y) R(u,y|x,z)"  # coNP-complete (fork tripath)
+Q4 = "R(x|y,y) R(y|x,z)"  # PTime with the Cert_k SAT fallback
+
+
+def small_db(query_text=Q3, seed=0):
+    query = parse_query(query_text)
+    return random_solution_database(query, 5, 4, 4, random.Random(seed))
+
+
+def memory_refs(count, query_text=Q3):
+    return tuple(
+        DatasetRef.in_memory(small_db(query_text, seed=seed)) for seed in range(count)
+    )
+
+
+def plan_for(request, classification=None, **planner_kwargs):
+    planner = Planner(**planner_kwargs)
+    if classification is None and request.query:
+        classification = Session(planner=planner).resolve_query(
+            request.query
+        ).classification
+    return planner.plan(request, classification)
+
+
+# --------------------------------------------------------------------------- #
+# the decision table
+# --------------------------------------------------------------------------- #
+#: (test id, request kwargs, planner kwargs, expected strategy,
+#:  expected warning substrings)
+DECISION_TABLE = [
+    (
+        "single-memory-sequential",
+        dict(op="certain", query=Q3, datasets=memory_refs(1)),
+        dict(default_workers=8),
+        INDEXED_MEMORY,
+        (),
+    ),
+    (
+        "single-memory-workers-warns",
+        dict(op="certain", query=Q3, datasets=memory_refs(1), workers=4),
+        dict(default_workers=8),
+        INDEXED_MEMORY,
+        ("workers=4 ignored",),
+    ),
+    (
+        "explicit-workers-shard",
+        dict(op="certain", query=Q3, datasets=memory_refs(3), workers=2),
+        dict(default_workers=8),
+        SHARDED_POOL,
+        (),
+    ),
+    (
+        "explicit-workers-one-stays-sequential",
+        dict(op="certain", query=Q3, datasets=memory_refs(3), workers=1),
+        dict(default_workers=8),
+        INDEXED_MEMORY,
+        (),
+    ),
+    (
+        "auto-shard-large-batch-multicore",
+        dict(op="certain", query=Q3, datasets=memory_refs(16)),
+        dict(default_workers=4, auto_shard_min_facts=0),
+        SHARDED_POOL,
+        (),
+    ),
+    (
+        "auto-small-batch-stays-sequential",
+        dict(op="certain", query=Q3, datasets=memory_refs(3)),
+        dict(default_workers=8),
+        INDEXED_MEMORY,
+        (),
+    ),
+    (
+        "one-core-routes-sequentially",
+        dict(op="certain", query=Q3, datasets=memory_refs(16)),
+        dict(default_workers=1, auto_shard_min_facts=0),
+        INDEXED_MEMORY,
+        (),
+    ),
+    (
+        "support-never-shards",
+        dict(op="support", query=Q3, datasets=memory_refs(2), workers=4),
+        dict(default_workers=8),
+        INDEXED_MEMORY,
+        ("support sampling runs on the sequential path",),
+    ),
+    (
+        "classify-skips-routing",
+        dict(op="classify", query=Q3),
+        dict(default_workers=8),
+        INDEXED_MEMORY,
+        (),
+    ),
+    (
+        "witness-op-routes-like-certain",
+        dict(op="witness", query=Q3, datasets=memory_refs(3), workers=2),
+        dict(default_workers=8),
+        SHARDED_POOL,
+        (),
+    ),
+    (
+        "unknown-backend-warns-and-defaults",
+        dict(op="certain", query=Q3, datasets=memory_refs(1), backend="postgres"),
+        dict(default_workers=1),
+        INDEXED_MEMORY,
+        ("unknown backend='postgres' ignored",),
+    ),
+    (
+        "backend-sqlite-without-sqlite-data-warns",
+        dict(op="certain", query=Q3, datasets=memory_refs(1), backend="sqlite"),
+        dict(default_workers=1),
+        INDEXED_MEMORY,
+        ("no dataset is SQLite-resident",),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "request_kwargs, planner_kwargs, expected_strategy, expected_warnings",
+    [case[1:] for case in DECISION_TABLE],
+    ids=[case[0] for case in DECISION_TABLE],
+)
+def test_decision_table(
+    request_kwargs, planner_kwargs, expected_strategy, expected_warnings
+):
+    plan = plan_for(Request(**request_kwargs), **planner_kwargs)
+    assert plan.strategy == expected_strategy
+    for fragment in expected_warnings:
+        assert any(fragment in warning for warning in plan.warnings), plan.warnings
+    if not expected_warnings:
+        assert plan.warnings == ()
+
+
+class TestScoredAlternatives:
+    def test_every_dataset_plan_carries_the_full_scoreboard(self):
+        plan = plan_for(
+            Request(op="certain", query=Q3, datasets=memory_refs(2)),
+            default_workers=4,
+        )
+        names = {scored.name for scored in plan.alternatives}
+        assert {INDEXED_MEMORY, SQLITE_PUSHDOWN, SHARDED_POOL} <= names
+        winner = next(s for s in plan.alternatives if s.name == plan.strategy)
+        assert winner.eligible and winner.cost is not None
+        assert plan.cost == winner.cost
+
+    def test_ineligible_strategies_carry_reasons(self):
+        plan = plan_for(
+            Request(op="certain", query=Q3, datasets=memory_refs(2)),
+            default_workers=4,
+        )
+        pushdown = next(s for s in plan.alternatives if s.name == SQLITE_PUSHDOWN)
+        assert not pushdown.eligible
+        assert any("SQLite-resident" in reason for reason in pushdown.reasons)
+
+    def test_explain_plan_lands_in_envelope_details(self):
+        session = Session(planner=Planner(default_workers=1))
+        [answer] = session.answer(
+            Request(
+                op="certain",
+                query=Q3,
+                datasets=memory_refs(1),
+                explain_plan=True,
+            )
+        )
+        plan = answer.details["plan"]
+        assert plan["strategy"] == INDEXED_MEMORY
+        assert {alt["strategy"] for alt in plan["alternatives"]} >= {
+            INDEXED_MEMORY,
+            SHARDED_POOL,
+        }
+
+    def test_plain_requests_carry_no_plan_details(self):
+        session = Session(planner=Planner(default_workers=1))
+        [answer] = session.answer(
+            Request(op="certain", query=Q3, datasets=memory_refs(1))
+        )
+        assert "plan" not in answer.details
+
+
+class TestCostModelPredictions:
+    """The cost-model re-expression of PR 2's core-gated parallel caveat."""
+
+    def test_one_core_prediction_routes_sequentially_with_the_reason(self):
+        # PR 2 measured workers=4 at 0.80x on a 1-core container and gated
+        # the speedup assertion on the core count.  The planner must now
+        # *predict* that outcome: on one core, sharding is refused because
+        # the model says there is no speedup to be had.
+        plan = plan_for(
+            Request(op="certain", query=Q3, datasets=memory_refs(16)),
+            default_workers=1,
+            auto_shard_min_facts=0,
+        )
+        assert plan.strategy == INDEXED_MEMORY
+        sharded = next(s for s in plan.alternatives if s.name == SHARDED_POOL)
+        assert not sharded.eligible
+        assert any("predicts no parallel speedup" in r for r in sharded.reasons)
+
+    def test_model_numbers_agree_with_the_routing(self):
+        model = CostModel()
+        hints = [50] * 16
+        # One worker can never beat itself: overheads are strictly positive.
+        assert model.predicted_speedup(hints, None, 1) < 1.0
+        # On the multi-core shape the planner shards, the model must predict
+        # a genuine win for the worker count it picks.
+        workers = model.pick_workers(16, 4, None)
+        assert workers == 2  # ceil(16 / 8) capped by the machine
+        assert model.predicted_speedup(hints, None, workers) > 1.0
+
+    def test_conp_queries_amortise_at_half_the_batch(self):
+        session = Session()
+        conp = session.resolve_query(Q2).classification
+        ptime = session.resolve_query(Q3).classification
+        model = CostModel()
+        assert model.amortisation_batch(conp) == model.amortisation_batch(ptime) // 2
+        # A batch of 8 coNP databases gets a 2-wide pool on a multi-core
+        # host (amortisation unit 4) where the same-size PTime batch fills
+        # only one amortisation unit and stays sequential.
+        refs_conp = memory_refs(8, Q2)
+        plan_conp = Planner(default_workers=4, auto_shard_min_facts=0).plan(
+            Request(op="certain", query=Q2, datasets=refs_conp), conp
+        )
+        assert plan_conp.strategy == SHARDED_POOL and plan_conp.workers == 2
+        plan_ptime = Planner(default_workers=4, auto_shard_min_facts=0).plan(
+            Request(op="certain", query=Q3, datasets=memory_refs(8)), ptime
+        )
+        assert plan_ptime.strategy == INDEXED_MEMORY
+
+    def test_sat_terms_track_the_classification(self):
+        session = Session()
+        model = CostModel()
+        assert model.sat_fraction(session.resolve_query(Q2).classification) == 1.0
+        assert model.sat_fraction(session.resolve_query(Q3).classification) == 0.0
+        fallback = model.sat_fraction(session.resolve_query(Q4).classification)
+        assert 0.0 < fallback < 1.0
+
+    def test_chunk_size_is_a_cost_model_output(self):
+        plan = plan_for(
+            Request(op="certain", query=Q3, datasets=memory_refs(16)),
+            default_workers=4,
+            auto_shard_min_facts=0,
+        )
+        assert plan.strategy == SHARDED_POOL
+        model = CostModel()
+        assert plan.chunk_size == model.chunk_size(16, plan.workers)
+
+    def test_practical_k_comes_from_the_cost_model(self):
+        assert Session().practical_k == CostModel().practical_k()
+        recalibrated = Planner(cost_model=CostModel(practical_k_default=2))
+        session = Session(planner=recalibrated)
+        assert session.practical_k == 2
+        engine = session.engine(session.resolve_query(Q4))
+        assert engine.practical_k == 2
+        # An explicit override still wins (the pre-cost-model contract).
+        assert Session(practical_k=5, planner=recalibrated).practical_k == 5
+
+    def test_committed_constants_match_the_code_defaults(self):
+        assert COMMITTED_CONSTANTS.exists(), "benchmarks/COST_MODEL.json missing"
+        committed = CostModel.committed()
+        assert committed == CostModel(), (
+            "benchmarks/COST_MODEL.json drifted from the CostModel defaults; "
+            "regenerate it via benchmarks/bench_concurrency.py"
+        )
+
+
+class TestBackendFallbackFix:
+    """Unknown ``backend=`` must fall back to default routing, not force pushdown."""
+
+    def sqlite_refs(self, count=1):
+        query = parse_query(Q3)
+        refs = []
+        stores = []
+        for seed in range(count):
+            store = SqliteFactStore(query.schema)
+            store.load_database(small_db(seed=seed))
+            stores.append(store)
+            refs.append(store.dataset_ref())
+        return tuple(refs), stores
+
+    def test_unknown_backend_equals_default_routing(self):
+        refs, stores = self.sqlite_refs()
+        try:
+            default = plan_for(
+                Request(op="certain", query=Q3, datasets=refs),
+                default_workers=1,
+            )
+            unknown = plan_for(
+                Request(op="certain", query=Q3, datasets=refs, backend="duckdb"),
+                default_workers=1,
+            )
+            assert unknown.strategy == default.strategy
+            assert unknown.pushdown == default.pushdown
+            assert any("unknown backend='duckdb'" in w for w in unknown.warnings)
+        finally:
+            for store in stores:
+                store.close()
+
+    def test_unknown_backend_does_not_force_pushdown(self):
+        # A cost model that prices the pushdown out of the market: the
+        # default routing picks indexed-memory, an explicit backend=sqlite
+        # still forces the pushdown, and an unknown value must follow the
+        # default — this is the observable difference the fix pins.
+        expensive_pushdown = CostModel(pushdown_setup_s=10.0)
+        refs, stores = self.sqlite_refs()
+        try:
+            request = Request(op="certain", query=Q3, datasets=refs)
+            default = Planner(
+                default_workers=1, cost_model=expensive_pushdown
+            ).plan(request)
+            assert default.strategy == INDEXED_MEMORY
+            forced = Planner(default_workers=1, cost_model=expensive_pushdown).plan(
+                Request(op="certain", query=Q3, datasets=refs, backend="sqlite")
+            )
+            assert forced.strategy == SQLITE_PUSHDOWN
+            unknown = Planner(default_workers=1, cost_model=expensive_pushdown).plan(
+                Request(op="certain", query=Q3, datasets=refs, backend="postgres")
+            )
+            assert unknown.strategy == INDEXED_MEMORY  # the default decision
+            assert any("unknown backend" in w for w in unknown.warnings)
+        finally:
+            for store in stores:
+                store.close()
+
+    def test_empty_sqlite_store_tie_breaks_to_pushdown(self):
+        # With zero facts the two sequential strategies price identically;
+        # specificity breaks the tie toward the specialised path (the
+        # pre-cost-model routing).
+        query = parse_query(Q3)
+        with SqliteFactStore(query.schema) as store:
+            plan = plan_for(
+                Request(op="certain", query=Q3, datasets=(store.dataset_ref(),)),
+                default_workers=1,
+            )
+            assert plan.strategy == SQLITE_PUSHDOWN
+
+
+class _CountingStrategy(Strategy):
+    """A custom strategy: answers tiny in-memory batches by brute force."""
+
+    name = "test-dummy"
+    specificity = 50
+
+    def __init__(self, max_facts=100):
+        self.max_facts = max_facts
+        self.executions = 0
+
+    def supports(self, request, classification, context):
+        if request.op not in ("certain", "explain", "witness"):
+            return False, ("only certain-group operations",)
+        hints = context.size_hints
+        if not all(hint is not None and hint <= self.max_facts for hint in hints):
+            return False, (f"only batches of known size <= {self.max_facts} facts",)
+        return True, ()
+
+    def estimate(self, request, classification, size_hints, context):
+        return CostEstimate(total_s=1e-9, notes="always the cheapest")
+
+    def execute(self, ctx, request):
+        from repro import certain_bruteforce
+
+        self.executions += 1
+        answers = []
+        for ref in request.datasets:
+            database, load_s = ctx.resolve(ref)
+            verdict = certain_bruteforce(ctx.handle.query, database)
+            answers.append(
+                Answer(
+                    op=request.op,
+                    query=ctx.handle.name,
+                    verdict=verdict,
+                    algorithm="brute force (test-dummy strategy)",
+                    backend=ctx.plan.strategy,
+                    exact=True,
+                    timings={"load_s": load_s},
+                    database=database.describe_dict(),
+                    source=ref.describe(),
+                )
+            )
+        return answers
+
+
+class TestCustomStrategies:
+    def test_registered_strategy_is_selected_and_executed_end_to_end(self):
+        dummy = _CountingStrategy()
+        session = Session(
+            planner=Planner(default_workers=1), strategies=[dummy]
+        )
+        db = small_db(seed=3)
+        [answer] = session.answer(
+            Request(op="certain", query=Q3, datasets=(DatasetRef.in_memory(db),))
+        )
+        assert dummy.executions == 1
+        assert answer.backend == "test-dummy"
+        assert answer.algorithm == "brute force (test-dummy strategy)"
+        # The custom verdict must agree with the production engine.
+        baseline = Session(planner=Planner(default_workers=1))
+        [expected] = baseline.answer(
+            Request(op="certain", query=Q3, datasets=(DatasetRef.in_memory(db),))
+        )
+        assert answer.verdict == expected.verdict
+        assert session.plan_counts["test-dummy"] == 1
+
+    def test_custom_strategy_declines_out_of_scope_requests(self):
+        dummy = _CountingStrategy(max_facts=2)  # everything real is too big
+        session = Session(planner=Planner(default_workers=1), strategies=[dummy])
+        [answer] = session.answer(
+            Request(
+                op="certain",
+                query=Q3,
+                datasets=(DatasetRef.in_memory(small_db(seed=1)),),
+            )
+        )
+        assert answer.backend == INDEXED_MEMORY
+        assert dummy.executions == 0
+
+    def test_registry_rejects_duplicate_names(self):
+        registry = StrategyRegistry((_CountingStrategy(),))
+        with pytest.raises(ValueError):
+            registry.register(_CountingStrategy())
+        registry.register(_CountingStrategy(), replace=True)  # explicit wins
+        assert "test-dummy" in registry
+
+    def test_registry_get_unknown_name_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="no strategy named"):
+            StrategyRegistry().get("warp-drive")
+
+    def test_broken_plugin_cannot_break_planning(self):
+        class Broken(Strategy):
+            name = "broken"
+
+            def supports(self, request, classification, context):
+                raise RuntimeError("plugin bug")
+
+        session = Session(
+            planner=Planner(default_workers=1), strategies=[Broken()]
+        )
+        [answer] = session.answer(
+            Request(op="certain", query=Q3, datasets=memory_refs(1))
+        )
+        assert answer.ok and answer.backend == INDEXED_MEMORY
+
+    def test_answer_cache_strategy_is_scored_but_never_selected_by_planning(self):
+        from repro.server import CachingSession, AnswerCache
+
+        session = CachingSession(
+            cache=AnswerCache(), planner=Planner(default_workers=1)
+        )
+        db = Database([Fact(parse_query(Q3).schema, (1, 2))])
+        ref = DatasetRef.in_memory(db)
+        request = Request(op="certain", query=Q3, datasets=(ref,), explain_plan=True)
+        [cold] = session.answer(request)
+        assert cold.details["cache"] == "miss"
+        scored = {
+            alt["strategy"]: alt for alt in cold.details["plan"]["alternatives"]
+        }
+        assert scored[ANSWER_CACHE]["eligible"] is False
+        [warm] = session.answer(request)
+        assert warm.details["cache"] == "hit"
+        assert warm.details["plan"]["strategy"] == ANSWER_CACHE
+        assert session.plan_counts[ANSWER_CACHE] == 1
+
+
+def test_scored_strategy_json_shape():
+    scored = ScoredStrategy(
+        "x", True, CostEstimate(total_s=0.5, workers=2, predicted_speedup=1.7)
+    )
+    payload = scored.to_json_dict()
+    assert payload["strategy"] == "x" and payload["eligible"] is True
+    assert payload["cost"]["workers"] == 2
+    assert payload["cost"]["predicted_speedup"] == 1.7

@@ -1,0 +1,266 @@
+"""Concurrent-session semantics of the server's SessionPool.
+
+N threads hammer mixed read requests — and interleave deltas through the
+pool's exclusive mode — against one :class:`CQAServer`; every envelope must
+be identical to the one a sequential run produces.  Concurrency must change
+*throughput only*, never answers: the striped locks serialise same-dataset
+requests (per-database derived caches are not internally locked) while
+independent datasets overlap, and the read/write gate drains readers before
+a mutation is applied.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import Database, DatasetRef, Fact, Request, parse_query
+from repro.db.generators import random_solution_database
+from repro.server import CQAServer
+from repro.server.pool import ReadWriteLock, SessionPool
+
+Q3 = "R(x|y) R(y|z)"
+Q2 = "R(x,u|x,y) R(u,y|x,z)"
+Q6 = "R(x|y,z) R(z|x,y)"
+
+THREADS = 8
+
+
+def _mixed_requests(count=24):
+    """Distinct read requests across queries, backends and batch shapes."""
+    requests = []
+    names = ((Q3, "q3"), (Q6, "q6"), (Q2, "q2"))
+    for index in range(count):
+        text, tag = names[index % len(names)]
+        query = parse_query(text)
+        database = random_solution_database(
+            query, 4, 3, 5, random.Random(500 + 17 * index)
+        )
+        if index % 4 == 3:
+            rows = [list(fact.values) for fact in database.facts()]
+            datasets = (DatasetRef.inline_rows(rows, label=f"r{index}"),)
+        else:
+            datasets = (DatasetRef.in_memory(database),)
+        op = "classify" if index % 7 == 6 else "certain"
+        requests.append(
+            Request(op=op, query=text, datasets=datasets if op == "certain" else (),
+                    request_id=f"{tag}-{index}")
+        )
+    return requests
+
+
+def _signature(answer):
+    return (
+        answer.request_id,
+        answer.op,
+        answer.ok,
+        answer.verdict,
+        answer.algorithm,
+        answer.backend,
+        answer.exact,
+    )
+
+
+def _hammer(server, requests, threads=THREADS):
+    """Answer the requests from a thread pool; results keyed by request id."""
+    results = {}
+    results_lock = threading.Lock()
+    errors = []
+    queue = list(requests)
+    queue_lock = threading.Lock()
+
+    def worker():
+        while True:
+            with queue_lock:
+                if not queue:
+                    return
+                request = queue.pop()
+            try:
+                [answer] = server.handle_request(request)
+                with results_lock:
+                    results[request.request_id] = _signature(answer)
+            except Exception as error:  # pragma: no cover - the assertion below
+                errors.append(error)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+class TestConcurrentReads:
+    def test_hammered_mixed_reads_match_the_sequential_run(self):
+        requests = _mixed_requests()
+        sequential = CQAServer(enable_cache=False, concurrent=False)
+        expected = {
+            request.request_id: _signature(sequential.handle_request(request)[0])
+            for request in requests
+        }
+        concurrent = CQAServer(enable_cache=False)
+        observed = _hammer(concurrent, requests)
+        assert observed == expected
+        stats = concurrent.pool.describe_dict()
+        assert stats["mode"] == "striped"
+        assert stats["shared_requests"] == len(requests)
+        assert stats["exclusive_requests"] == 0
+
+    def test_same_dataset_requests_serialise_on_one_stripe(self):
+        # Every request targets the SAME database: the stripe must serialise
+        # them (derived-structure caches are not internally locked), and all
+        # verdicts must agree with a single sequential answer.
+        query = parse_query(Q3)
+        database = random_solution_database(query, 6, 4, 5, random.Random(9))
+        server = CQAServer(enable_cache=False)
+        baseline = server.handle_request(
+            Request(op="certain", query=Q3,
+                    datasets=(DatasetRef.in_memory(database),), request_id="base")
+        )[0]
+        requests = [
+            Request(op="certain", query=Q3,
+                    datasets=(DatasetRef.in_memory(database),), request_id=f"r{i}")
+            for i in range(16)
+        ]
+        results = _hammer(server, requests)
+        assert all(sig[3] == baseline.verdict for sig in results.values())
+
+    def test_cached_server_stays_correct_under_concurrency(self):
+        requests = _mixed_requests(18)
+        sequential = CQAServer(enable_cache=False, concurrent=False)
+        expected = {
+            request.request_id: _signature(sequential.handle_request(request)[0])
+            for request in requests
+        }
+        cached = CQAServer()  # answer cache on
+        for _ in range(2):  # second pass is all hits
+            observed = _hammer(cached, requests)
+            assert observed == expected
+        assert cached.cache.stats["hits"] > 0
+
+    def test_engine_pool_builds_one_engine_per_query_under_races(self):
+        server = CQAServer(enable_cache=False)
+        requests = [
+            Request(op="classify", query=text, request_id=f"c{i}-{j}")
+            for j, text in enumerate((Q3, Q6, Q2))
+            for i in range(6)
+        ]
+        _hammer(server, requests)
+        assert server.session.stats["queries_classified"] == 3
+
+
+class TestInterleavedDeltas:
+    def test_deltas_under_exclusive_mode_keep_envelope_identity(self):
+        # Phased: readers answer; a delta lands under pool.exclusive();
+        # readers answer again.  Each phase's concurrent envelopes must be
+        # identical to a fresh sequential session's answer for that phase's
+        # database state.
+        query = parse_query(Q3)
+        database = Database(
+            [Fact(query.schema, (1, 2)), Fact(query.schema, (2, 3))]
+        )
+        server = CQAServer(enable_cache=False)
+
+        def phase_requests(tag):
+            return [
+                Request(op="certain", query=Q3,
+                        datasets=(DatasetRef.in_memory(database),),
+                        request_id=f"{tag}-{i}")
+                for i in range(12)
+            ]
+
+        def fresh_verdict():
+            reference = CQAServer(enable_cache=False, concurrent=False)
+            return reference.handle_request(
+                Request(op="certain", query=Q3,
+                        datasets=(DatasetRef.in_memory(database.copy()),),
+                        request_id="ref")
+            )[0].verdict
+
+        before_expected = fresh_verdict()
+        before = _hammer(server, phase_requests("before"))
+        assert all(sig[3] == before_expected for sig in before.values())
+
+        with server.pool.exclusive():
+            # A conflicting fact in block 1 plus a broken chain end: flips
+            # the certain answer's input state mid-serve.
+            database.add(Fact(query.schema, (1, 9)))
+            database.add(Fact(query.schema, (3, 1)))
+
+        after_expected = fresh_verdict()
+        after = _hammer(server, phase_requests("after"))
+        assert all(sig[3] == after_expected for sig in after.values())
+        assert server.pool.describe_dict()["exclusive_requests"] == 1
+
+    def test_cache_invalidation_still_holds_with_the_pool(self):
+        query = parse_query(Q3)
+        database = Database([Fact(query.schema, (5, 5))])
+        server = CQAServer()
+        request = Request(
+            op="certain", query=Q3, datasets=(DatasetRef.in_memory(database),)
+        )
+        [cold] = server.handle_request(request)
+        assert cold.details["cache"] == "miss" and cold.verdict is True
+        [warm] = server.handle_request(request)
+        assert warm.details["cache"] == "hit"
+        with server.pool.exclusive():
+            database.add(Fact(query.schema, (5, 7)))
+        [fresh] = server.handle_request(request)
+        assert fresh.details["cache"] == "miss"
+
+
+class TestLockPrimitives:
+    def test_readers_overlap(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read():
+                entered.wait()  # both readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                order.append("write")
+
+        def reader():
+            writer_in.wait(timeout=5)
+            with lock.read():
+                order.append("read")
+
+        lock.acquire_read()  # hold the gate so the writer queues
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        lock.release_read()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert order[0] == "write"  # writer preference over the new reader
+
+    def test_pool_requires_positive_stripes(self):
+        with pytest.raises(ValueError):
+            SessionPool(CQAServer(enable_cache=False).session, stripe_count=0)
+
+    def test_unidentifiable_datasets_fall_back_to_exclusive(self):
+        server = CQAServer(enable_cache=False)
+        ref = DatasetRef.sqlite(":memory:")  # no store opened yet: no identity
+        assert ref.stripe_key() is None
+        request = Request(op="certain", query=Q3, datasets=(ref,))
+        [answer] = server.handle_request(request)
+        assert answer.ok
+        assert server.pool.describe_dict()["exclusive_requests"] == 1
