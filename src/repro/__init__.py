@@ -63,10 +63,14 @@ from .core.classification import (
     classify,
 )
 from .core.matching import (
+    BipartiteGraphMaintainer,
     MatchingAlgorithm,
     MatchingResult,
+    MatchingState,
     certain_by_matching,
     matching_algorithm,
+    matching_cache_key,
+    matching_maintainer,
 )
 from .core.query import (
     TwoAtomQuery,
@@ -105,7 +109,14 @@ from .core.tripath import (
     find_tripath_for_query,
     find_tripath_in_database,
 )
-from .db.fact_store import Block, Database, Repair
+from .db.fact_store import (
+    Block,
+    Database,
+    Repair,
+    derived_cache_totals,
+    reset_derived_cache_totals,
+)
+from .graphs.bipartite import IncrementalMatching
 from .eval.deltas import (
     ADD,
     REMOVE,
@@ -192,6 +203,9 @@ __all__ = [
     "CertK", "CertKResult", "NaiveCertK", "cert_k", "cert_2", "delta_k",
     "certk_seed_cache_key",
     "MatchingAlgorithm", "MatchingResult", "matching_algorithm", "certain_by_matching",
+    "MatchingState", "BipartiteGraphMaintainer", "matching_cache_key",
+    "matching_maintainer", "IncrementalMatching",
+    "derived_cache_totals", "reset_derived_cache_totals",
     "SolutionGraph", "build_solution_graph", "build_solution_graph_naive",
     "q_connected_block_components", "solution_graph_cache_key",
     "BlockComponentMaintainer", "block_component_maintainer",

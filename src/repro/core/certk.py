@@ -150,9 +150,12 @@ class _WorklistFixpoint:
 
     def __init__(self, k: int, database: Database, initial: Iterable[KSet]) -> None:
         self.k = k
-        self.blocks: Dict[object, Tuple[Fact, ...]] = {
-            block.block_id: tuple(block) for block in database.blocks()
-        }
+        # Block tuples are resolved lazily against the database: the search
+        # only ever pivots on blocks reachable from the seed antichain, so a
+        # run touching few solutions must not pay an O(blocks) snapshot (the
+        # serving hot path runs the solver once per answer).
+        self._database = database
+        self.blocks: Dict[object, Tuple[Fact, ...]] = {}
         self.delta: Set[KSet] = set()
         self.inv: Dict[Fact, Set[KSet]] = {}
         self.queue: Deque[KSet] = deque()
@@ -175,11 +178,19 @@ class _WorklistFixpoint:
             visited: Set[KSet] = set()
             for pivot_fact in member:
                 seed = member - {pivot_fact}
-                block = self.blocks[pivot_fact.block_id()]
+                block = self._block(pivot_fact.block_id())
                 self._search(seed, block, visited)
                 if self.empty_derived:
                     break
         return self.empty_derived
+
+    def _block(self, block_id: object) -> Tuple[Fact, ...]:
+        """The facts of one block, snapshotted on first use."""
+        block = self.blocks.get(block_id)
+        if block is None:
+            resolved = self._database.block_by_id(block_id)
+            block = self.blocks[block_id] = tuple(resolved) if resolved else ()
+        return block
 
     # ------------------------------------------------------------------ #
     # candidate generation

@@ -18,6 +18,12 @@ incrementally on every mutation:
   with a maintainer absorb the pending deltas lazily at read time instead of
   being invalidated and rebuilt (see :mod:`repro.eval.deltas`).  Structures
   without a maintainer keep the PR 1 invalidate-on-mutation behaviour.
+
+Every cache transition is counted — builds, rebuilds, maintained deltas,
+``DeltaUnsupported`` fallbacks, backlog evictions and invalidations — per
+cache key (:meth:`Database.derived_cache_stats`) and process-wide
+(:func:`derived_cache_totals`, surfaced by the server's ``stats`` op), so
+"the hot path never rebuilds" is an observable invariant, not a hope.
 """
 
 from __future__ import annotations
@@ -45,6 +51,44 @@ BlockId = Tuple[str, Tuple[Element, ...]]
 
 #: A maintainer: ``(database, value, delta) -> value`` (see repro.eval.deltas).
 DeltaMaintainer = Callable[["Database", object, FactDelta], object]
+
+#: Counter fields tracked per derived-cache key (see ``derived_cache_stats``):
+#: ``builds`` first-time builder/prime calls, ``rebuilds`` any later builder
+#: call, ``maintained_deltas`` deltas absorbed by a maintainer, ``unsupported_deltas``
+#: replays aborted by :class:`~repro.eval.deltas.DeltaUnsupported`,
+#: ``backlog_evictions`` entries dropped for exceeding ``delta_backlog_limit``,
+#: ``invalidations`` maintainerless or explicit drops.
+_COUNTER_FIELDS = (
+    "builds",
+    "rebuilds",
+    "maintained_deltas",
+    "unsupported_deltas",
+    "backlog_evictions",
+    "invalidations",
+)
+
+#: Process-wide aggregate of derived-cache activity across every Database,
+#: keyed by structure label (e.g. ``"solution_graph"``, ``"bipartite_matching"``).
+#: Multiprocessing pool workers keep their own aggregate — the totals
+#: surfaced by a server's ``stats`` op describe that server's process.
+_DERIVED_TOTALS: Dict[str, Dict[str, int]] = {}
+
+
+def _structure_label(key: Hashable) -> str:
+    """The structure family of a cache key: tuple keys lead with a label."""
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return str(key)
+
+
+def derived_cache_totals() -> Dict[str, Dict[str, int]]:
+    """A snapshot of the process-wide derived-cache counters, by structure."""
+    return {label: dict(counters) for label, counters in _DERIVED_TOTALS.items()}
+
+
+def reset_derived_cache_totals() -> None:
+    """Zero the process-wide aggregate (benchmark/test isolation helper)."""
+    _DERIVED_TOTALS.clear()
 
 
 @dataclass
@@ -133,7 +177,12 @@ class Database:
         self._index = FactIndex()
         self._version = 0
         self._derived: Dict[Hashable, _DerivedEntry] = {}
+        self._derived_stats: Dict[Hashable, Dict[str, int]] = {}
         self._delta_listeners: List[Callable[[FactDelta], None]] = []
+        #: (version, max_block_size, repair_count) — the block-profile scan,
+        #: memoised per version so answer envelopes on the serving hot path
+        #: do not pay an O(blocks) sweep per request.
+        self._block_profile = (-1, 0, 1)
         for fact in facts:
             self.add(fact)
 
@@ -208,10 +257,12 @@ class Database:
             for key, entry in self._derived.items():
                 if entry.maintainer is None:
                     stale.append(key)
+                    self._count(key, "invalidations")
                     continue
                 entry.pending.append(delta)
                 if len(entry.pending) > self.delta_backlog_limit:
                     stale.append(key)
+                    self._count(key, "backlog_evictions")
             for key in stale:
                 del self._derived[key]
         for listener in self._delta_listeners:
@@ -264,12 +315,16 @@ class Database:
                     for delta in entry.pending:
                         value = entry.maintainer(self, value, delta)
                 except DeltaUnsupported:
-                    pass  # fall through to the rebuild below
+                    self._count(key, "unsupported_deltas")
                 else:
+                    self._count(key, "maintained_deltas", len(entry.pending))
                     entry.value = value
                     entry.version = self._version
                     entry.pending.clear()
                     return value
+        stats = self._derived_stats.get(key)
+        seen = stats is not None and (stats["builds"] or stats["rebuilds"])
+        self._count(key, "rebuilds" if seen else "builds")
         value = builder(self)
         self._derived[key] = _DerivedEntry(self._version, value, maintainer)
         return value
@@ -281,6 +336,9 @@ class Database:
         maintainer: Optional[DeltaMaintainer] = None,
     ) -> None:
         """Install a precomputed derived structure (e.g. pushed down from SQL)."""
+        stats = self._derived_stats.get(key)
+        seen = stats is not None and (stats["builds"] or stats["rebuilds"])
+        self._count(key, "rebuilds" if seen else "builds")
         self._derived[key] = _DerivedEntry(self._version, value, maintainer)
 
     def invalidate_derived(self, key: Optional[Hashable] = None) -> None:
@@ -291,9 +349,70 @@ class Database:
         invalidate-all behaviour, and available as an escape hatch.
         """
         if key is None:
+            for stale in list(self._derived):
+                self._count(stale, "invalidations")
             self._derived.clear()
-        else:
-            self._derived.pop(key, None)
+        elif self._derived.pop(key, None) is not None:
+            self._count(key, "invalidations")
+
+    # ------------------------------------------------------------------ #
+    # derived-cache observability
+    # ------------------------------------------------------------------ #
+    def _count(self, key: Hashable, field: str, amount: int = 1) -> None:
+        """Bump one derived-cache counter, per key and process-wide.
+
+        Counters outlive the cache entries themselves (an eviction must stay
+        visible after the entry is gone).  Increments are plain dict updates
+        — atomic under the GIL, which is all the observability contract
+        needs; the server pool additionally serialises same-dataset access.
+        """
+        if not amount:
+            return
+        stats = self._derived_stats.get(key)
+        if stats is None:
+            stats = self._derived_stats[key] = dict.fromkeys(_COUNTER_FIELDS, 0)
+        stats[field] += amount
+        label = _structure_label(key)
+        totals = _DERIVED_TOTALS.get(label)
+        if totals is None:
+            totals = _DERIVED_TOTALS[label] = dict.fromkeys(_COUNTER_FIELDS, 0)
+        totals[field] += amount
+
+    def derived_cache_stats(self, by: str = "structure") -> Dict[str, Dict[str, int]]:
+        """Counters of derived-cache activity on this database.
+
+        ``by="structure"`` (default) aggregates keys sharing a structure
+        label — the first element of tuple cache keys, e.g. every
+        ``("solution_graph", query)`` under ``"solution_graph"`` — which is
+        the shape the benchmarks and the server's ``stats`` op assert on
+        ("zero ``bipartite_matching`` rebuilds").  ``by="key"`` returns one
+        entry per exact cache key, stringified for JSON friendliness.
+        """
+        if by == "key":
+            return {
+                str(key): dict(counters)
+                for key, counters in self._derived_stats.items()
+            }
+        if by != "structure":
+            raise ValueError(f"unknown grouping {by!r} (use 'structure' or 'key')")
+        grouped: Dict[str, Dict[str, int]] = {}
+        for key, counters in self._derived_stats.items():
+            bucket = grouped.setdefault(
+                _structure_label(key), dict.fromkeys(_COUNTER_FIELDS, 0)
+            )
+            for field, amount in counters.items():
+                bucket[field] += amount
+        return grouped
+
+    def derived_backlog(self) -> int:
+        """The largest pending-delta queue over the cached structures.
+
+        Zero on a freshly read (or never mutated) database; the cost model
+        uses it to price the maintenance work the next read will perform.
+        """
+        return max(
+            (len(entry.pending) for entry in self._derived.values()), default=0
+        )
 
     def __getstate__(self) -> Dict[str, object]:
         # Delta listeners are process-local observers (often closures); the
@@ -385,15 +504,26 @@ class Database:
             subset.add(fact)
         return subset
 
+    def _block_stats(self) -> Tuple[int, int]:
+        """``(max_block_size, repair_count)``, scanned once per version."""
+        version, max_block, repairs = self._block_profile
+        if version != self._version:
+            max_block = 0
+            repairs = 1
+            for block in self._blocks.values():
+                size = block.size
+                if size > max_block:
+                    max_block = size
+                repairs *= size
+            self._block_profile = (self._version, max_block, repairs)
+        return max_block, repairs
+
     def repair_count(self) -> int:
         """Number of repairs (the product of the block sizes)."""
-        count = 1
-        for block in self._blocks.values():
-            count *= block.size
-        return count
+        return self._block_stats()[1]
 
     def max_block_size(self) -> int:
-        return max((block.size for block in self._blocks.values()), default=0)
+        return self._block_stats()[0]
 
     def describe(self) -> str:
         """A short human readable summary used by the benchmark reports."""

@@ -35,6 +35,26 @@ index, so it is discovered when its last-added endpoint's delta is replayed,
 while pairs involving facts that were later removed are erased again by the
 replay of the corresponding remove delta.  The randomised interleaving suite
 in ``tests/test_deltas.py`` pins this argument to from-scratch rebuilds.
+
+Maintain vs rebuild, per derived structure (the PR 6 audit):
+
+============================  =========  ====================================
+structure (cache key head)    add        remove
+============================  =========  ====================================
+``solution_graph``            maintained maintained (guard: a replay naming a
+                                         fact absent from the cached graph
+                                         aborts to a rebuild)
+``certk_seeds``               maintained maintained
+``q_block_components``        maintained **rebuild** — a removal can split a
+                                         union-find component
+``bipartite_matching``        maintained maintained — both directions; see
+                                         :class:`repro.core.matching.BipartiteGraphMaintainer`
+``repair_oracle``             maintained maintained
+============================  =========  ====================================
+
+The per-key counters on :meth:`Database.derived_cache_stats` make this table
+observable at runtime: ``unsupported_deltas``/``rebuilds`` stay zero exactly
+on the rows marked maintained.
 """
 
 from __future__ import annotations

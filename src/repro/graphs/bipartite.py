@@ -1,4 +1,4 @@
-"""Maximum bipartite matching (Hopcroft–Karp).
+"""Maximum bipartite matching (Hopcroft–Karp), incrementally maintained.
 
 The ``matching(q)`` algorithm of Section 10.1 asks for a matching of a
 bipartite graph ``H(D, q) = (V1 ∪ V2, E)`` that *saturates* ``V1`` (every
@@ -6,6 +6,18 @@ block of the database is matched).  This module implements the
 Hopcroft–Karp algorithm [4] from scratch so that the core library has no
 external graph dependency; :mod:`networkx` is only used in the test-suite to
 cross-check the implementation.
+
+Two entry points share one augmenting-phase core:
+
+* :func:`maximum_matching` — the from-scratch computation (phases from the
+  empty matching, the classic ``O(E * sqrt(V))`` bound);
+* :class:`IncrementalMatching` — a matching kept *valid* across single
+  edge/vertex inserts and deletes, restored to *maximum* on demand by
+  :meth:`IncrementalMatching.repair`.  A single edge change moves the
+  maximum matching size by at most one, so the warm repair is one
+  augmenting-path search (a BFS layering from the free left vertices plus
+  one DFS sweep) instead of a full rerun — and degenerates to exactly
+  Hopcroft–Karp when started cold, so it is never asymptotically worse.
 """
 
 from __future__ import annotations
@@ -13,7 +25,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
 
-_INFINITY = float("inf")
 
 
 class BipartiteGraph:
@@ -34,6 +45,35 @@ class BipartiteGraph:
         self.add_right(right)
         self._adjacency[left].add(right)
 
+    def remove_edge(self, left: Hashable, right: Hashable) -> bool:
+        """Drop one edge (vertices stay); returns False when it was absent."""
+        adjacent = self._adjacency.get(left)
+        if adjacent is None or right not in adjacent:
+            return False
+        adjacent.discard(right)
+        return True
+
+    def remove_left(self, vertex: Hashable) -> bool:
+        """Drop a left vertex together with its incident edges."""
+        return self._adjacency.pop(vertex, None) is not None
+
+    def remove_right(self, vertex: Hashable) -> bool:
+        """Drop a right vertex.  The caller must have removed its edges first
+        (left adjacency sets are not reverse-indexed here)."""
+        if vertex not in self._right:
+            return False
+        self._right.discard(vertex)
+        return True
+
+    def has_left(self, vertex: Hashable) -> bool:
+        return vertex in self._adjacency
+
+    def has_right(self, vertex: Hashable) -> bool:
+        return vertex in self._right
+
+    def has_edge(self, left: Hashable, right: Hashable) -> bool:
+        return right in self._adjacency.get(left, ())
+
     @property
     def left_vertices(self) -> List[Hashable]:
         return list(self._adjacency)
@@ -49,59 +89,213 @@ class BipartiteGraph:
         return sum(len(neigh) for neigh in self._adjacency.values())
 
 
+class IncrementalMatching:
+    """A maximum matching of a :class:`BipartiteGraph`, repaired in place.
+
+    The instance owns two mirrored views (``match_left``/``match_right``)
+    that stay a *valid* matching through every graph update routed via the
+    ``add_*``/``remove_*`` methods below: deleting a matched edge (or a
+    matched vertex) unmatches the pair, everything else leaves the matching
+    untouched.  Validity is cheap; *maximality* is restored lazily by
+    :meth:`repair`, which runs Hopcroft–Karp phases — BFS layering from the
+    free left vertices, then a DFS sweep augmenting along shortest
+    vertex-disjoint paths — starting from the warm matching instead of the
+    empty one.  A single edge insert/delete changes the maximum matching
+    size by at most one, so the warm repair is a single augmenting-path
+    search; after ``k`` buffered updates at most ``k`` phases run, which
+    never exceeds the cost of a cold Hopcroft–Karp rebuild.
+
+    Updates that provably preserve maximality skip the dirty flag entirely:
+    adding an isolated vertex introduces no augmenting path, and deleting an
+    *unmatched* edge cannot make a maximum matching larger — so a clean
+    matching stays clean and the next :meth:`repair` is O(1).
+    """
+
+    __slots__ = ("graph", "match_left", "match_right", "_dirty")
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        matching: Optional[Mapping[Hashable, Hashable]] = None,
+    ) -> None:
+        self.graph = graph
+        self.match_left: Dict[Hashable, Hashable] = {}
+        self.match_right: Dict[Hashable, Hashable] = {}
+        if matching:
+            for left, right in matching.items():
+                self.match_left[left] = right
+                self.match_right[right] = left
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # graph updates (keep the matching valid, flag maximality as needed)
+    # ------------------------------------------------------------------ #
+    def add_left(self, vertex: Hashable) -> None:
+        self.graph.add_left(vertex)
+
+    def add_right(self, vertex: Hashable) -> None:
+        self.graph.add_right(vertex)
+
+    def remove_left(self, vertex: Hashable) -> None:
+        right = self.match_left.pop(vertex, None)
+        if right is not None:
+            del self.match_right[right]
+            # The freed right vertex may complete an augmenting path for
+            # some currently exposed left vertex.
+            self._dirty = True
+        self.graph.remove_left(vertex)
+
+    def remove_right(self, vertex: Hashable) -> None:
+        left = self.match_right.pop(vertex, None)
+        if left is not None:
+            del self.match_left[left]
+            self._dirty = True
+        self.graph.remove_right(vertex)
+
+    def add_edge(self, left: Hashable, right: Hashable) -> None:
+        if self.graph.has_edge(left, right):
+            return
+        self.graph.add_edge(left, right)
+        # A new edge can complete an augmenting path even when both of its
+        # endpoints are matched (the path rematches them).
+        self._dirty = True
+
+    def remove_edge(self, left: Hashable, right: Hashable) -> None:
+        if not self.graph.remove_edge(left, right):
+            return
+        if self.match_left.get(left) == right:
+            del self.match_left[left]
+            del self.match_right[right]
+            self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # repair and reads
+    # ------------------------------------------------------------------ #
+    def repair(self) -> int:
+        """Restore maximality; returns the number of augmentations applied.
+
+        No-op (O(1)) when no maximality-threatening update happened since
+        the last repair.  Otherwise runs augmenting phases from the current
+        matching until no augmenting path remains — correctness is the
+        classic alternating-path argument (Berge): a matching is maximum
+        iff it admits no augmenting path, regardless of how it was reached.
+        """
+        if not self._dirty:
+            return 0
+        adjacency = self.graph._adjacency
+        match_left = self.match_left
+        match_right = self.match_right
+        augmented = 0
+        while True:
+            # BFS phase: layer matched left vertices by alternating distance
+            # from the free ones; stop layering at the first free right.
+            distance: Dict[Hashable, int] = {}
+            queue: deque = deque()
+            for left in adjacency:
+                if left not in match_left:
+                    distance[left] = 0
+                    queue.append(left)
+            if not queue:
+                break
+            found = False
+            while queue:
+                left = queue.popleft()
+                base = distance[left]
+                for right in adjacency[left]:
+                    partner = match_right.get(right)
+                    if partner is None:
+                        found = True
+                    elif partner not in distance:
+                        distance[partner] = base + 1
+                        queue.append(partner)
+            if not found:
+                break
+            for root in [left for left in adjacency if left not in match_left]:
+                if root not in match_left and self._augment(root, distance):
+                    augmented += 1
+        self._dirty = False
+        return augmented
+
+    def _augment(self, root: Hashable, distance: Dict[Hashable, int]) -> bool:
+        """One iterative DFS along the BFS layering; applies the path found."""
+        adjacency = self.graph._adjacency
+        match_right = self.match_right
+        stack = [(root, iter(adjacency.get(root, ())))]
+        path: List[tuple] = []  # (left, right) pairs pending application
+        while stack:
+            left, neighbours = stack[-1]
+            for right in neighbours:
+                partner = match_right.get(right)
+                if partner is None:
+                    path.append((left, right))
+                    for new_left, new_right in path:
+                        self.match_left[new_left] = new_right
+                        match_right[new_right] = new_left
+                    return True
+                if distance.get(partner) == distance[left] + 1:
+                    path.append((left, right))
+                    stack.append((partner, iter(adjacency.get(partner, ()))))
+                    break
+            else:
+                distance[left] = -1  # dead end for the rest of this phase
+                stack.pop()
+                if path:
+                    path.pop()
+        return False
+
+    def matching(self) -> Dict[Hashable, Hashable]:
+        """A fresh left → right copy of the (repaired) maximum matching."""
+        self.repair()
+        return dict(self.match_left)
+
+    def size(self) -> int:
+        return len(self.match_left)
+
+    @property
+    def needs_repair(self) -> bool:
+        return self._dirty
+
+    # ------------------------------------------------------------------ #
+    # self-check hook
+    # ------------------------------------------------------------------ #
+    def self_check(self, deep: bool = False) -> bool:
+        """Validate the maintained matching (raises ``AssertionError``).
+
+        Always checks validity through :func:`verify_matching` plus the
+        mirror-consistency of the two views.  With ``deep=True`` (and after
+        :meth:`repair`) also recomputes a from-scratch maximum matching and
+        compares sizes, pinning warm repairs to cold Hopcroft–Karp.
+        """
+        snapshot = dict(self.match_left)
+        if not verify_matching(self.graph, snapshot):
+            raise AssertionError("incremental matching is not a valid matching")
+        if len(self.match_right) != len(snapshot) or any(
+            self.match_right.get(right) != left for left, right in snapshot.items()
+        ):
+            raise AssertionError("match_left/match_right views disagree")
+        if deep and not self._dirty:
+            reference = IncrementalMatching(self.graph)
+            reference.repair()
+            if len(reference.match_left) != len(snapshot):
+                raise AssertionError(
+                    "incremental matching is not maximum: "
+                    f"{len(snapshot)} vs {len(reference.match_left)} from scratch"
+                )
+        return True
+
+
 def maximum_matching(graph: BipartiteGraph) -> Dict[Hashable, Hashable]:
     """Maximum matching as a map from left vertices to right vertices.
 
     Implements Hopcroft–Karp: repeatedly find a maximal set of shortest
     vertex-disjoint augmenting paths via BFS + DFS until no augmenting path
-    remains.  Runs in ``O(E * sqrt(V))``.
+    remains.  Runs in ``O(E * sqrt(V))``.  This is exactly a cold
+    :class:`IncrementalMatching` repair, so the from-scratch oracle and the
+    incremental path share one phase implementation.
     """
-    match_left: Dict[Hashable, Optional[Hashable]] = {
-        left: None for left in graph.left_vertices
-    }
-    match_right: Dict[Hashable, Optional[Hashable]] = {
-        right: None for right in graph.right_vertices
-    }
-    distance: Dict[Hashable, float] = {}
-
-    def bfs() -> bool:
-        queue = deque()
-        for left, matched in match_left.items():
-            if matched is None:
-                distance[left] = 0
-                queue.append(left)
-            else:
-                distance[left] = _INFINITY
-        found_augmenting = False
-        while queue:
-            left = queue.popleft()
-            for right in graph.neighbours(left):
-                partner = match_right.get(right)
-                if partner is None:
-                    found_augmenting = True
-                elif distance[partner] == _INFINITY:
-                    distance[partner] = distance[left] + 1
-                    queue.append(partner)
-        return found_augmenting
-
-    def dfs(left: Hashable) -> bool:
-        for right in graph.neighbours(left):
-            partner = match_right.get(right)
-            if partner is None or (
-                distance.get(partner) == distance[left] + 1 and dfs(partner)
-            ):
-                match_left[left] = right
-                match_right[right] = left
-                return True
-        distance[left] = _INFINITY
-        return False
-
-    while bfs():
-        for left, matched in list(match_left.items()):
-            if matched is None:
-                dfs(left)
-
-    return {left: right for left, right in match_left.items() if right is not None}
+    matching = IncrementalMatching(graph)
+    matching.repair()
+    return dict(matching.match_left)
 
 
 def has_saturating_matching(graph: BipartiteGraph) -> bool:

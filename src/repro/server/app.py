@@ -38,6 +38,7 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from ..db.fact_store import derived_cache_totals
 from ..service.datasets import DatasetRef
 from ..service.envelope import Answer, Request, request_from_json_dict
 from ..service.planner import ANSWER_CACHE
@@ -403,7 +404,15 @@ class CQAServer:
     # the stats operation
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """Uptime, transport counters, session/cache stats, plans, concurrency."""
+        """Uptime, transport counters, session/cache stats, plans, concurrency.
+
+        ``derived_cache`` reports the process-wide derived-structure counters
+        (per structure label: builds/rebuilds/maintained deltas/fallbacks),
+        the observable form of the incremental-maintenance invariant — a
+        steady stream of supported deltas must show ``maintained_deltas``
+        growing while ``rebuilds`` stays put.  Pool workers are separate
+        processes, so the numbers describe this server process only.
+        """
         cache = self.cache
         return {
             "uptime_s": time.monotonic() - self._started,
@@ -413,6 +422,7 @@ class CQAServer:
             "plans": dict(getattr(self.session, "plan_counts", {})),
             "strategies": self.session.planner.registry.names(),
             "concurrency": self.pool.describe_dict(),
+            "derived_cache": derived_cache_totals(),
         }
 
     def stats_answer(self) -> Answer:

@@ -269,11 +269,24 @@ class IndexedMemoryStrategy(_SequentialExecution):
                 notes="Monte-Carlo repair sampling",
             )
         setup_s, eval_s, sat_s = model.cost_breakdown(size_hints, classification)
+        # Warm in-memory datasets carry pending fact deltas that the next
+        # read replays through the derived-structure maintainers; price that
+        # maintenance instead of assuming the matching refreshes for free.
+        # Fresh datasets have no backlog, so cold routing is unchanged.
+        refresh_s = 0.0
+        for ref, hint in zip(request.datasets, size_hints):
+            if ref.kind != DatasetRef.MEMORY:
+                continue
+            database = ref.memory_database
+            backlog = database.derived_backlog() if database is not None else 0
+            refresh_s += model.matching_refresh_cost(backlog, hint)
+        notes = "warm datasets: pending deltas priced as maintenance" if refresh_s else ""
         return CostEstimate(
-            total_s=setup_s + eval_s + sat_s,
+            total_s=setup_s + eval_s + sat_s + refresh_s,
             setup_s=setup_s,
-            eval_s=eval_s,
+            eval_s=eval_s + refresh_s,
             sat_s=sat_s,
+            notes=notes,
         )
 
 

@@ -31,6 +31,7 @@ from repro import (
     Database,
     Fact,
     FactDelta,
+    MatchingAlgorithm,
     NaiveCertK,
     RepairOracle,
     SeedAntichain,
@@ -40,9 +41,17 @@ from repro import (
     build_solution_graph_naive,
     certk_seed_cache_key,
     exact_support,
+    matching_cache_key,
     parse_query,
     q_connected_block_components,
     sample_repair,
+)
+from repro.graphs.bipartite import (
+    BipartiteGraph,
+    IncrementalMatching,
+    build_bipartite_graph,
+    maximum_matching,
+    verify_matching,
 )
 from repro.graphs.components import UnionFind
 from repro.core.certain import EngineReport
@@ -457,3 +466,309 @@ class TestGraphCacheKeyCompatibility:
         query = QUERIES["easy_cert2"]
         assert solution_graph_cache_key(query) == ("solution_graph", query)
         assert certk_seed_cache_key(query) == ("certk_seeds", query)
+
+
+def assert_bipartite_equal(left, right):
+    assert set(left.left_vertices) == set(right.left_vertices)
+    assert set(left.right_vertices) == set(right.right_vertices)
+
+    def edges(graph):
+        return {
+            (vertex, adjacent)
+            for vertex in graph.left_vertices
+            for adjacent in graph.neighbours(vertex)
+        }
+
+    assert edges(left) == edges(right)
+
+
+class TestIncrementalMatchingUnit:
+    """Adversarial single-update cases pinned to cold Hopcroft-Karp."""
+
+    @staticmethod
+    def _path_graph(length):
+        """Lefts L0..Ln-1, rights R0..Rn-1, edges (Li, Ri) and (Li, Ri-1)."""
+        lefts = [f"L{i}" for i in range(length)]
+        rights = [f"R{i}" for i in range(length)]
+        edges = [(lefts[i], rights[i]) for i in range(length)]
+        edges += [(lefts[i], rights[i - 1]) for i in range(1, length)]
+        return build_bipartite_graph(lefts, rights, edges), lefts, rights
+
+    def test_long_augmenting_path_from_warm_start(self):
+        graph, lefts, rights = self._path_graph(30)
+        # Warm-start from the maximal-but-not-maximum matching Li -> Ri-1,
+        # whose only augmenting path alternates through all 60 vertices.
+        warm = {lefts[i]: rights[i - 1] for i in range(1, 30)}
+        matching = IncrementalMatching(graph, warm)
+        assert matching.repair() == 1  # one augmentation, length 59
+        assert matching.size() == 30
+        matching.self_check(deep=True)
+
+    def test_delete_the_matched_edge(self):
+        graph, lefts, rights = self._path_graph(12)
+        matching = IncrementalMatching(graph)
+        matching.repair()
+        assert matching.size() == 12
+        victim = matching.match_left[lefts[5]]
+        matching.remove_edge(lefts[5], victim)
+        assert matching.needs_repair
+        matching.repair()
+        matching.self_check(deep=True)
+        # Oracle: cold Hopcroft-Karp on the mutated graph.
+        assert matching.size() == len(maximum_matching(graph))
+
+    def test_new_edge_rematches_both_matched_endpoints(self):
+        graph = build_bipartite_graph(["A", "B"], ["X", "Y"], [("A", "X"), ("B", "X")])
+        matching = IncrementalMatching(graph, {"B": "X"})
+        matching.add_edge("B", "Y")
+        # The augmenting path A - X - B - Y rematches B away from X.
+        assert matching.repair() >= 1
+        assert matching.size() == 2
+        matching.self_check(deep=True)
+
+    def test_maximality_preserving_updates_skip_repair(self):
+        graph = build_bipartite_graph(["A"], ["X", "Y"], [("A", "X"), ("A", "Y")])
+        matching = IncrementalMatching(graph)
+        matching.repair()
+        assert not matching.needs_repair
+        matching.add_left("B")  # isolated left: no augmenting path
+        matching.add_right("Z")  # isolated right: no augmenting path
+        unmatched = "Y" if matching.match_left["A"] == "X" else "X"
+        matching.remove_edge("A", unmatched)  # unmatched edge: maximum unchanged
+        assert not matching.needs_repair
+        assert matching.repair() == 0
+        assert matching.size() == 1
+
+    def test_vertex_removal_unmatches_and_repairs(self):
+        graph = build_bipartite_graph(
+            ["A", "B"], ["X", "Y"], [("A", "X"), ("A", "Y"), ("B", "X")]
+        )
+        matching = IncrementalMatching(graph)
+        matching.repair()
+        assert matching.size() == 2
+        # Drop B's only right; B becomes unmatchable, A keeps a partner.
+        matching.remove_edge("A", "X")
+        matching.remove_edge("B", "X")
+        matching.remove_right("X")
+        matching.repair()
+        matching.self_check(deep=True)
+        assert matching.size() == 1
+        assert matching.match_left == {"A": "Y"}
+
+    def test_self_check_detects_corruption(self):
+        graph = build_bipartite_graph(["A"], ["X"], [("A", "X")])
+        matching = IncrementalMatching(graph)
+        matching.repair()
+        matching.match_left["A"] = "BOGUS"
+        with pytest.raises(AssertionError):
+            matching.self_check()
+
+    def test_randomised_update_stream_matches_cold_oracle(self):
+        rng = random.Random(77)
+        lefts = [f"L{i}" for i in range(8)]
+        rights = [f"R{i}" for i in range(8)]
+        graph = BipartiteGraph()
+        for vertex in lefts:
+            graph.add_left(vertex)
+        for vertex in rights:
+            graph.add_right(vertex)
+        matching = IncrementalMatching(graph)
+        edges = set()
+        for step in range(250):
+            if edges and rng.random() < 0.45:
+                edge = rng.choice(sorted(edges))
+                edges.discard(edge)
+                matching.remove_edge(*edge)
+            else:
+                edge = (rng.choice(lefts), rng.choice(rights))
+                edges.add(edge)
+                matching.add_edge(*edge)
+            matching.repair()
+            matching.self_check(deep=False)
+            oracle = maximum_matching(
+                build_bipartite_graph(lefts, rights, sorted(edges))
+            )
+            assert matching.size() == len(oracle)
+        matching.self_check(deep=True)
+
+
+class TestMatchingDeltas:
+    """The delta-maintained matching(q) state vs from-scratch construction."""
+
+    @staticmethod
+    def _cold(query, database):
+        """A from-scratch matching(q) run: naive graph, cold Hopcroft-Karp."""
+        return MatchingAlgorithm(query).run(
+            database, graph=build_solution_graph_naive(query, database)
+        )
+
+    def _assert_matches_cold(self, runner, database):
+        result = runner.run(database)
+        cold = self._cold(runner.query, database)
+        assert result.has_saturating_matching == cold.has_saturating_matching
+        assert len(result.matching) == len(cold.matching)
+        assert verify_matching(result.bipartite_graph, result.matching)
+        assert_bipartite_equal(result.bipartite_graph, cold.bipartite_graph)
+        return result
+
+    @pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+    def test_interleaved_mutations_match_cold_run(self, name):
+        query = QUERIES[name]
+        runner = MatchingAlgorithm(query)
+        runner.self_check = True  # deep: size-pinned to cold Hopcroft-Karp
+        rng = random.Random(hash(name) % 1000 + 1)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        live = database.facts()
+        state = runner.state(database)
+        for step in range(40):
+            mutate(database, rng, query, live)
+            self._assert_matches_cold(runner, database)
+            assert runner.state(database) is state  # live view, spliced in place
+
+    @pytest.mark.parametrize("name", sorted(QUERY_CLASSES))
+    def test_batched_replay_matches_cold_run(self, name):
+        query = QUERIES[name]
+        runner = MatchingAlgorithm(query)
+        runner.self_check = True
+        rng = random.Random(hash(name) % 1000 + 2)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        live = database.facts()
+        runner.run(database)
+        for burst in range(8):
+            for _ in range(5):
+                mutate(database, rng, query, live)
+            if live:
+                # Adversarial replay orders within one burst: remove then
+                # re-add one fact, and add then remove a fresh one.
+                fact = rng.choice(live)
+                database.remove(fact)
+                database.add(fact)
+            fresh = random_fact(query.schema, 5, rng)
+            if database.add(fresh):
+                database.remove(fresh)
+            self._assert_matches_cold(runner, database)
+
+    def test_counters_prove_the_hot_path_never_rebuilds(self):
+        query = QUERIES["easy_cert2"]
+        runner = MatchingAlgorithm(query)
+        rng = random.Random(5)
+        database = random_solution_database(query, 5, 4, 4, rng)
+        live = database.facts()
+        runner.run(database)
+        applied = 0
+        for _ in range(25):
+            op, _fact = mutate(database, rng, query, live)
+            if op is not None:
+                applied += 1
+            runner.run(database)
+        stats = database.derived_cache_stats()["bipartite_matching"]
+        assert stats["builds"] == 1
+        assert stats["rebuilds"] == 0
+        assert stats["unsupported_deltas"] == 0
+        assert stats["maintained_deltas"] == applied
+
+    def test_backlog_overflow_counts_eviction_then_rebuild(self):
+        query = QUERIES["easy_cert2"]
+        runner = MatchingAlgorithm(query)
+        database = Database([Fact(query.schema, (1, 2))])
+        database.delta_backlog_limit = 3
+        runner.run(database)
+        for value in range(10, 16):
+            database.add(Fact(query.schema, (value, value + 1)))
+        runner.run(database)
+        stats = database.derived_cache_stats()["bipartite_matching"]
+        assert stats["backlog_evictions"] >= 1
+        assert stats["rebuilds"] == 1
+        assert stats["builds"] == 1
+
+    def test_quasi_clique_flip_via_add_and_remove(self):
+        query = QUERIES["easy_cert2"]  # q3: R(x|y) R(y|z)
+        runner = MatchingAlgorithm(query)
+        runner.self_check = True
+        pair = [Fact(query.schema, (1, 2)), Fact(query.schema, (2, 3))]
+        database = Database(pair)
+        result = self._assert_matches_cold(runner, database)
+        # {(1,2), (2,3)} is a connected pair: a quasi-clique, one right vertex.
+        assert set(result.bipartite_graph.right_vertices) == {frozenset(pair)}
+        assert not result.has_saturating_matching  # 2 blocks share 1 clique
+
+    	# Extending the path breaks quasi-cliqueness: clique(a) flips to
+        # singletons and every block gets a private right vertex.
+        tail = Fact(query.schema, (3, 4))
+        database.add(tail)
+        result = self._assert_matches_cold(runner, database)
+        assert set(result.bipartite_graph.right_vertices) == {
+            frozenset((fact,)) for fact in pair + [tail]
+        }
+        assert result.has_saturating_matching
+
+        # Removing the tail flips the component back to a quasi-clique.
+        database.remove(tail)
+        result = self._assert_matches_cold(runner, database)
+        assert set(result.bipartite_graph.right_vertices) == {frozenset(pair)}
+        assert not result.has_saturating_matching
+
+    @staticmethod
+    def _q6_chain(query, length):
+        """Pair-cliques C_i = {a_i, b_i} chaining blocks k_1 .. k_{length+1}.
+
+        a_i = (k_i, y_i, k_{i+1}) pairs with b_i = (k_{i+1}, k_i, y_i) and with
+        nothing else (the y_i are unique), so H(D, q6) is a path: block k_i is
+        edged to cliques C_{i-1} and C_i.
+        """
+        first = []
+        second = []
+        for i in range(1, length + 1):
+            first.append(Fact(query.schema, (i, 9000 + i, i + 1)))
+            second.append(Fact(query.schema, (i + 1, i, 9000 + i)))
+        return first, second
+
+    def test_saturation_flips_in_both_directions(self):
+        query = QUERIES["twoway_triangle"]  # q6: R(x|y,z) R(z|x,y)
+        runner = MatchingAlgorithm(query)
+        runner.self_check = True
+        first, second = self._q6_chain(query, 8)
+        database = Database(first + second)
+        # 9 blocks, 8 pair-cliques: no saturating matching.
+        result = self._assert_matches_cold(runner, database)
+        assert not result.has_saturating_matching
+
+        # Dropping the last block's only fact flips saturation ON: 8 blocks
+        # on 7 pair-cliques plus the freed singleton {a_8}.
+        database.remove(second[-1])
+        result = self._assert_matches_cold(runner, database)
+        assert result.has_saturating_matching
+
+        # Re-adding it flips saturation back OFF.
+        database.add(second[-1])
+        result = self._assert_matches_cold(runner, database)
+        assert not result.has_saturating_matching
+
+        # Dropping the chain head flips it ON from the other end.
+        database.remove(first[0])
+        result = self._assert_matches_cold(runner, database)
+        assert result.has_saturating_matching
+
+    def test_delete_the_matched_edge_fact(self):
+        query = QUERIES["twoway_triangle"]
+        runner = MatchingAlgorithm(query)
+        runner.self_check = True
+        first, second = self._q6_chain(query, 6)
+        database = Database(first + second)
+        result = self._assert_matches_cold(runner, database)
+        # Find a mid-chain a_j whose (block k_j, C_j) edge is matched, and
+        # delete exactly that fact: the maintainer must drop the matched
+        # edge, split C_j to the singleton {b_j}, and repair the matching.
+        for j in range(1, 6):
+            block_id = first[j].block_id()
+            clique = result.matching.get(block_id)
+            if clique is not None and first[j] in clique:
+                database.remove(first[j])
+                break
+        else:  # pragma: no cover - the chain always matches some a_j
+            pytest.fail("no matched (block, clique) edge backed by an a_j fact")
+        self._assert_matches_cold(runner, database)
+
+    def test_matching_cache_key_is_stable(self):
+        query = QUERIES["easy_cert2"]
+        assert matching_cache_key(query) == ("bipartite_matching", query)

@@ -264,3 +264,63 @@ class TestLockPrimitives:
         [answer] = server.handle_request(request)
         assert answer.ok
         assert server.pool.describe_dict()["exclusive_requests"] == 1
+
+
+class TestSteadyStateMatching:
+    def test_serving_under_deltas_never_rebuilds_the_matching(self):
+        # The PR 6 invariant: once warm, the q6 PTime path repairs its
+        # maintained matching under interleaved deltas — the per-structure
+        # counters must show exactly one build, zero rebuilds, and one
+        # maintained delta per mutation.
+        from repro.db.generators import random_fact
+
+        query = parse_query(Q6)
+        database = random_solution_database(query, 5, 3, 4, random.Random(41))
+        server = CQAServer(enable_cache=False)
+        ref = DatasetRef.in_memory(database)
+
+        def phase(tag):
+            return [
+                Request(op="certain", query=Q6, datasets=(ref,),
+                        request_id=f"{tag}-{i}")
+                for i in range(8)
+            ]
+
+        def fresh_verdict():
+            reference = CQAServer(enable_cache=False, concurrent=False)
+            return reference.handle_request(
+                Request(op="certain", query=Q6,
+                        datasets=(DatasetRef.in_memory(database.copy()),),
+                        request_id="ref")
+            )[0].verdict
+
+        expected = fresh_verdict()
+        observed = _hammer(server, phase("warm"))
+        assert all(sig[3] == expected for sig in observed.values())
+        stats = database.derived_cache_stats().get("bipartite_matching")
+        assert stats is not None and stats["builds"] == 1
+
+        rng = random.Random(42)
+        live = database.facts()
+        applied = 0
+        for round_index in range(6):
+            with server.pool.exclusive():
+                fact = random_fact(query.schema, 5, rng)
+                if database.add(fact):
+                    live.append(fact)
+                    applied += 1
+                if live and rng.random() < 0.6:
+                    victim = rng.choice(live)
+                    live.remove(victim)
+                    if database.remove(victim):
+                        applied += 1
+            expected = fresh_verdict()
+            observed = _hammer(server, phase(f"round{round_index}"))
+            assert all(sig[3] == expected for sig in observed.values())
+
+        stats = database.derived_cache_stats()["bipartite_matching"]
+        assert stats["builds"] == 1
+        assert stats["rebuilds"] == 0
+        assert stats["unsupported_deltas"] == 0
+        assert stats["maintained_deltas"] == applied
+        assert applied > 0
