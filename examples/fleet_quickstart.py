@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fleet quickstart: a dispatcher, worker processes, and a durable cache.
+
+PR 7 puts a worker fleet behind the server's front door.  A
+:class:`repro.server.fleet.FleetDispatcher` owns the same transports as a
+single :class:`repro.CQAServer` and fans requests out to worker processes
+over the public JSONL dialect, routing each dataset to the same worker via
+consistent hashing (so its derived structures stay hot), retrying on the
+survivors when a worker dies, and sharing one SQLite-backed persistent
+answer-cache tier across every worker — and across restarts.
+
+This example walks the whole loop with real subprocesses:
+
+1. spawn two ``repro fleet-worker`` processes sharing a cache file;
+2. answer through the dispatcher and watch affinity pin the dataset;
+3. drain one worker, rewrite its dataset, re-admit it;
+4. kill a worker mid-fleet and watch the dispatcher retry and retire it;
+5. restart the worker and replay the answer from the persistent tier.
+
+Run with::
+
+    python examples/fleet_quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.server.fleet import FleetDispatcher, spawn_fleet
+
+Q3 = "R(x|y) R(y|z)"
+
+
+def main() -> None:
+    scratch = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+    cache_db = scratch / "answers.sqlite3"
+    csv_path = scratch / "facts.csv"
+    csv_path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # 1. Spawn the fleet: each worker is a full CQA server on an
+    #    ephemeral port, and all of them share one persistent cache file.
+    # ------------------------------------------------------------------ #
+    workers = spawn_fleet(2, cache_db=str(cache_db))
+    dispatcher = FleetDispatcher(workers)
+    print(f"spawned {len(workers)} workers on ports "
+          f"{[worker.port for worker in workers]}")
+
+    try:
+        # -------------------------------------------------------------- #
+        # 2. Affinity routing: the same dataset always lands on the same
+        #    worker, so the repeat is that worker's answer-cache hit.
+        # -------------------------------------------------------------- #
+        payload = {"op": "certain", "query": Q3, "csv": str(csv_path)}
+        [cold] = dispatcher.handle_payload(payload)
+        [warm] = dispatcher.handle_payload(payload)
+        owner = dispatcher.owner_of(dispatcher._routing_key(payload))
+        print(f"certain={cold.verdict} (cold), then cache={warm.details['cache']} "
+              f"— both served by worker {owner.index}")
+
+        # -------------------------------------------------------------- #
+        # 3. Drain/reload: quiesce the owner, rewrite its dataset, let it
+        #    rejoin.  Traffic during the drain flows to the other worker;
+        #    the rewritten content has a new fingerprint, so no stale hit.
+        # -------------------------------------------------------------- #
+        with dispatcher.drain(owner.index):
+            csv_path.write_text("x,y\na,b\na,c\n", encoding="utf-8")
+            [during] = dispatcher.handle_payload(payload)
+            print(f"during drain: certain={during.verdict} "
+                  f"(served by the other worker, fresh content)")
+        [after] = dispatcher.handle_payload(payload)
+        print(f"after reload: certain={after.verdict} "
+              f"(owner re-admitted, old entry unreachable)")
+
+        # -------------------------------------------------------------- #
+        # 4. Fault tolerance: kill a worker process outright.  The next
+        #    dispatch notices, retires it (keeping its counters in the
+        #    fleet totals), and retries on the survivor.
+        # -------------------------------------------------------------- #
+        victim = owner  # kill the worker that owns our dataset's stripe
+        victim.process.kill()
+        victim.process.wait(timeout=10)
+        [survived] = dispatcher.handle_payload(payload)
+        stats = dispatcher.stats()
+        print(f"after kill: certain={survived.verdict} — "
+              f"{stats['fleet']['alive']}/{stats['fleet']['workers']} workers "
+              f"alive, retries={stats['transport']['retries']}, "
+              f"totals still monotone "
+              f"(requests={stats['totals']['transport']['requests']})")
+
+        # -------------------------------------------------------------- #
+        # 5. Restart: the replacement process shares the persistent tier,
+        #    so it *replays* the envelope instead of recomputing it.
+        # -------------------------------------------------------------- #
+        replacement = dispatcher.restart_worker(victim.index)
+        print(f"restarted worker {replacement.index} as pid {replacement.pid}")
+        [replayed] = dispatcher.handle_payload(payload)
+        print(f"replayed: certain={replayed.verdict}, "
+              f"cache={replayed.details.get('cache')}, "
+              f"tier={replayed.details.get('cache_tier')}")
+        assert replayed.details.get("cache_tier") == "persistent"
+    finally:
+        dispatcher.close()
+    print("fleet shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -171,6 +171,9 @@ _SERVER_EXPORTS = frozenset(
         "AnswerCache",
         "CQAServer",
         "CachingSession",
+        "FleetDispatcher",
+        "PersistentAnswerCache",
+        "spawn_fleet",
         "start_http_server",
         "start_jsonl_server",
     }
@@ -234,6 +237,7 @@ __all__ = [
     "CostModel", "CostEstimate", "ScoredStrategy",
     # server layer (the resident front end; resolved lazily via __getattr__)
     "CQAServer", "CachingSession", "AnswerCache",  # noqa: F822
+    "FleetDispatcher", "PersistentAnswerCache", "spawn_fleet",  # noqa: F822
     "start_http_server", "start_jsonl_server",  # noqa: F822
     "__version__",
 ]

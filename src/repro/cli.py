@@ -21,6 +21,17 @@ Commands
 ``client``
     Scripted calls against a running server (JSONL socket or HTTP): send a
     workload file, or fetch the server's ``stats`` envelope.
+``fleet-worker``
+    Internal: one fleet worker process (spawned by ``serve --fleet``), a
+    plain CQA server on an ephemeral JSONL port that lives until its stdin
+    reaches EOF.
+``fleet-status``
+    Render a running server's or fleet's stats: per-worker breakdown, cache
+    tiers, monotonic fleet totals.
+``calibrate``
+    Refit the planner's cost-model constants from the observed-vs-predicted
+    strategy timings a server has accumulated, and flag strategies whose
+    predictions drift past a threshold.
 
 The CLI is a thin client of the service layer
 (:class:`~repro.service.session.Session`): every command builds typed
@@ -126,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="answer-cache capacity in envelopes (default 1024)")
     serve_parser.add_argument("--workers", type=int, default=None, metavar="N",
                               help="cap the planner's worker pool (0 = one per CPU)")
+    serve_parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                              help="fan requests out to N worker processes with "
+                              "dataset-affinity routing (the transports stay the same)")
+    serve_parser.add_argument("--cache-db", default=None, metavar="PATH",
+                              help="SQLite file backing the persistent answer-cache "
+                              "tier (shared by every fleet worker; survives restarts)")
 
     client_parser = subparsers.add_parser(
         "client", help="send requests to a running server (JSONL socket or HTTP)"
@@ -140,6 +157,52 @@ def build_parser() -> argparse.ArgumentParser:
                                help="fetch the server's stats envelope instead of a workload")
     client_parser.add_argument("--json", action="store_true",
                                help="emit the raw JSON envelopes (JSONL)")
+
+    worker_parser = subparsers.add_parser(
+        "fleet-worker",
+        help="internal: one fleet worker (spawned by serve --fleet)",
+    )
+    worker_parser.add_argument("--host", default="127.0.0.1")
+    worker_parser.add_argument("--port", type=int, default=0,
+                               help="JSONL port to bind (default 0 = ephemeral)")
+    worker_parser.add_argument("--cache-db", default=None, metavar="PATH",
+                               help="SQLite file for the shared persistent cache tier")
+    worker_parser.add_argument("--cache-size", type=int, default=1024, metavar="N")
+    worker_parser.add_argument("--no-cache", action="store_true")
+    worker_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                               help="cap this worker's planner pool")
+
+    status_parser = subparsers.add_parser(
+        "fleet-status", help="render a running server's or fleet's stats"
+    )
+    status_parser.add_argument("--socket", metavar="HOST:PORT", default=None,
+                               help="address of a JSONL socket server")
+    status_parser.add_argument("--http", metavar="URL", default=None,
+                               help="base URL of an HTTP server")
+    status_parser.add_argument("--json", action="store_true",
+                               help="emit the raw stats envelope")
+
+    calibrate_parser = subparsers.add_parser(
+        "calibrate",
+        help="refit planner cost-model constants from observed strategy timings",
+    )
+    calibrate_parser.add_argument(
+        "stats", nargs="?", default=None,
+        help="a saved stats envelope JSON file (or use --socket/--http)",
+    )
+    calibrate_parser.add_argument("--socket", metavar="HOST:PORT", default=None,
+                                  help="fetch timings from a JSONL socket server")
+    calibrate_parser.add_argument("--http", metavar="URL", default=None,
+                                  help="fetch timings from an HTTP server")
+    calibrate_parser.add_argument("--threshold", type=float, default=2.0, metavar="X",
+                                  help="flag strategies whose observed/predicted ratio "
+                                  "falls outside [1/X, X] (default 2.0)")
+    calibrate_parser.add_argument("--write", metavar="PATH", default=None,
+                                  help="write the refit constants as a COST_MODEL.json")
+    calibrate_parser.add_argument("--check", action="store_true",
+                                  help="exit 1 if any strategy drifts past the threshold")
+    calibrate_parser.add_argument("--json", action="store_true",
+                                  help="emit the refit constants and drift table as JSON")
     return parser
 
 
@@ -353,7 +416,7 @@ def _run_run(args) -> int:
 
 
 def _run_serve(args) -> int:
-    from .server import CQAServer, serve_stdio, start_http_server, start_jsonl_server
+    from .server import serve_stdio, start_http_server, start_jsonl_server
 
     if not (args.stdio or args.socket is not None or args.http is not None):
         print("serve needs a transport: --stdio, --socket PORT and/or --http PORT",
@@ -362,13 +425,34 @@ def _run_serve(args) -> int:
     if args.cache_size < 1:
         print("--cache-size must be positive", file=sys.stderr)
         return 2
-    server = CQAServer(
-        cache_entries=args.cache_size,
-        enable_cache=not args.no_cache,
-        # 0 means "one per CPU", which is the planner's own default; passing
-        # it through would instead cap the pool at one worker.
-        default_workers=args.workers if args.workers else None,
-    )
+    fleet = None
+    if args.fleet:
+        if args.fleet < 1:
+            print("--fleet must be positive", file=sys.stderr)
+            return 2
+        from .server.fleet import FleetDispatcher, spawn_fleet
+
+        workers = spawn_fleet(
+            args.fleet,
+            cache_db=args.cache_db,
+            cache_size=args.cache_size,
+            no_cache=args.no_cache,
+            default_workers=args.workers if args.workers else None,
+        )
+        server = fleet = FleetDispatcher(workers)
+        ports = ", ".join(str(worker.port) for worker in workers)
+        print(f"fleet: {len(workers)} workers on ports {ports}", file=sys.stderr)
+    else:
+        from .server import CQAServer
+
+        server = CQAServer(
+            cache_entries=args.cache_size,
+            enable_cache=not args.no_cache,
+            # 0 means "one per CPU", which is the planner's own default;
+            # passing it through would instead cap the pool at one worker.
+            default_workers=args.workers if args.workers else None,
+            persistent_path=args.cache_db,
+        )
     background = []
     try:
         if args.socket is not None:
@@ -394,6 +478,8 @@ def _run_serve(args) -> int:
         for transport in background:
             transport.shutdown()
             transport.server_close()
+        if fleet is not None:
+            fleet.close()
     return 0
 
 
@@ -457,6 +543,159 @@ def _run_client(args) -> int:
     return _render_client_envelopes(envelopes, args.json)
 
 
+def _run_fleet_worker(args) -> int:
+    """One fleet worker: a CQA server on a JSONL port, alive until stdin EOF.
+
+    Prints exactly one JSON ready line (``{"ready": true, "port": ...,
+    "pid": ...}``) so the spawning dispatcher learns the ephemeral port,
+    then blocks on stdin — closing the dispatcher's pipe is the shutdown
+    signal, so an orphaned worker exits with its parent instead of leaking.
+    """
+    import os
+
+    from .server import CQAServer, start_jsonl_server
+
+    server = CQAServer(
+        cache_entries=args.cache_size,
+        enable_cache=not args.no_cache,
+        default_workers=args.workers if args.workers else None,
+        persistent_path=args.cache_db,
+    )
+    jsonl_server = start_jsonl_server(server, host=args.host, port=args.port)
+    print(json.dumps({"ready": True, "port": jsonl_server.port, "pid": os.getpid()}),
+          flush=True)
+    try:
+        sys.stdin.read()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        jsonl_server.shutdown()
+        jsonl_server.server_close()
+    return 0
+
+
+def _run_fleet_status(args) -> int:
+    from .server.client import fetch_stats, parse_host_port
+
+    if (args.socket is None) == (args.http is None):
+        print("fleet-status needs exactly one of --socket HOST:PORT or --http URL",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.http is not None:
+            envelope = fetch_stats(http_url=args.http)
+        else:
+            envelope = fetch_stats(jsonl_address=parse_host_port(args.socket))
+    except (OSError, ValueError) as error:
+        print(f"fleet-status error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(envelope))
+        return 0
+    details = envelope.get("details", {}) or {}
+    fleet = details.get("fleet")
+    if fleet:
+        print(f"fleet     : {fleet.get('alive')}/{fleet.get('workers')} workers alive "
+              f"({fleet.get('routing')} routing, {fleet.get('draining')} draining)")
+    transport = details.get("transport", {}) or {}
+    print(f"transport : requests={transport.get('requests')} "
+          f"answers={transport.get('answers')} errors={transport.get('errors')} "
+          f"retries={transport.get('retries', 0)} "
+          f"deaths={transport.get('worker_deaths', 0)}")
+    cache = details.get("cache") or {}
+    persistent = cache.get("persistent") or {}
+    line = (f"cache     : entries={cache.get('entries')} hits={cache.get('hits')} "
+            f"misses={cache.get('misses')} hit_rate={envelope.get('verdict')}")
+    if persistent:
+        line += (f" persistent[entries={persistent.get('entries')} "
+                 f"hits={persistent.get('hits')} stores={persistent.get('stores')}]")
+    print(line)
+    for row in details.get("workers") or []:
+        state = ("draining" if row.get("draining")
+                 else "alive" if row.get("alive")
+                 else f"dead ({row.get('error')})")
+        worker_cache = row.get("cache") or {}
+        print(f"  worker {row.get('index')}: pid={row.get('pid')} "
+              f"port={row.get('port')} {state} dispatched={row.get('dispatched')} "
+              f"cache[entries={worker_cache.get('entries')} "
+              f"hits={worker_cache.get('hits')}]")
+    return 0
+
+
+def _run_calibrate(args) -> int:
+    from .service.costmodel import CostModel, refit_from_timings
+
+    sources = sum(1 for source in (args.stats, args.socket, args.http)
+                  if source is not None)
+    if sources != 1:
+        print("calibrate needs exactly one timing source: a stats JSON file, "
+              "--socket HOST:PORT or --http URL", file=sys.stderr)
+        return 2
+    try:
+        if args.stats is not None:
+            with open(args.stats, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        else:
+            from .server.client import fetch_stats, parse_host_port
+
+            if args.http is not None:
+                envelope = fetch_stats(http_url=args.http)
+            else:
+                envelope = fetch_stats(jsonl_address=parse_host_port(args.socket))
+    except (OSError, ValueError) as error:
+        print(f"calibrate error: {error}", file=sys.stderr)
+        return 2
+    details = envelope.get("details", envelope) if isinstance(envelope, dict) else {}
+    timings = details.get("strategy_timings")
+    if not timings:
+        totals = details.get("totals")
+        if isinstance(totals, dict):
+            timings = totals.get("strategy_timings")
+    if not timings:
+        print("no strategy timings recorded: answer some requests first "
+              "(the stats envelope carries details.strategy_timings)",
+              file=sys.stderr)
+        return 2
+    model, drifts = refit_from_timings(
+        timings, model=CostModel.committed(), drift_threshold=args.threshold
+    )
+    flagged = [drift for drift in drifts if drift.flagged]
+    if args.json:
+        print(json.dumps({
+            "constants": model.to_json_dict(),
+            "drift": [drift.to_json_dict() for drift in drifts],
+            "flagged": [drift.strategy for drift in flagged],
+        }))
+    else:
+        if drifts:
+            print(f"{'strategy':<16} {'requests':>8} {'predicted':>11} "
+                  f"{'observed':>11} {'ratio':>7}  drift")
+            for drift in drifts:
+                status = (f"FLAGGED (>{args.threshold:g}x)" if drift.flagged else "ok")
+                print(f"{drift.strategy:<16} {drift.requests:>8} "
+                      f"{drift.predicted_s:>10.4f}s {drift.observed_s:>10.4f}s "
+                      f"{drift.ratio:>6.2f}x  {status}")
+        else:
+            print("(no usable strategy timings: rows need predicted_s > 0)")
+    if args.write:
+        payload = {
+            "description": "Calibrated constants of "
+            "repro.service.costmodel.CostModel, refit from a server's "
+            "observed-vs-predicted strategy timings.",
+            "calibrated_by": "repro calibrate",
+            "constants": model.to_json_dict(),
+        }
+        with open(args.write, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.write}", file=sys.stderr)
+    if args.check and flagged:
+        print("drift check failed: "
+              + ", ".join(drift.strategy for drift in flagged), file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -468,6 +707,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _run_run,
         "serve": _run_serve,
         "client": _run_client,
+        "fleet-worker": _run_fleet_worker,
+        "fleet-status": _run_fleet_status,
+        "calibrate": _run_calibrate,
     }
     return handlers[args.command](args)
 

@@ -16,7 +16,12 @@ resident and its answers reusable:
 * :mod:`~repro.server.jsonl` — stdio and TCP JSONL transports;
 * :mod:`~repro.server.http_transport` — a stdlib ``http.server`` endpoint
   (``POST /answer``, ``GET /stats``, ``GET /healthz``);
-* :mod:`~repro.server.client` — scripted-call helpers (``repro client``).
+* :mod:`~repro.server.client` — scripted-call helpers (``repro client``);
+* :mod:`~repro.server.persistent_cache` — the SQLite-backed second cache
+  tier shared across processes and restarts (content-addressed keys only);
+* :mod:`~repro.server.fleet` — the worker fleet behind the front door:
+  :class:`~repro.server.fleet.FleetDispatcher` owns the same transports and
+  fans requests out to worker processes with dataset-affinity routing.
 
 Quickstart::
 
@@ -33,10 +38,12 @@ Quickstart::
 """
 
 from .app import STATS_OP, AnswerCacheStrategy, CachingSession, CQAServer
-from .cache import AnswerCache, CacheKey, settings_digest
+from .cache import AnswerCache, CacheKey, persistable_key, settings_digest
 from .client import call_http, call_jsonl, fetch_stats, workload_lines
+from .fleet import FleetDispatcher, FleetWorker, spawn_fleet, spawn_worker
 from .http_transport import HttpServer, start_http_server
 from .jsonl import JsonlServer, serve_stdio, serve_stream, start_jsonl_server
+from .persistent_cache import PersistentAnswerCache
 from .pool import ReadWriteLock, SessionPool
 
 __all__ = [
@@ -45,6 +52,9 @@ __all__ = [
     "CacheKey",
     "CachingSession",
     "CQAServer",
+    "FleetDispatcher",
+    "FleetWorker",
+    "PersistentAnswerCache",
     "ReadWriteLock",
     "SessionPool",
     "HttpServer",
@@ -53,9 +63,12 @@ __all__ = [
     "call_http",
     "call_jsonl",
     "fetch_stats",
+    "persistable_key",
     "serve_stdio",
     "serve_stream",
     "settings_digest",
+    "spawn_fleet",
+    "spawn_worker",
     "start_http_server",
     "start_jsonl_server",
     "workload_lines",

@@ -90,6 +90,10 @@ class AnswerCacheStrategy(Strategy):
         session._bump("requests")
         session._note_plan(plan.strategy)
         total = time.perf_counter() - started
+        if plan.cost is not None:
+            session._note_timing(
+                plan.strategy, plan.cost.total_s, total, answers=len(hits)
+            )
         answers = [
             session._serve_hit(hits[index], request, total) for index in sorted(hits)
         ]
@@ -291,6 +295,7 @@ class CQAServer:
         *,
         cache_entries: int = 1024,
         enable_cache: bool = True,
+        persistent_path: Optional[str] = None,
         practical_k: Optional[int] = None,
         strict_polynomial: bool = False,
         default_workers: Optional[int] = None,
@@ -298,7 +303,14 @@ class CQAServer:
         concurrent: bool = True,
     ) -> None:
         if session is None:
-            cache = AnswerCache(max_entries=cache_entries) if enable_cache else None
+            cache = None
+            if enable_cache:
+                persistent = None
+                if persistent_path is not None:
+                    from .persistent_cache import PersistentAnswerCache
+
+                    persistent = PersistentAnswerCache(persistent_path)
+                cache = AnswerCache(max_entries=cache_entries, persistent=persistent)
             session = CachingSession(
                 cache=cache,
                 practical_k=practical_k,
@@ -414,6 +426,7 @@ class CQAServer:
         processes, so the numbers describe this server process only.
         """
         cache = self.cache
+        timings = getattr(self.session, "strategy_timings", {})
         return {
             "uptime_s": time.monotonic() - self._started,
             "transport": dict(self.transport_stats),
@@ -421,8 +434,12 @@ class CQAServer:
             "cache": cache.describe_dict() if cache is not None else None,
             "plans": dict(getattr(self.session, "plan_counts", {})),
             "strategies": self.session.planner.registry.names(),
+            "strategy_timings": {name: dict(row) for name, row in timings.items()},
             "concurrency": self.pool.describe_dict(),
             "derived_cache": derived_cache_totals(),
+            # Shape parity with the fleet dispatcher's stats: a single
+            # server is a fleet of zero remote workers.
+            "workers": [],
         }
 
     def stats_answer(self) -> Answer:

@@ -54,12 +54,40 @@ from ..service.envelope import Answer, Request
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..db.fact_store import Database
     from ..service.session import Session
+    from .persistent_cache import PersistentAnswerCache
 
 #: Fingerprint kind whose identity-token entries the delta listener evicts.
 _MEMORY_KIND = "memory"
 
 #: Ops that share one cache group (identical computation, different op tag).
 _CERTAIN_GROUP = ("certain", "explain", "witness")
+
+
+def persistable_key(key: "CacheKey") -> bool:
+    """Whether ``key`` may cross a process boundary (the persistent tier).
+
+    Only **content-addressed** keys qualify: fingerprints carrying a
+    process-local identity token (an in-memory database, a ``:memory:``
+    SQLite store) name a Python object, not a fact set — after a restart the
+    same token could alias a different database, so such keys never leave
+    the memory tier.  The version must be ``0``/``None`` (no in-place
+    mutations since load: a mutated resolution's content digest no longer
+    describes the served facts) and the epoch ``0`` (token-free keys never
+    move epochs, so anything else would be a logic error upstream).
+    ``("none",)`` — the dataset-independent ops' placeholder — is a pure
+    function of (query, settings) and persists fine.
+    """
+    fingerprint = key.fingerprint
+    if not fingerprint:
+        return False
+    kind = fingerprint[0]
+    if kind == _MEMORY_KIND:
+        return False
+    if kind == "sqlite" and not isinstance(fingerprint[1], str):
+        return False  # the (token, total_changes, count) form of :memory: stores
+    if key.version not in (None, 0):
+        return False
+    return key.epoch == 0
 
 
 def settings_digest(request: Request, session: "Session") -> Optional[Tuple]:
@@ -129,13 +157,23 @@ class AnswerCache:
     ``stats`` and :meth:`per_query` feed the server's ``stats`` operation.
     """
 
-    def __init__(self, max_entries: int = 1024, eviction_window: int = 8) -> None:
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        eviction_window: int = 8,
+        persistent: Optional["PersistentAnswerCache"] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if eviction_window < 1:
             raise ValueError("eviction_window must be positive")
         self.max_entries = max_entries
         self.eviction_window = eviction_window
+        #: The optional second tier (see :mod:`repro.server.persistent_cache`).
+        #: Only content-addressed keys reach it (:func:`persistable_key`);
+        #: its I/O always runs *outside* ``_lock`` so a slow disk never
+        #: stalls concurrent memory-tier traffic.
+        self.persistent = persistent
         self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         #: token -> set of live keys (for O(degree) delta eviction).
@@ -214,48 +252,83 @@ class AnswerCache:
     # lookup / store
     # ------------------------------------------------------------------ #
     def get(self, key: CacheKey) -> Optional[Answer]:
-        """The cached envelope for ``key`` (a private deep copy), or ``None``."""
+        """The cached envelope for ``key`` (a private deep copy), or ``None``.
+
+        Two tiers: the memory LRU first; on a miss there, the persistent
+        tier (when configured and the key is content-addressed).  A
+        persistent hit is *promoted* — reinstalled in the memory tier with
+        its recorded compute cost, so the next lookup is an in-memory hit —
+        and the served copy is marked ``details["cache_tier"] =
+        "persistent"`` (the copy only, never the stored entry), which is how
+        warm-restart tests and the ``stats`` op tell the tiers apart.
+        """
         with self._lock:
             entry = self._entries.get(key)
-            query_stats = self._query_stats(key.query)
-            if entry is None:
-                self.stats["misses"] += 1
-                query_stats["misses"] += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats["hits"] += 1
-            query_stats["hits"] += 1
-            query_stats["saved_s"] += entry.compute_s
-            return copy.deepcopy(entry.answer)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats["hits"] += 1
+                query_stats = self._query_stats(key.query)
+                query_stats["hits"] += 1
+                query_stats["saved_s"] += entry.compute_s
+                return copy.deepcopy(entry.answer)
+        persistent = self.persistent
+        if persistent is not None and persistable_key(key):
+            loaded = persistent.load(key)
+            if loaded is not None:
+                answer, compute_s = loaded
+                with self._lock:
+                    if key not in self._entries:
+                        self._install(key, _Entry(copy.deepcopy(answer), compute_s))
+                    self.stats["hits"] += 1
+                    query_stats = self._query_stats(key.query)
+                    query_stats["hits"] += 1
+                    query_stats["saved_s"] += compute_s
+                answer.details["cache_tier"] = "persistent"
+                return answer
+        with self._lock:
+            self.stats["misses"] += 1
+            self._query_stats(key.query)["misses"] += 1
+            return None
 
     def put(self, key: CacheKey, answer: Answer) -> None:
-        """Store a computed envelope (deep-copied, provenance marker stripped)."""
+        """Store a computed envelope (deep-copied, provenance marker stripped).
+
+        Write-through: a content-addressed key is also parked in the
+        persistent tier (when configured), outside the memory lock.
+        """
         stored = copy.deepcopy(answer)
         stored.details.pop("cache", None)
+        stored.details.pop("cache_tier", None)
         # Plan details are per-request routing provenance, not part of the
         # answer: entries are shared across explain_plan settings.
         stored.details.pop("plan", None)
         compute_s = float(stored.timings.get("total_s", 0.0))
         with self._lock:
-            self._entries[key] = _Entry(stored, compute_s)
-            self._entries.move_to_end(key)
+            self._install(key, _Entry(stored, compute_s))
             self.stats["stores"] += 1
-            query_stats = self._query_stats(key.query)
-            query_stats["compute_s"] += compute_s
-            token = self._token_of(key.fingerprint)
-            if token is not None:
-                self._token_keys.setdefault(token, set()).add(key)
-            while len(self._entries) > self.max_entries:
-                evicted_key = self._eviction_victim(protect=key)
-                del self._entries[evicted_key]
-                self.stats["evictions"] += 1
-                evicted_token = self._token_of(evicted_key.fingerprint)
-                if evicted_token is not None:
-                    keys = self._token_keys.get(evicted_token)
-                    if keys is not None:
-                        keys.discard(evicted_key)
-                        if not keys:
-                            del self._token_keys[evicted_token]
+            self._query_stats(key.query)["compute_s"] += compute_s
+        persistent = self.persistent
+        if persistent is not None and persistable_key(key):
+            persistent.store(key, stored, compute_s)
+
+    def _install(self, key: CacheKey, entry: _Entry) -> None:
+        """Insert one entry (token bookkeeping + eviction); caller holds the lock."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        token = self._token_of(key.fingerprint)
+        if token is not None:
+            self._token_keys.setdefault(token, set()).add(key)
+        while len(self._entries) > self.max_entries:
+            evicted_key = self._eviction_victim(protect=key)
+            del self._entries[evicted_key]
+            self.stats["evictions"] += 1
+            evicted_token = self._token_of(evicted_key.fingerprint)
+            if evicted_token is not None:
+                keys = self._token_keys.get(evicted_token)
+                if keys is not None:
+                    keys.discard(evicted_key)
+                    if not keys:
+                        del self._token_keys[evicted_token]
 
     def _eviction_victim(self, protect: CacheKey) -> CacheKey:
         """Cost-aware LRU victim (see the class docs).
@@ -373,7 +446,13 @@ class AnswerCache:
             return {query: dict(stats) for query, stats in self._per_query.items()}
 
     def describe_dict(self) -> Dict[str, object]:
-        """The JSON shape served by the ``stats`` operation."""
+        """The JSON shape served by the ``stats`` operation.
+
+        ``persistent`` reports the second tier consistently (``None`` when
+        the cache is memory-only), so operators and the fleet's aggregation
+        see both tiers in one block.
+        """
+        persistent = self.persistent
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -381,6 +460,9 @@ class AnswerCache:
                 "hit_rate": self.hit_rate(),
                 **dict(self.stats),
                 "per_query": self.per_query(),
+                "persistent": (
+                    persistent.describe_dict() if persistent is not None else None
+                ),
             }
 
     def __len__(self) -> int:

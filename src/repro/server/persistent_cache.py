@@ -1,0 +1,298 @@
+"""The SQLite-backed persistent tier of the answer cache.
+
+The in-memory :class:`~repro.server.cache.AnswerCache` dies with its process
+— a restarted server recomputes every verdict it already knew.  This module
+adds the second tier: answer envelopes parked in one SQLite file, shared by
+every process that opens the same path (the fleet's workers) and surviving
+restarts, so a warm-restart replay hits instead of recomputing.
+
+What makes the on-disk copy *sound* is the same purity argument as the
+memory tier, plus one extra restriction: only **content-addressed** keys are
+ever persisted.  A fingerprint built from an identity token (an in-memory
+database, a ``:memory:`` SQLite store) names a Python object in one process
+— meaningless in another process or after a restart, where a colliding token
+could alias a different database.  The gate is
+:func:`repro.server.cache.persistable_key`: CSV/row/file-SQLite content
+digests only, version ``0``/``None`` (no in-place mutations since load) and
+epoch ``0``.  Because tokens never reach this tier, the memory tier's
+version-wraparound epoch guard has nothing to guard here — a wrapped
+counter's entries were never written.
+
+Concurrency and durability discipline:
+
+* **WAL mode** — the fleet's workers read concurrently while one writes;
+  ``busy_timeout`` absorbs writer collisions instead of erroring.
+* **single writer per key** — ``INSERT OR IGNORE``: the first worker to
+  finish a computation parks it; a concurrent duplicate computation is
+  dropped, never half-overwritten (entries are immutable once written, so
+  "ignore" is always correct).
+* **schema-version guard** — a ``meta`` table records the on-disk schema;
+  any mismatch resets the file rather than misreading old rows.
+* **corruption = cold miss** — a truncated, garbled or non-SQLite file is
+  detected (``sqlite3.DatabaseError``), the file is reset once, and every
+  lookup in between simply misses.  The cache never raises into the serving
+  path; a persistent tier that cannot be repaired disables itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from ..service.envelope import Answer, answer_from_json_dict
+
+#: Bumped whenever the on-disk row shape changes; mismatching files reset.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS answers (
+    key        TEXT PRIMARY KEY,
+    query      TEXT NOT NULL,
+    envelope   TEXT NOT NULL,
+    compute_s  REAL NOT NULL DEFAULT 0.0,
+    stored_at  REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key    TEXT PRIMARY KEY,
+    value  TEXT NOT NULL
+);
+"""
+
+
+def _encode_key(key) -> str:
+    """A :class:`~repro.server.cache.CacheKey` as deterministic JSON text.
+
+    Tuples serialise as JSON arrays, so equal keys map to equal strings;
+    the epoch is included for completeness even though persistable keys
+    always carry epoch 0 (see the module docs).
+    """
+    return json.dumps(
+        [key.query, key.group, key.digest, key.fingerprint, key.version, key.epoch],
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+
+
+class PersistentAnswerCache:
+    """One SQLite file of answer envelopes (see module docs).
+
+    Thread-safe: a single connection guarded by a lock (SQLite serialises
+    writers anyway; the lock keeps our bookkeeping consistent).  Safe to
+    open from many processes at once — that is the point.
+    """
+
+    def __init__(self, path: str, *, busy_timeout_s: float = 5.0) -> None:
+        self.path = str(path)
+        self._busy_timeout_s = busy_timeout_s
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "errors": 0,
+            "resets": 0,
+        }
+        with self._lock:
+            self._open(allow_reset=True)
+
+    # ------------------------------------------------------------------ #
+    # connection lifecycle
+    # ------------------------------------------------------------------ #
+    def _open(self, allow_reset: bool) -> None:
+        """Open (or reopen) the file; resets a corrupt/foreign file once."""
+        try:
+            conn = sqlite3.connect(self.path, check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA busy_timeout={int(self._busy_timeout_s * 1000)}")
+            conn.executescript(_SCHEMA)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                conn.commit()
+            elif row[0] != str(SCHEMA_VERSION):
+                # A future (or ancient) writer's rows: misreading them would
+                # be worse than recomputing, so the file starts over.
+                conn.close()
+                raise sqlite3.DatabaseError(f"schema_version {row[0]!r}")
+            self._conn = conn
+        except sqlite3.Error:
+            self._conn = None
+            if allow_reset:
+                self._reset_file()
+                self._open(allow_reset=False)
+            else:
+                self.stats["errors"] += 1
+
+    def _reset_file(self) -> None:
+        """Delete the cache file (and WAL siblings); every entry cold-misses."""
+        self.stats["resets"] += 1
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(self.path + suffix)
+            except OSError:
+                pass
+
+    def _fail(self) -> None:
+        """One corruption event: drop the connection, reset, reopen."""
+        self.stats["errors"] += 1
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        self._reset_file()
+        self._open(allow_reset=False)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+
+    @property
+    def enabled(self) -> bool:
+        """False once the file proved unrepairable; every op is then a no-op."""
+        with self._lock:
+            return self._conn is not None
+
+    # ------------------------------------------------------------------ #
+    # load / store
+    # ------------------------------------------------------------------ #
+    def load(self, key) -> Optional[Tuple[Answer, float]]:
+        """The stored ``(envelope, compute_s)`` for ``key``, or ``None``.
+
+        Never raises: a corrupt row or file counts a miss (after one repair
+        attempt), because the caller can always recompute.
+        """
+        encoded = _encode_key(key)
+        with self._lock:
+            if self._conn is None:
+                self.stats["misses"] += 1
+                return None
+            try:
+                row = self._conn.execute(
+                    "SELECT envelope, compute_s FROM answers WHERE key=?",
+                    (encoded,),
+                ).fetchone()
+            except sqlite3.Error:
+                self._fail()
+                row = None
+            if row is None:
+                self.stats["misses"] += 1
+                return None
+            try:
+                answer = answer_from_json_dict(json.loads(row[0]))
+            except (ValueError, TypeError):
+                # One bad row (partial write survived a crash): drop it.
+                self.stats["errors"] += 1
+                try:
+                    self._conn.execute("DELETE FROM answers WHERE key=?", (encoded,))
+                    self._conn.commit()
+                except sqlite3.Error:
+                    self._fail()
+                self.stats["misses"] += 1
+                return None
+            self.stats["hits"] += 1
+            return answer, float(row[1])
+
+    def store(self, key, answer: Answer, compute_s: float) -> bool:
+        """Park one envelope; first writer per key wins (``INSERT OR IGNORE``)."""
+        try:
+            envelope = json.dumps(answer.to_json_dict(), separators=(",", ":"))
+        except (TypeError, ValueError):
+            # A non-JSON-serialisable detail: this envelope stays memory-only.
+            return False
+        encoded = _encode_key(key)
+        with self._lock:
+            if self._conn is None:
+                return False
+            try:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO answers "
+                    "(key, query, envelope, compute_s, stored_at) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (encoded, key.query, envelope, float(compute_s), time.time()),
+                )
+                self._conn.commit()
+            except sqlite3.Error:
+                self._fail()
+                return False
+            if cursor.rowcount > 0:
+                self.stats["stores"] += 1
+                return True
+            return False
+
+    # ------------------------------------------------------------------ #
+    # maintenance / introspection
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                cursor = self._conn.execute("DELETE FROM answers")
+                self._conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error:
+                self._fail()
+                return 0
+
+    def prune(self, max_entries: int) -> int:
+        """Trim to ``max_entries`` rows, dropping the oldest-stored first.
+
+        The persistent tier has no access recency (readers in other
+        processes do not write), so the discipline is insert-age FIFO —
+        cheap, contention-free, and good enough for a tier whose misses
+        merely recompute.
+        """
+        with self._lock:
+            if self._conn is None or max_entries < 0:
+                return 0
+            try:
+                cursor = self._conn.execute(
+                    "DELETE FROM answers WHERE key NOT IN ("
+                    "SELECT key FROM answers ORDER BY stored_at DESC, key LIMIT ?)",
+                    (max_entries,),
+                )
+                self._conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error:
+                self._fail()
+                return 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                return int(self._conn.execute("SELECT COUNT(*) FROM answers").fetchone()[0])
+            except sqlite3.Error:
+                self._fail()
+                return 0
+
+    def describe_dict(self) -> Dict[str, object]:
+        """The JSON shape embedded in the ``stats`` operation's cache block."""
+        return {
+            "path": self.path,
+            "enabled": self.enabled,
+            "entries": len(self),
+            **dict(self.stats),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PersistentAnswerCache(path={self.path!r}, entries={len(self)})"

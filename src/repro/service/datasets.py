@@ -297,6 +297,27 @@ class DatasetRef:
             return None
         return (self.kind, self.path)
 
+    def routing_key(self) -> Optional[str]:
+        """A *stable* string form of the source identity, for fleet routing.
+
+        The dispatcher's consistent-hash ring must place the same dataset on
+        the same worker across dispatcher restarts and regardless of which
+        process computes the hash, so the key must not contain process-local
+        identity tokens (``memory`` databases, ``:memory:`` stores) — those
+        kinds answer ``None`` and fall back to the dispatcher's query-text
+        routing.  Path-backed kinds key on ``kind:path``; inline rows key on
+        their (memoised) content digest, so the same wire payload routes to
+        the same worker from any front door.
+        """
+        if self.kind == self.MEMORY:
+            return None
+        if self.kind == self.SQLITE and self.path in (None, ":memory:"):
+            return None
+        key = self.stripe_key()
+        if key is None:
+            return None
+        return repr(key)
+
     def version_hint(self) -> Optional[int]:
         """The mutation version of the database this reference resolves to.
 

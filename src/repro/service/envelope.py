@@ -16,6 +16,7 @@ workload files; ``tests/test_cli_json.py`` pins them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from .datasets import DatasetRef, dataset_refs_from_json
@@ -105,6 +106,24 @@ class Answer:
             "error": self.error,
             "request_id": self.request_id,
         }
+
+
+def answer_from_json_dict(payload: Dict[str, object]) -> Answer:
+    """Rebuild an :class:`Answer` from its JSON envelope.
+
+    The inverse of :meth:`Answer.to_json_dict`, used wherever an envelope
+    crosses a process boundary and comes back — the fleet dispatcher
+    re-typing worker replies, the persistent answer cache rehydrating a
+    stored row.  Unknown keys (a newer writer's fields) are dropped rather
+    than rejected; ``schema_version`` is consumed, not stored.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"envelope must be a JSON object, got {type(payload).__name__}")
+    known = {field.name for field in dataclass_fields(Answer)}
+    kwargs = {key: value for key, value in payload.items() if key in known}
+    kwargs.setdefault("op", "?")
+    kwargs.setdefault("query", "?")
+    return Answer(**kwargs)
 
 
 def request_from_json_dict(

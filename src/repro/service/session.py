@@ -102,6 +102,9 @@ class Session:
         }
         #: Winning-strategy counts, surfaced by the server's ``stats`` op.
         self.plan_counts: Dict[str, int] = {}
+        #: Per-strategy observed-vs-predicted wall clock, the raw material of
+        #: ``repro calibrate`` (see :func:`~repro.service.costmodel.refit_from_timings`).
+        self.strategy_timings: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------ #
     # query registry and engine pool
@@ -113,6 +116,37 @@ class Session:
     def _note_plan(self, strategy: str) -> None:
         with self._state_lock:
             self.plan_counts[strategy] = self.plan_counts.get(strategy, 0) + 1
+
+    def _note_timing(
+        self,
+        strategy: str,
+        predicted_s: float,
+        observed_s: float,
+        *,
+        answers: int = 1,
+        facts: int = 0,
+    ) -> None:
+        """Accumulate one request's observed-vs-predicted wall clock.
+
+        One bucket per strategy; sums (not averages) so drift ratios weigh
+        each request by its actual cost.
+        """
+        with self._state_lock:
+            bucket = self.strategy_timings.setdefault(
+                strategy,
+                {
+                    "requests": 0,
+                    "answers": 0,
+                    "facts": 0,
+                    "predicted_s": 0.0,
+                    "observed_s": 0.0,
+                },
+            )
+            bucket["requests"] += 1
+            bucket["answers"] += answers
+            bucket["facts"] += facts
+            bucket["predicted_s"] += float(predicted_s)
+            bucket["observed_s"] += float(observed_s)
 
     def resolve_query(self, text: str, depth: int = 4) -> QueryHandle:
         """Parse and classify ``text`` (or a paper name), memoised per session."""
@@ -188,6 +222,16 @@ class Session:
             answer.request_id = request.request_id
             if request.explain_plan:
                 answer.details["plan"] = plan.to_json_dict()
+        if plan.cost is not None:
+            self._note_timing(
+                plan.strategy,
+                plan.cost.total_s,
+                total,
+                answers=len(answers),
+                facts=sum(
+                    (answer.database or {}).get("facts", 0) for answer in answers
+                ),
+            )
         self._bump("answers", len(answers))
         return answers
 

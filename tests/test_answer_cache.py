@@ -477,3 +477,240 @@ class TestPlanDetailsNeverReplay:
         assert hit_answer.details["plan"]["strategy"] == "answer-cache"
         assert miss_answer.details["cache"] == "miss"
         assert miss_answer.details["plan"]["strategy"] == "indexed-memory"
+
+
+# --------------------------------------------------------------------------- #
+# the persistent tier (PR 7): SQLite-backed, shared, restart-surviving
+# --------------------------------------------------------------------------- #
+class TestPersistableKey:
+    """Only content-addressed keys may cross a process boundary.
+
+    In-memory tokens are ``id()``-based (meaningless in another process),
+    versions are per-process counters, and a non-zero epoch records an
+    in-process wraparound — every one of them must stay in the memory tier.
+    """
+
+    def _cache(self):
+        return AnswerCache()
+
+    def test_content_addressed_fingerprints_are_persistable(self):
+        from repro.server import persistable_key
+
+        cache = self._cache()
+        for fingerprint in (
+            ("csv", "/data/facts.csv", True, "digest"),
+            ("rows", "digest"),
+            ("sqlite", "/data/facts.db", "content-digest", None),
+            ("none",),
+        ):
+            key = cache.make_key("q", "certain", (), fingerprint, None)
+            assert persistable_key(key), fingerprint
+
+    def test_token_and_versioned_keys_are_not_persistable(self):
+        from repro.server import persistable_key
+
+        cache = self._cache()
+        rejected = [
+            cache.make_key("q", "certain", (), ("memory", 12345), 3),
+            # :memory: SQLite stores fingerprint as (kind, token, ...).
+            cache.make_key("q", "certain", (), ("sqlite", 998877, 4, 2), None),
+            # A version counter is per-process even on a content fingerprint.
+            cache.make_key("q", "certain", (), ("rows", "digest"), 7),
+        ]
+        for key in rejected:
+            assert not persistable_key(key), key
+        # A wrapped-version epoch never reaches the persistent tier either.
+        fingerprint = ("memory", 4242)
+        cache.put(cache.make_key("q", "certain", (), fingerprint, 5), _answer("a"))
+        cache.make_key("q", "certain", (), fingerprint, 6)  # move forward...
+        wrapped = cache.make_key("q", "certain", (), fingerprint, 5)  # ...wrap
+        assert wrapped.epoch == 1
+        assert not persistable_key(wrapped)
+
+    def test_memory_datasets_never_reach_the_persistent_file(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        persistent = PersistentAnswerCache(tmp_path / "answers.sqlite3")
+        cache = AnswerCache(persistent=persistent)
+        key = cache.make_key("q", "certain", (), ("memory", 1), 1)
+        cache.put(key, _answer("volatile"))
+        assert cache.get(key) is not None  # memory tier serves it
+        assert len(persistent) == 0
+        assert persistent.stats["stores"] == 0
+
+
+class TestPersistentTier:
+    def _two_tier(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        return AnswerCache(
+            persistent=PersistentAnswerCache(tmp_path / "answers.sqlite3")
+        )
+
+    def _csv_key(self, cache, tag="a"):
+        return cache.make_key(
+            "q", "certain", ("digest",), ("csv", f"/{tag}.csv", True, tag), None
+        )
+
+    def test_warm_restart_replays_from_disk(self, tmp_path):
+        first = self._two_tier(tmp_path)
+        key = self._csv_key(first)
+        first.put(key, _answer("a"))
+        # A fresh process: new memory tier, same file.
+        second = self._two_tier(tmp_path)
+        served = second.get(self._csv_key(second))
+        assert served is not None and served.details["tag"] == "a"
+        assert served.details["cache_tier"] == "persistent"
+        assert second.persistent.stats["hits"] == 1
+        # The hit was promoted: the next lookup is a memory hit without the
+        # tier marker (and without the promoted copy leaking the marker).
+        warm = second.get(self._csv_key(second))
+        assert warm is not None and "cache_tier" not in warm.details
+        assert second.stats["hits"] == 2
+
+    def test_compute_seconds_survive_the_round_trip(self, tmp_path):
+        first = self._two_tier(tmp_path)
+        expensive = _answer("a")
+        expensive.timings["total_s"] = 0.75
+        first.put(self._csv_key(first), expensive)
+        second = self._two_tier(tmp_path)
+        second.get(self._csv_key(second))
+        per_query = second.describe_dict()["per_query"]["q"]
+        assert per_query["saved_s"] == pytest.approx(0.75)
+
+    def test_first_writer_wins_entries_are_immutable(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        shared = tmp_path / "answers.sqlite3"
+        writer_a = AnswerCache(persistent=PersistentAnswerCache(shared))
+        writer_b = AnswerCache(persistent=PersistentAnswerCache(shared))
+        writer_a.put(self._csv_key(writer_a), _answer("first"))
+        writer_b.put(self._csv_key(writer_b), _answer("second"))
+        assert writer_b.persistent.stats["stores"] == 0  # INSERT OR IGNORE
+        reader = AnswerCache(persistent=PersistentAnswerCache(shared))
+        assert reader.get(self._csv_key(reader)).details["tag"] == "first"
+
+    def test_truncated_file_is_reset_and_cold_misses(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        path = tmp_path / "answers.sqlite3"
+        first = AnswerCache(persistent=PersistentAnswerCache(path))
+        first.put(self._csv_key(first), _answer("a"))
+        first.persistent.close()
+        # Crash-truncate the file: valid header bytes, missing pages.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 4])
+        second = AnswerCache(persistent=PersistentAnswerCache(path))
+        assert second.get(self._csv_key(second)) is None  # cold miss, no crash
+        # The tier recovered: it accepts and serves new entries.
+        second.put(self._csv_key(second, "b"), _answer("b"))
+        third = AnswerCache(persistent=PersistentAnswerCache(path))
+        assert third.get(self._csv_key(third, "b")).details["tag"] == "b"
+
+    def test_garbage_file_is_reset_on_open(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        path = tmp_path / "answers.sqlite3"
+        path.write_bytes(b"this was never a database" * 100)
+        persistent = PersistentAnswerCache(path)
+        assert persistent.enabled
+        assert persistent.stats["resets"] == 1
+        cache = AnswerCache(persistent=persistent)
+        cache.put(self._csv_key(cache), _answer("a"))
+        assert len(persistent) == 1
+
+    def test_schema_version_mismatch_resets(self, tmp_path):
+        import sqlite3
+
+        from repro.server import PersistentAnswerCache
+
+        path = tmp_path / "answers.sqlite3"
+        first = PersistentAnswerCache(path)
+        first.store(
+            AnswerCache().make_key("q", "certain", (), ("none",), None),
+            _answer("old"), 0.0,
+        )
+        first.close()
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        second = PersistentAnswerCache(path)
+        assert second.enabled and second.stats["resets"] == 1
+        assert len(second) == 0
+
+    def test_corrupt_row_is_deleted_not_served(self, tmp_path):
+        import sqlite3
+
+        from repro.server import PersistentAnswerCache
+
+        path = tmp_path / "answers.sqlite3"
+        cache = AnswerCache(persistent=PersistentAnswerCache(path))
+        key = self._csv_key(cache)
+        cache.put(key, _answer("a"))
+        cache.persistent.close()
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE answers SET envelope = '{not json'")
+        fresh = AnswerCache(persistent=PersistentAnswerCache(path))
+        assert fresh.get(self._csv_key(fresh)) is None
+        assert len(fresh.persistent) == 0  # the poisoned row is gone
+
+    def test_same_size_same_mtime_rewrite_cold_misses_through_disk(self, tmp_path):
+        """The satellite's adversary, replayed across a warm restart: the
+        rewritten file's *content* digest differs, so the persisted envelope
+        for the old content is unreachable — a cold miss, not a stale hit."""
+        from repro.server import PersistentAnswerCache
+
+        path = tmp_path / "facts.csv"
+        path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")
+        stat = path.stat()
+        db_path = tmp_path / "answers.sqlite3"
+        first = CachingSession(cache=AnswerCache(
+            persistent=PersistentAnswerCache(db_path)
+        ))
+        assert _certain(first, DatasetRef.csv(path)).verdict is True
+        # Rewrite with identical size, mtime restored exactly.
+        path.write_text("x,y\na,b\na,c\n", encoding="utf-8")
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        after = path.stat()
+        assert after.st_size == stat.st_size and after.st_mtime_ns == stat.st_mtime_ns
+        # Warm restart: fresh memory tier over the same persistent file.
+        second = CachingSession(cache=AnswerCache(
+            persistent=PersistentAnswerCache(db_path)
+        ))
+        fresh = _certain(second, DatasetRef.csv(path))
+        assert fresh.details["cache"] == "miss"
+        assert fresh.verdict is False  # the stale verdict would have been True
+
+    def test_caching_session_warm_restart_hit(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        path = tmp_path / "facts.csv"
+        path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")
+        db_path = tmp_path / "answers.sqlite3"
+        first = CachingSession(cache=AnswerCache(
+            persistent=PersistentAnswerCache(db_path)
+        ))
+        cold = _certain(first, DatasetRef.csv(path))
+        assert cold.details["cache"] == "miss"
+        second = CachingSession(cache=AnswerCache(
+            persistent=PersistentAnswerCache(db_path)
+        ))
+        warm = _certain(second, DatasetRef.csv(path))
+        assert warm.verdict is True
+        assert warm.details["cache"] == "hit"
+        assert warm.details["cache_tier"] == "persistent"
+        assert second.cache.stats["misses"] == 0
+
+    def test_clear_and_prune(self, tmp_path):
+        from repro.server import PersistentAnswerCache
+
+        persistent = PersistentAnswerCache(tmp_path / "answers.sqlite3")
+        cache = AnswerCache(persistent=persistent)
+        for tag in "abcde":
+            persistent.store(self._csv_key(cache, tag), _answer(tag), 0.0)
+        assert len(persistent) == 5
+        persistent.prune(max_entries=2)
+        assert len(persistent) == 2
+        persistent.clear()
+        assert len(persistent) == 0
+        described = persistent.describe_dict()
+        assert described["enabled"] and described["entries"] == 0

@@ -1,0 +1,357 @@
+"""The worker fleet: envelope identity, affinity, failure, drain, aggregation.
+
+The fleet's contract is that putting a dispatcher and N worker processes in
+front of the transports is *invisible* to callers: answers are identical to a
+direct session's (modulo timings), routing is an optimisation (affinity keeps
+a dataset's derived structures on one worker), and failures are absorbed
+(dead workers are retired and requests retried; fleet-wide counters never go
+backwards).  Most tests run in-process workers — a real ``JsonlServer``
+around a real ``CQAServer``, reached over real sockets, just without the
+fork — because the dispatcher only ever sees an address.  Process-level
+behaviour (spawn protocol, kill-mid-request, stdin-EOF lifetime) uses real
+``repro fleet-worker`` subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import Session, random_solution_database, request_from_json_dict
+from repro.server import CQAServer, start_jsonl_server
+from repro.server.fleet import (
+    FleetDispatcher,
+    FleetWorker,
+    _HashRing,
+    _merge_numeric,
+    spawn_fleet,
+)
+
+Q3 = "R(x|y) R(y|z)"
+
+
+# --------------------------------------------------------------------------- #
+# fixtures: in-process workers and the conformance corpus
+# --------------------------------------------------------------------------- #
+def local_worker(index: int, **server_kwargs) -> FleetWorker:
+    """A fleet worker served by an in-process CQAServer (real socket, no fork)."""
+    app = CQAServer(**server_kwargs)
+    jsonl = start_jsonl_server(app, port=0)
+
+    def teardown() -> None:
+        jsonl.shutdown()
+        jsonl.server_close()
+
+    worker = FleetWorker(index, "127.0.0.1", jsonl.port, on_close=teardown)
+    worker.app = app  # white-box access for assertions
+    return worker
+
+
+def local_fleet(count: int, **server_kwargs):
+    return [local_worker(index, **server_kwargs) for index in range(count)]
+
+
+def conformance_corpus():
+    """One seeded ``certain`` request per paper query q1..q6 (mixed verdicts)."""
+    session = Session()
+    payloads = []
+    for name in ("q1", "q2", "q3", "q4", "q5", "q6"):
+        query = session.resolve_query(name).query
+        database = random_solution_database(
+            query, solution_count=4, noise_count=2, domain_size=5,
+            rng=random.Random(7),
+        )
+        rows = [[str(value) for value in fact.values] for fact in database.facts()]
+        payloads.append({"op": "certain", "query": name, "rows": rows, "id": name})
+    return payloads
+
+
+def wire_stable(envelope: dict) -> dict:
+    """A JSON-normalised envelope with the volatile fields removed."""
+    core = json.loads(json.dumps(envelope))  # tuples -> lists, like the wire
+    core.pop("timings", None)
+    details = dict(core.get("details") or {})
+    details.pop("cache", None)
+    details.pop("cache_tier", None)
+    core["details"] = details
+    return core
+
+
+# --------------------------------------------------------------------------- #
+# envelope identity (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestEnvelopeIdentity:
+    def test_fleet_answers_equal_direct_session_over_q1_to_q6(self):
+        corpus = conformance_corpus()
+        session = Session()
+        direct = []
+        for payload in corpus:
+            direct.extend(
+                answer.to_json_dict()
+                for answer in session.answer(request_from_json_dict(payload))
+            )
+        dispatcher = FleetDispatcher(local_fleet(2, enable_cache=False))
+        try:
+            fleet = []
+            for payload in corpus:
+                fleet.extend(
+                    answer.to_json_dict()
+                    for answer in dispatcher.handle_payload(payload)
+                )
+        finally:
+            dispatcher.close()
+        assert [wire_stable(envelope) for envelope in fleet] == [
+            wire_stable(envelope) for envelope in direct
+        ]
+        # The corpus is not degenerate: both verdicts occur.
+        verdicts = {envelope["verdict"] for envelope in fleet}
+        assert verdicts == {True, False}
+
+    def test_round_trip_preserves_error_envelopes(self):
+        dispatcher = FleetDispatcher(local_fleet(1, enable_cache=False))
+        try:
+            [answer] = dispatcher.handle_payload(
+                {"op": "certain", "query": "not a query ((", "rows": [["a", "b"]]}
+            )
+        finally:
+            dispatcher.close()
+        assert not answer.ok
+        assert answer.error
+
+
+# --------------------------------------------------------------------------- #
+# routing
+# --------------------------------------------------------------------------- #
+class TestRouting:
+    def test_ring_is_deterministic_and_covers_all_workers(self):
+        ring = _HashRing([0, 1, 2, 3])
+        order = ring.ordered("csv:/data/facts.csv")
+        assert sorted(order) == [0, 1, 2, 3]
+        assert ring.ordered("csv:/data/facts.csv") == order
+        # Different keys spread over different owners.
+        owners = {ring.ordered(f"key-{index}")[0] for index in range(64)}
+        assert len(owners) == 4
+
+    def test_affinity_pins_a_dataset_to_one_worker(self):
+        workers = local_fleet(3)
+        dispatcher = FleetDispatcher(workers)
+        try:
+            payload = {"op": "certain", "query": Q3,
+                       "rows": [["a", "b"], ["b", "c"]]}
+            for _ in range(6):
+                [answer] = dispatcher.handle_payload(payload)
+                assert answer.ok
+            served = [
+                worker.app.transport_stats["requests"] for worker in workers
+            ]
+        finally:
+            dispatcher.close()
+        # All six requests landed on the same worker; the others saw none.
+        assert sorted(served) == [0, 0, 6]
+
+    def test_requests_without_a_routable_dataset_still_stick(self):
+        workers = local_fleet(2)
+        dispatcher = FleetDispatcher(workers)
+        try:
+            for _ in range(4):
+                [answer] = dispatcher.handle_payload(
+                    {"op": "classify", "query": "q3"}
+                )
+                assert answer.ok
+            served = [
+                worker.app.transport_stats["requests"] for worker in workers
+            ]
+        finally:
+            dispatcher.close()
+        assert sorted(served) == [0, 4]
+
+    def test_random_routing_spreads_requests(self):
+        workers = local_fleet(2)
+        dispatcher = FleetDispatcher(
+            workers, routing="random", rng=random.Random(3)
+        )
+        try:
+            payload = {"op": "certain", "query": Q3,
+                       "rows": [["a", "b"], ["b", "c"]]}
+            for _ in range(12):
+                [answer] = dispatcher.handle_payload(payload)
+                assert answer.ok
+            served = [
+                worker.app.transport_stats["requests"] for worker in workers
+            ]
+        finally:
+            dispatcher.close()
+        assert all(count > 0 for count in served)
+
+    def test_bad_json_line_is_an_error_envelope_not_a_crash(self):
+        dispatcher = FleetDispatcher(local_fleet(1))
+        try:
+            [answer] = dispatcher.handle_line("{oops", line_number=7)
+        finally:
+            dispatcher.close()
+        assert not answer.ok and "line 7" in answer.error
+        assert dispatcher.transport_stats["errors"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# drain / reload
+# --------------------------------------------------------------------------- #
+class TestDrainReload:
+    def test_drain_routes_around_the_worker_and_readmits(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text("x,y\na,b\nb,c\n", encoding="utf-8")  # certain: True
+        workers = local_fleet(2)
+        dispatcher = FleetDispatcher(workers)
+        payload = {"op": "certain", "query": Q3, "csv": str(path)}
+        try:
+            [before] = dispatcher.handle_payload(payload)
+            assert before.verdict is True
+            owner = dispatcher.owner_of(dispatcher._routing_key(payload))
+            other = next(w for w in workers if w is not owner)
+            baseline = other.app.transport_stats["requests"]
+            with dispatcher.drain(owner.index):
+                # Reload: rewrite the owner's dataset while it is quiescent.
+                path.write_text("x,y\na,b\na,c\n", encoding="utf-8")  # False
+                # Traffic during the drain is served by the other worker.
+                [during] = dispatcher.handle_payload(payload)
+                assert during.ok and during.verdict is False
+                assert other.app.transport_stats["requests"] == baseline + 1
+            # Re-admitted: the owner serves its stripe again, and the new
+            # content's fingerprint makes the old cache entry unreachable.
+            [after] = dispatcher.handle_payload(payload)
+            assert after.ok and after.verdict is False
+            assert all(worker.alive for worker in workers)
+            assert dispatcher.transport_stats["worker_deaths"] == 0
+            assert dispatcher.transport_stats["drains"] == 1
+        finally:
+            dispatcher.close()
+
+    def test_drain_of_the_only_worker_blocks_instead_of_dropping(self):
+        """With every worker draining, dispatch waits for re-admission."""
+        import threading
+
+        dispatcher = FleetDispatcher(local_fleet(1))
+        payload = {"op": "certain", "query": Q3, "rows": [["a", "b"]]}
+        results = []
+        try:
+            with dispatcher.drain(0):
+                thread = threading.Thread(
+                    target=lambda: results.extend(
+                        dispatcher.handle_payload(payload)
+                    )
+                )
+                thread.start()
+                thread.join(timeout=0.3)
+                assert thread.is_alive()  # parked on the drained worker
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            dispatcher.close()
+        assert results and results[0].ok
+
+
+# --------------------------------------------------------------------------- #
+# subprocess workers: spawn protocol, death, retry, monotonic totals
+# --------------------------------------------------------------------------- #
+class TestSubprocessFleet:
+    def test_kill_worker_mid_stream_is_retried_and_totals_stay_monotone(
+        self, tmp_path
+    ):
+        workers = spawn_fleet(2, cache_db=str(tmp_path / "answers.sqlite3"))
+        dispatcher = FleetDispatcher(workers)
+        payload = {"op": "certain", "query": Q3,
+                   "rows": [["a", "b"], ["b", "c"]]}
+        try:
+            [first] = dispatcher.handle_payload(payload)
+            assert first.ok and first.verdict is True
+            before = dispatcher.stats()
+            victim = next(w for w in workers if w.dispatched > 0)
+            victim.process.kill()
+            victim.process.wait(timeout=10)
+            [retried] = dispatcher.handle_payload(payload)
+            assert retried.ok and retried.verdict is True
+            assert dispatcher.transport_stats["retries"] >= 1
+            assert dispatcher.transport_stats["worker_deaths"] == 1
+            assert not victim.alive and victim.error
+            after = dispatcher.stats()
+            # The dead worker's work is retained: fleet totals never shrink.
+            assert (
+                after["totals"]["transport"]["requests"]
+                >= before["totals"]["transport"]["requests"]
+            )
+            assert after["fleet"]["alive"] == 1
+            rows = {row["index"]: row for row in after["workers"]}
+            assert rows[victim.index]["alive"] is False
+        finally:
+            dispatcher.close()
+
+    def test_restart_worker_rejoins_the_ring(self, tmp_path):
+        workers = spawn_fleet(1, cache_db=str(tmp_path / "answers.sqlite3"))
+        dispatcher = FleetDispatcher(workers)
+        payload = {"op": "certain", "query": Q3,
+                   "rows": [["a", "b"], ["b", "c"]]}
+        try:
+            [first] = dispatcher.handle_payload(payload)
+            assert first.ok
+            old_pid = workers[0].pid
+            replacement = dispatcher.restart_worker(0)
+            assert replacement.pid != old_pid
+            [again] = dispatcher.handle_payload(payload)
+            assert again.ok and again.verdict is True
+            # The replacement shares the persistent tier, so the restarted
+            # process replays the envelope instead of recomputing it.
+            assert again.details.get("cache") == "hit"
+            assert again.details.get("cache_tier") == "persistent"
+        finally:
+            dispatcher.close()
+
+
+# --------------------------------------------------------------------------- #
+# stats aggregation
+# --------------------------------------------------------------------------- #
+class TestStatsAggregation:
+    def test_stats_op_envelope_has_fleet_shape(self):
+        dispatcher = FleetDispatcher(local_fleet(2))
+        try:
+            dispatcher.handle_payload(
+                {"op": "certain", "query": Q3, "rows": [["a", "b"]]}
+            )
+            [envelope] = dispatcher.handle_payload({"op": "stats", "id": "s1"})
+        finally:
+            dispatcher.close()
+        assert envelope.op == "stats" and envelope.request_id == "s1"
+        details = envelope.details
+        assert details["fleet"]["workers"] == 2
+        assert len(details["workers"]) == 2
+        assert details["totals"]["transport"]["requests"] >= 1
+        assert details["transport"]["dispatched"] >= 1
+        # The single-server stats shape is preserved for existing clients.
+        assert "cache" in details and "derived_cache" in details
+
+    def test_cache_totals_sum_counters_and_recompute_hit_rate(self):
+        dispatcher = FleetDispatcher(local_fleet(2))
+        payload = {"op": "certain", "query": Q3,
+                   "rows": [["a", "b"], ["b", "c"]]}
+        try:
+            dispatcher.handle_payload(payload)  # miss + store
+            dispatcher.handle_payload(payload)  # hit
+            stats = dispatcher.stats()
+        finally:
+            dispatcher.close()
+        cache = stats["cache"]
+        assert cache["hits"] == 1 and cache["misses"] == 1
+        assert cache["hit_rate"] == pytest.approx(0.5)
+
+    def test_merge_numeric_sums_leaves_and_keeps_first_labels(self):
+        totals = {}
+        _merge_numeric(totals, {"a": 1, "nested": {"b": 2.5}, "label": "x"})
+        _merge_numeric(totals, {"a": 2, "nested": {"b": 1.0}, "label": "y"})
+        assert totals == {"a": 3, "nested": {"b": 3.5}, "label": "x"}
+
+    def test_empty_fleet_is_rejected(self):
+        with pytest.raises(ValueError):
+            FleetDispatcher([])
+        with pytest.raises(ValueError):
+            FleetDispatcher(local_fleet(1), routing="sideways")

@@ -510,3 +510,143 @@ def test_scored_strategy_json_shape():
     assert payload["strategy"] == "x" and payload["eligible"] is True
     assert payload["cost"]["workers"] == 2
     assert payload["cost"]["predicted_speedup"] == 1.7
+
+
+# --------------------------------------------------------------------------- #
+# cost-model refitting from observed strategy timings (PR 7, `repro calibrate`)
+# --------------------------------------------------------------------------- #
+def _timing(predicted_s, observed_s, requests=4):
+    return {
+        "requests": requests,
+        "answers": requests,
+        "facts": requests * 100,
+        "predicted_s": predicted_s,
+        "observed_s": observed_s,
+    }
+
+
+class TestRefitFromTimings:
+    @pytest.mark.parametrize(
+        "strategy, predicted, observed, expect_ratio, expect_flagged",
+        [
+            # Perfectly calibrated: constants untouched, nothing flagged.
+            ("indexed-memory", 1.0, 1.0, 1.0, False),
+            # Mild drift inside the 2x window: rescaled but not flagged.
+            ("indexed-memory", 1.0, 1.5, 1.5, False),
+            ("sqlite-pushdown", 1.0, 0.6, 0.6, False),
+            # Past the window, both directions: flagged.
+            ("indexed-memory", 1.0, 2.5, 2.5, True),
+            ("sharded-pool", 2.0, 0.5, 0.25, True),
+            # Wild drift clamps at the 8x refit ceiling but stays flagged.
+            ("answer-cache", 0.01, 1.0, 8.0, True),
+            ("answer-cache", 1.0, 0.001, 1.0 / 8.0, True),
+        ],
+    )
+    def test_drift_table(
+        self, strategy, predicted, observed, expect_ratio, expect_flagged
+    ):
+        from repro.service.costmodel import (
+            REFIT_TARGETS,
+            CostModel,
+            refit_from_timings,
+        )
+
+        base = CostModel()
+        model, drifts = refit_from_timings(
+            {strategy: _timing(predicted, observed)}, model=base
+        )
+        [drift] = drifts
+        assert drift.strategy == strategy
+        assert drift.ratio == pytest.approx(expect_ratio)
+        assert drift.flagged is expect_flagged
+        # Exactly that strategy's constants were rescaled by the ratio...
+        for name in REFIT_TARGETS[strategy]:
+            assert getattr(model, name) == pytest.approx(
+                getattr(base, name) * expect_ratio
+            )
+        # ...and every other constant is untouched.
+        touched = set(REFIT_TARGETS[strategy])
+        for name, value in base.to_json_dict().items():
+            if name not in touched:
+                assert getattr(model, name) == value
+
+    def test_multiple_strategies_refit_independently_and_sort_by_drift(self):
+        from repro.service.costmodel import CostModel, refit_from_timings
+
+        base = CostModel()
+        _, drifts = refit_from_timings(
+            {
+                "indexed-memory": _timing(1.0, 1.1),
+                "sqlite-pushdown": _timing(1.0, 3.0),
+                "sharded-pool": _timing(1.0, 0.4),
+            },
+            model=base,
+        )
+        assert [drift.strategy for drift in drifts] == [
+            "sqlite-pushdown",  # 3.0x off
+            "sharded-pool",  # 2.5x off (1/0.4)
+            "indexed-memory",  # 1.1x off
+        ]
+        assert [drift.flagged for drift in drifts] == [True, True, False]
+
+    def test_unknown_and_malformed_rows_never_move_the_model(self):
+        from repro.service.costmodel import CostModel, refit_from_timings
+
+        base = CostModel()
+        model, drifts = refit_from_timings(
+            {
+                # A registry strategy the model has no constants for: its
+                # drift is still *reported* (flagged, no constants touched).
+                "no-such-strategy": _timing(1.0, 5.0),
+                "indexed-memory": {"requests": 0, "predicted_s": 1, "observed_s": 9},
+                "sqlite-pushdown": _timing(0.0, 5.0),  # no prediction to compare
+                "sharded-pool": "garbage",
+            },
+            model=base,
+        )
+        [drift] = drifts
+        assert drift.strategy == "no-such-strategy"
+        assert drift.flagged and drift.constants == ()
+        assert model.to_json_dict() == base.to_json_dict()
+
+    def test_empty_timings_return_the_base_model(self):
+        from repro.service.costmodel import CostModel, refit_from_timings
+
+        base = CostModel()
+        model, drifts = refit_from_timings({}, model=base)
+        assert drifts == [] and model.to_json_dict() == base.to_json_dict()
+
+    def test_drift_json_shape(self):
+        from repro.service.costmodel import refit_from_timings
+
+        _, [drift] = refit_from_timings({"indexed-memory": _timing(1.0, 3.0)})
+        payload = drift.to_json_dict()
+        assert payload["strategy"] == "indexed-memory"
+        assert payload["ratio"] == pytest.approx(3.0)
+        assert payload["flagged"] is True
+        assert "engine_setup_s" in payload["constants"]
+
+    def test_session_records_observed_vs_predicted_timings(self):
+        session = Session(planner=Planner(default_workers=1))
+        [answer] = session.answer(
+            Request(op="certain", query=Q3, datasets=memory_refs(1))
+        )
+        assert answer.ok
+        timings = session.strategy_timings
+        [(strategy, row)] = timings.items()
+        assert row["requests"] == 1 and row["answers"] == 1
+        assert row["predicted_s"] > 0 and row["observed_s"] > 0
+        # The recorded rows feed refit_from_timings directly.
+        from repro.service.costmodel import refit_from_timings
+
+        _, drifts = refit_from_timings(timings)
+        assert [drift.strategy for drift in drifts] == [strategy]
+
+    def test_remote_dispatch_cost_scales_with_batch(self):
+        from repro.service.costmodel import CostModel
+
+        model = CostModel()
+        assert model.remote_dispatch_cost() == model.dispatch_rtt_s
+        assert model.remote_dispatch_cost(8) == pytest.approx(
+            8 * model.dispatch_rtt_s
+        )
