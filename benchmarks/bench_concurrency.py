@@ -156,6 +156,7 @@ def test_concurrent_vs_locked_throughput():
         "Experiment V.a — mixed reads: striped SessionPool vs single-lock server",
         ["requests", "threads", "cores", "locked (s)", "concurrent (s)",
          "peak overlap", "speedup"],
+        core_gated=True,
     )
     report.add(
         requests=_REQUESTS,

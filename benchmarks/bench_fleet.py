@@ -268,6 +268,7 @@ def test_throughput_one_vs_many_workers():
         "Experiment VII.c — sustained throughput: 1 worker vs "
         f"{_WORKERS} workers (uncached)",
         ["requests", "1-worker req/s", "fleet req/s", "speedup", "cores"],
+        core_gated=True,
     )
     cores = os.cpu_count() or 1
     report.add(

@@ -355,6 +355,7 @@ def test_parallel_vs_sequential_batch():
     report = ExperimentReport(
         "Experiment II.b — explain_many: sharded workers vs sequential stream",
         ["query", "databases", "workers", "cores", "sequential (s)", "parallel (s)", "speedup"],
+        core_gated=True,
     )
     cores = os.cpu_count() or 1
     report.add(

@@ -179,12 +179,30 @@ _SERVER_EXPORTS = frozenset(
     }
 )
 
+#: Catalog and workload symbols, also lazy: sqlite3 connections and trace
+#: synthesis are opt-in subsystems, not part of the core import cost.
+_CATALOG_EXPORTS = frozenset(
+    {"CatalogError", "CatalogService", "CatalogStore"}
+)
+_WORKLOAD_EXPORTS = frozenset(
+    {"ReplayReport", "TraceSpec", "generate_trace", "read_trace", "replay",
+     "write_trace"}
+)
+
 
 def __getattr__(name):
     if name in _SERVER_EXPORTS:
         from . import server
 
         return getattr(server, name)
+    if name in _CATALOG_EXPORTS:
+        from . import catalog
+
+        return getattr(catalog, name)
+    if name in _WORKLOAD_EXPORTS:
+        from . import workload
+
+        return getattr(workload, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -239,5 +257,9 @@ __all__ = [
     "CQAServer", "CachingSession", "AnswerCache",  # noqa: F822
     "FleetDispatcher", "PersistentAnswerCache", "spawn_fleet",  # noqa: F822
     "start_http_server", "start_jsonl_server",  # noqa: F822
+    # catalog and workload subsystems (lazy as well)
+    "CatalogService", "CatalogStore", "CatalogError",  # noqa: F822
+    "TraceSpec", "generate_trace", "write_trace", "read_trace",  # noqa: F822
+    "replay", "ReplayReport",  # noqa: F822
     "__version__",
 ]

@@ -10,6 +10,7 @@ the exact oracle.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -28,11 +29,21 @@ class ExperimentRow:
 
 @dataclass
 class ExperimentReport:
-    """A named collection of rows with a tabular rendering."""
+    """A named collection of rows with a tabular rendering.
+
+    Every report records the machine's ``cpu_count`` and whether the
+    experiment is ``core_gated`` — its headline ratio depends on having
+    multiple cores (process fleets, worker pools, concurrent clients).  A
+    committed parallel baseline measured on a 1-core container would
+    otherwise read as a regression everywhere.
+    """
 
     title: str
     columns: Sequence[str]
     rows: List[ExperimentRow] = field(default_factory=list)
+    #: True when the headline result needs >1 core to materialise.
+    core_gated: bool = False
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
 
     def add(self, **values: object) -> None:
         self.rows.append(ExperimentRow(values))
@@ -54,6 +65,12 @@ class ExperimentReport:
             lines.append(
                 "  ".join(rendered[column].ljust(widths[column]) for column in self.columns)
             )
+        if self.core_gated:
+            lines.append(
+                f"[cpu_count={self.cpu_count}; core-gated: parallel ratios "
+                "need >1 core — on a 1-core machine <1x is expected, "
+                "not a regression]"
+            )
         return "\n".join(lines)
 
     def print(self) -> None:  # pragma: no cover - console convenience
@@ -64,6 +81,8 @@ class ExperimentReport:
         return {
             "title": self.title,
             "columns": list(self.columns),
+            "cpu_count": self.cpu_count,
+            "core_gated": self.core_gated,
             "rows": [
                 {column: row.values.get(column) for column in self.columns}
                 for row in self.rows

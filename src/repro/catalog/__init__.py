@@ -1,0 +1,22 @@
+"""Multi-tenant dataset catalog with ingest provenance.
+
+Named tenants register named datasets; every load, CSV import and delta
+batch records an import session (source, checksum, counts, timestamp); facts
+carry the id of the session that introduced them; and answered envelopes
+gain a ``details["provenance"]`` block tracing the falsifying repair back to
+its ingests.  See :mod:`repro.catalog.service` for the model and
+:mod:`repro.catalog.store` for the SQLite file discipline.
+"""
+
+from .service import CATALOG_ACTIONS, CATALOG_OP, CatalogService, split_spec
+from .store import CatalogError, CatalogStore, row_key
+
+__all__ = [
+    "CATALOG_ACTIONS",
+    "CATALOG_OP",
+    "CatalogError",
+    "CatalogService",
+    "CatalogStore",
+    "row_key",
+    "split_spec",
+]

@@ -32,6 +32,18 @@ Commands
     Refit the planner's cost-model constants from the observed-vs-predicted
     strategy timings a server has accumulated, and flag strategies whose
     predictions drift past a threshold.
+``catalog``
+    Manage the multi-tenant dataset catalog: create tenants and datasets,
+    list them, import CSV files (every import records a provenance session),
+    show a dataset's import history.
+``workload``
+    Synthesise a seeded public-scale trace: Zipf-skewed query popularity,
+    tenant hot spots, interleaved delta bursts and adversarial cache-busting
+    rewrites, written as a portable JSONL file.
+``replay``
+    Fire a trace at any transport — an in-process server, a local fleet, a
+    JSONL socket or an HTTP endpoint — with open-loop pacing, and report
+    latency percentiles, per-tier cache hits and provenance coverage.
 
 The CLI is a thin client of the service layer
 (:class:`~repro.service.session.Session`): every command builds typed
@@ -143,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--cache-db", default=None, metavar="PATH",
                               help="SQLite file backing the persistent answer-cache "
                               "tier (shared by every fleet worker; survives restarts)")
+    serve_parser.add_argument("--catalog", default=None, metavar="PATH",
+                              help="SQLite dataset catalog: enables the 'catalog' "
+                              "wire op and tenant/name dataset addressing "
+                              "(shared by every fleet worker)")
 
     client_parser = subparsers.add_parser(
         "client", help="send requests to a running server (JSONL socket or HTTP)"
@@ -171,6 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument("--no-cache", action="store_true")
     worker_parser.add_argument("--workers", type=int, default=None, metavar="N",
                                help="cap this worker's planner pool")
+    worker_parser.add_argument("--catalog", default=None, metavar="PATH",
+                               help="SQLite dataset catalog shared with the fleet")
 
     status_parser = subparsers.add_parser(
         "fleet-status", help="render a running server's or fleet's stats"
@@ -203,6 +221,118 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="exit 1 if any strategy drifts past the threshold")
     calibrate_parser.add_argument("--json", action="store_true",
                                   help="emit the refit constants and drift table as JSON")
+
+    catalog_parser = subparsers.add_parser(
+        "catalog", help="manage the multi-tenant dataset catalog"
+    )
+    catalog_sub = catalog_parser.add_subparsers(dest="catalog_command", required=True)
+    catalog_create = catalog_sub.add_parser(
+        "create", help="create a tenant (NAME) or a dataset (TENANT/NAME)"
+    )
+    catalog_create.add_argument("spec",
+                                help="a tenant name, or TENANT/NAME for a dataset")
+    catalog_ls = catalog_sub.add_parser(
+        "ls", help="list tenants and datasets (with fact/session counts)"
+    )
+    catalog_ls.add_argument("tenant", nargs="?", default=None,
+                            help="restrict the dataset listing to one tenant")
+    catalog_ingest = catalog_sub.add_parser(
+        "ingest", help="import a CSV file into a dataset (records provenance)"
+    )
+    catalog_ingest.add_argument("spec", help="the dataset as TENANT/NAME")
+    catalog_ingest.add_argument("csv", help="CSV file with one column per position")
+    catalog_ingest.add_argument("--no-header", action="store_true",
+                                help="the CSV file has no header row")
+    catalog_history = catalog_sub.add_parser(
+        "history", help="show a dataset's import sessions (provenance trail)"
+    )
+    catalog_history.add_argument("spec", help="the dataset as TENANT/NAME")
+    for sub in (catalog_create, catalog_ls, catalog_ingest, catalog_history):
+        sub.add_argument("--catalog", default="catalog.sqlite3", metavar="PATH",
+                         help="the catalog SQLite file (default catalog.sqlite3)")
+        sub.add_argument("--json", action="store_true",
+                         help="emit the raw result as JSON")
+
+    workload_parser = subparsers.add_parser(
+        "workload", help="synthesise a seeded JSONL request trace"
+    )
+    workload_parser.add_argument("out", help="trace file to write (JSONL)")
+    workload_parser.add_argument("--requests", type=int, default=1000, metavar="N",
+                                 help="traffic request count (default 1000)")
+    workload_parser.add_argument("--seed", type=int, default=0,
+                                 help="trace seed (same spec + seed => same trace)")
+    workload_parser.add_argument("--mode", choices=("catalog", "rows"),
+                                 default="catalog",
+                                 help="'catalog' addresses tenant/name datasets "
+                                 "(self-contained preamble); 'rows' inlines "
+                                 "every dataset's rows per request")
+    workload_parser.add_argument("--queries", default="q1,q2,q3,q4,q5,q6",
+                                 metavar="NAMES",
+                                 help="comma-separated paper queries to draw from")
+    workload_parser.add_argument("--query-skew", type=float, default=1.2, metavar="S",
+                                 help="Zipf exponent over query popularity "
+                                 "(0 = uniform; default 1.2)")
+    workload_parser.add_argument("--tenants", type=int, default=3, metavar="N",
+                                 help="tenant count (default 3)")
+    workload_parser.add_argument("--datasets-per-tenant", type=int, default=2,
+                                 metavar="N", help="datasets per tenant (default 2)")
+    workload_parser.add_argument("--tenant-skew", type=float, default=1.2,
+                                 metavar="S",
+                                 help="Zipf exponent over dataset popularity "
+                                 "(0 = uniform; default 1.2)")
+    workload_parser.add_argument("--solutions", type=int, default=30, metavar="N",
+                                 help="solution pairs per generated dataset "
+                                 "(size scale; default 30)")
+    workload_parser.add_argument("--rate", type=float, default=200.0, metavar="RPS",
+                                 help="offered rate for the open-loop 'at' "
+                                 "schedule (default 200)")
+    workload_parser.add_argument("--delta-every", type=int, default=0, metavar="N",
+                                 help="every N requests, one delta burst on a hot "
+                                 "dataset (default 0 = none)")
+    workload_parser.add_argument("--delta-size", type=int, default=2, metavar="N",
+                                 help="rows added and removed per delta burst")
+    workload_parser.add_argument("--rewrite-fraction", type=float, default=0.0,
+                                 metavar="F",
+                                 help="fraction of requests that are adversarial "
+                                 "cache-busting rewrites (default 0)")
+    workload_parser.add_argument("--json", action="store_true",
+                                 help="emit the trace metadata as JSON")
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="fire a trace at a transport and measure it"
+    )
+    replay_parser.add_argument("trace", help="a trace (or any JSONL workload) file")
+    replay_parser.add_argument("--socket", metavar="HOST:PORT", default=None,
+                               help="replay against a running JSONL socket server")
+    replay_parser.add_argument("--http", metavar="URL", default=None,
+                               help="replay against a running HTTP server")
+    replay_parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                               help="spawn an N-worker fleet for the replay "
+                               "(torn down afterwards)")
+    replay_parser.add_argument("--catalog", default=None, metavar="PATH",
+                               help="catalog SQLite file for --fleet/direct replays "
+                               "(default: a throwaway temporary catalog)")
+    replay_parser.add_argument("--cache-db", default=None, metavar="PATH",
+                               help="persistent answer-cache tier for "
+                               "--fleet/direct replays")
+    replay_parser.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                               help="answer-cache capacity (default 1024)")
+    replay_parser.add_argument("--no-cache", action="store_true",
+                               help="disable the answer cache (direct/--fleet)")
+    replay_parser.add_argument("--speed", type=float, default=0.0, metavar="X",
+                               help="open-loop pacing: 1 = trace time, 2 = double "
+                               "speed, 0 = as fast as possible (default)")
+    replay_parser.add_argument("--concurrency", type=int, default=1, metavar="N",
+                               help="in-flight request cap (default 1 = strictly "
+                               "sequential, deterministic)")
+    replay_parser.add_argument("--verify-sample", type=int, default=0, metavar="N",
+                               help="after the replay, re-answer N sampled query "
+                               "lines on a fresh direct session and fail on any "
+                               "verdict mismatch")
+    replay_parser.add_argument("--json", action="store_true",
+                               help="emit the replay report as JSON")
+    replay_parser.add_argument("--out", metavar="PATH", default=None,
+                               help="also write the JSON report to a file")
     return parser
 
 
@@ -438,6 +568,7 @@ def _run_serve(args) -> int:
             cache_size=args.cache_size,
             no_cache=args.no_cache,
             default_workers=args.workers if args.workers else None,
+            catalog=args.catalog,
         )
         server = fleet = FleetDispatcher(workers)
         ports = ", ".join(str(worker.port) for worker in workers)
@@ -452,6 +583,7 @@ def _run_serve(args) -> int:
             # passing it through would instead cap the pool at one worker.
             default_workers=args.workers if args.workers else None,
             persistent_path=args.cache_db,
+            catalog_path=args.catalog,
         )
     background = []
     try:
@@ -508,6 +640,30 @@ def _render_client_envelopes(envelopes, as_json: bool) -> int:
     return 0 if all(envelope.get("ok", False) for envelope in envelopes) else 1
 
 
+def _client_errors():
+    """The exception classes every network client call can surface.
+
+    ``http.client.HTTPException`` (a dead port answering garbage, a JSONL
+    socket dialled with ``--http``, a truncated response) is neither an
+    ``OSError`` nor a ``ValueError`` — without it a wrong ``--http`` target
+    escapes as a raw ``BadStatusLine`` traceback instead of a one-line error.
+    """
+    import http.client
+
+    return (OSError, ValueError, http.client.HTTPException)
+
+
+def _describe_client_error(error) -> str:
+    """One readable line for a failed client call.
+
+    A ``BadStatusLine`` carries the server's whole first response line (for
+    a JSONL server dialled with ``--http``, a full error envelope) — keep
+    the diagnosis, drop the dump.
+    """
+    text = " ".join(str(error).split()) or type(error).__name__
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
 def _run_client(args) -> int:
     from .server.client import (
         call_http,
@@ -537,8 +693,10 @@ def _run_client(args) -> int:
         else:
             host, port = parse_host_port(args.socket)
             envelopes = call_jsonl(host, port, workload_lines(args.requests))
-    except (OSError, ValueError) as error:
-        print(f"client error: {error}", file=sys.stderr)
+    except _client_errors() as error:
+        target = args.http if args.http is not None else args.socket
+        print(f"client: cannot reach server at {target}: "
+              f"{_describe_client_error(error)}", file=sys.stderr)
         return 2
     return _render_client_envelopes(envelopes, args.json)
 
@@ -560,6 +718,7 @@ def _run_fleet_worker(args) -> int:
         enable_cache=not args.no_cache,
         default_workers=args.workers if args.workers else None,
         persistent_path=args.cache_db,
+        catalog_path=args.catalog,
     )
     jsonl_server = start_jsonl_server(server, host=args.host, port=args.port)
     print(json.dumps({"ready": True, "port": jsonl_server.port, "pid": os.getpid()}),
@@ -586,8 +745,10 @@ def _run_fleet_status(args) -> int:
             envelope = fetch_stats(http_url=args.http)
         else:
             envelope = fetch_stats(jsonl_address=parse_host_port(args.socket))
-    except (OSError, ValueError) as error:
-        print(f"fleet-status error: {error}", file=sys.stderr)
+    except _client_errors() as error:
+        target = args.http if args.http is not None else args.socket
+        print(f"fleet-status: cannot reach server at {target}: "
+              f"{_describe_client_error(error)}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(envelope))
@@ -642,8 +803,14 @@ def _run_calibrate(args) -> int:
                 envelope = fetch_stats(http_url=args.http)
             else:
                 envelope = fetch_stats(jsonl_address=parse_host_port(args.socket))
-    except (OSError, ValueError) as error:
-        print(f"calibrate error: {error}", file=sys.stderr)
+    except _client_errors() as error:
+        if args.stats is not None:
+            print(f"calibrate: cannot read stats file {args.stats!r}: {error}",
+                  file=sys.stderr)
+        else:
+            target = args.http if args.http is not None else args.socket
+            print(f"calibrate: cannot reach server at {target}: "
+                  f"{_describe_client_error(error)}", file=sys.stderr)
         return 2
     details = envelope.get("details", envelope) if isinstance(envelope, dict) else {}
     timings = details.get("strategy_timings")
@@ -696,6 +863,252 @@ def _run_calibrate(args) -> int:
     return 0
 
 
+def _run_catalog(args) -> int:
+    from .catalog import CatalogError, CatalogService, split_spec
+
+    service = CatalogService(args.catalog)
+    try:
+        if args.catalog_command == "create":
+            if "/" in args.spec:
+                created = service.create_dataset(args.spec)
+                result: object = {"created": created}
+                text = (f"created dataset {created['tenant']}/{created['name']} "
+                        f"(id {created['id']})")
+            else:
+                created = service.create_tenant(args.spec)
+                result = {"created": created}
+                text = f"created tenant {created['name']} (id {created['id']})"
+            lines = [text]
+        elif args.catalog_command == "ls":
+            datasets = service.datasets(args.tenant)
+            result = {"tenants": service.tenants(), "datasets": datasets}
+            lines = [
+                f"{row['tenant']}/{row['name']}: {row['facts']} facts, "
+                f"{row['import_sessions']} import sessions"
+                for row in datasets
+            ] or ["(no datasets)"]
+        elif args.catalog_command == "ingest":
+            session = service.ingest_csv(
+                args.spec, args.csv, has_header=not args.no_header
+            )
+            result = {"import_session": session}
+            lines = [
+                f"session {session['id']}: +{session['facts_added']} "
+                f"-{session['facts_removed']} facts "
+                f"({session['fact_count']} total) "
+                f"checksum={session['checksum'][:12]}"
+            ]
+        else:  # history
+            split_spec(args.spec)  # fail fast on a malformed spec
+            sessions = service.history(args.spec)
+            result = {"dataset": args.spec, "import_sessions": sessions}
+            lines = [
+                f"session {row['id']} [{row['kind']}] {row['source']}: "
+                f"+{row['facts_added']} -{row['facts_removed']} "
+                f"({row['fact_count']} total) checksum={row['checksum'][:12]}"
+                for row in sessions
+            ] or ["(no import sessions)"]
+    except CatalogError as error:
+        print(f"catalog error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    if args.json:
+        print(json.dumps(result))
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _run_workload(args) -> int:
+    from .workload import TraceSpec, write_trace
+
+    try:
+        spec = TraceSpec(
+            requests=args.requests,
+            seed=args.seed,
+            mode=args.mode,
+            queries=tuple(
+                name.strip() for name in args.queries.split(",") if name.strip()
+            ),
+            query_skew=args.query_skew,
+            tenants=args.tenants,
+            datasets_per_tenant=args.datasets_per_tenant,
+            tenant_skew=args.tenant_skew,
+            solutions=args.solutions,
+            rate=args.rate,
+            delta_every=args.delta_every,
+            delta_size=args.delta_size,
+            rewrite_fraction=args.rewrite_fraction,
+        )
+        meta, count = write_trace(args.out, spec)
+    except ValueError as error:
+        print(f"workload: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"workload: cannot write {args.out!r}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(meta))
+    else:
+        print(f"wrote {args.out}: {count} lines "
+              f"({spec.requests} requests, seed {spec.seed}, mode {spec.mode})")
+    return 0
+
+
+def _run_replay(args) -> int:
+    import os
+    import tempfile
+
+    from .workload import (
+        compare_verdicts,
+        direct_sender,
+        http_sender,
+        jsonl_sender,
+        read_trace,
+        replay,
+        sample_indices,
+    )
+
+    remote_targets = sum(
+        1 for target in (args.socket, args.http, args.fleet) if target is not None
+    )
+    if remote_targets > 1:
+        print("replay needs at most one of --socket, --http or --fleet",
+              file=sys.stderr)
+        return 2
+    if args.concurrency < 1:
+        print("--concurrency must be positive", file=sys.stderr)
+        return 2
+    try:
+        meta, payloads = read_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"replay: cannot read trace {args.trace!r}: {error}", file=sys.stderr)
+        return 2
+    if not payloads:
+        print(f"replay: trace {args.trace!r} has no request lines", file=sys.stderr)
+        return 2
+
+    # Catalog-addressed traces need a catalog behind a direct/--fleet replay;
+    # a throwaway file keeps `repro replay trace.jsonl` self-contained.
+    needs_catalog = any(
+        payload.get("dataset") is not None or payload.get("op") == "catalog"
+        for payload in payloads
+    )
+    tempdir: Optional[tempfile.TemporaryDirectory] = None
+
+    def local_catalog() -> Optional[str]:
+        nonlocal tempdir
+        if args.catalog is not None:
+            return args.catalog
+        if not needs_catalog:
+            return None
+        if tempdir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-replay-")
+        return os.path.join(tempdir.name, "catalog.sqlite3")
+
+    fleet = None
+    try:
+        if args.socket is not None:
+            from .server.client import parse_host_port
+
+            host, port = parse_host_port(args.socket)
+            sender = jsonl_sender(host, port)
+        elif args.http is not None:
+            sender = http_sender(args.http)
+        elif args.fleet is not None:
+            if args.fleet < 1:
+                print("--fleet must be positive", file=sys.stderr)
+                return 2
+            from .server.fleet import FleetDispatcher, spawn_fleet
+
+            fleet = FleetDispatcher(spawn_fleet(
+                args.fleet,
+                cache_db=args.cache_db,
+                cache_size=args.cache_size,
+                no_cache=args.no_cache,
+                catalog=local_catalog(),
+            ))
+            sender = direct_sender(fleet)
+        else:
+            from .server import CQAServer
+
+            sender = direct_sender(CQAServer(
+                cache_entries=args.cache_size,
+                enable_cache=not args.no_cache,
+                persistent_path=args.cache_db,
+                catalog_path=local_catalog(),
+            ))
+        try:
+            report = replay(
+                payloads, sender, speed=args.speed, concurrency=args.concurrency
+            )
+        except _client_errors() as error:
+            target = args.http if args.http is not None else args.socket
+            print(f"replay: cannot reach server at {target}: "
+                  f"{_describe_client_error(error)}", file=sys.stderr)
+            return 2
+
+        verification = None
+        if args.verify_sample:
+            # Fidelity check: the same trace, sequentially, on a fresh direct
+            # server with its own fresh catalog — import-session ids and
+            # verdicts must agree with what the measured transport answered.
+            from .server import CQAServer
+
+            if tempdir is not None:
+                tempdir.cleanup()
+                tempdir = None
+            reference_dir = tempfile.TemporaryDirectory(prefix="repro-replay-ref-")
+            try:
+                reference_server = CQAServer(
+                    enable_cache=False,
+                    catalog_path=(
+                        os.path.join(reference_dir.name, "catalog.sqlite3")
+                        if needs_catalog else None
+                    ),
+                )
+                reference = replay(
+                    payloads, direct_sender(reference_server), concurrency=1
+                )
+            finally:
+                reference_dir.cleanup()
+            indices = sample_indices(payloads, args.verify_sample, seed=0)
+            verification = compare_verdicts(report, reference, indices)
+    finally:
+        if fleet is not None:
+            fleet.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+
+    stats = report.to_json_dict()
+    if meta is not None:
+        stats["trace"] = meta
+    if verification is not None:
+        stats["verification"] = verification
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(stats))
+    else:
+        print(report.render())
+        if verification is not None:
+            print(f"fidelity  : {verification['agreements']}"
+                  f"/{verification['sampled']} sampled verdicts agree "
+                  "with a fresh direct session")
+    if verification is not None and verification["mismatches"]:
+        if not args.json:
+            for mismatch in verification["mismatches"][:5]:
+                print(f"  mismatch at line {mismatch['index']}: "
+                      f"observed={mismatch['observed']} "
+                      f"reference={mismatch['reference']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -710,6 +1123,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet-worker": _run_fleet_worker,
         "fleet-status": _run_fleet_status,
         "calibrate": _run_calibrate,
+        "catalog": _run_catalog,
+        "workload": _run_workload,
+        "replay": _run_replay,
     }
     return handlers[args.command](args)
 

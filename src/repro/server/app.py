@@ -38,6 +38,7 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from ..catalog.service import CATALOG_OP, CatalogError
 from ..db.fact_store import derived_cache_totals
 from ..service.datasets import DatasetRef
 from ..service.envelope import Answer, Request, request_from_json_dict
@@ -301,6 +302,7 @@ class CQAServer:
         default_workers: Optional[int] = None,
         base_dir: Optional[str] = None,
         concurrent: bool = True,
+        catalog_path: Optional[str] = None,
     ) -> None:
         if session is None:
             cache = None
@@ -320,6 +322,11 @@ class CQAServer:
         self.session = session
         self.pool = SessionPool(session, serialize=not concurrent)
         self.base_dir = base_dir or os.getcwd()
+        self.catalog = None
+        if catalog_path is not None:
+            from ..catalog import CatalogService
+
+            self.catalog = CatalogService(catalog_path)
         # Counters get their own lock: bumping them (and serving the stats
         # op) must never stall behind a long-running computation holding the
         # pool — monitoring has to stay responsive.
@@ -331,6 +338,7 @@ class CQAServer:
             "answers": 0,
             "errors": 0,
             "stats_requests": 0,
+            "catalog_requests": 0,
         }
 
     @property
@@ -364,13 +372,23 @@ class CQAServer:
         return self.handle_payload(payload, line_number=line_number)
 
     def handle_payload(self, payload: object, line_number: int = 0) -> List[Answer]:
-        """Answer one decoded JSON request payload (the HTTP body shape)."""
+        """Answer one decoded JSON request payload (the HTTP body shape).
+
+        Two server-level dialect extensions are resolved here, before the
+        typed request parse: the ``stats`` operation, and the ``catalog``
+        operation plus catalog-addressed requests (a ``"dataset":
+        "tenant/name"`` payload key resolved through the server's catalog
+        into an inline-rows reference, with the answered envelope annotated
+        with ingest provenance).
+        """
         if isinstance(payload, dict) and payload.get("op") == STATS_OP:
             self._bump("stats_requests")
             answer = self.stats_answer()
             request_id = payload.get("id")
             answer.request_id = str(request_id) if request_id is not None else None
             return [answer]
+        if isinstance(payload, dict) and payload.get("op") == CATALOG_OP:
+            return self._handle_catalog_op(payload)
         try:
             request = request_from_json_dict(payload, base_dir=self.base_dir)
         except Exception as error:  # noqa: BLE001 - every bad payload is enveloped
@@ -384,7 +402,82 @@ class CQAServer:
                     op, query, ValueError(f"line {line_number}: {error}"), None
                 )
             ]
+        spec = payload.get("dataset") if isinstance(payload, dict) else None
+        if spec is not None:
+            return self._handle_catalog_request(str(spec), request)
         return self.handle_request(request)
+
+    # ------------------------------------------------------------------ #
+    # the catalog dialect
+    # ------------------------------------------------------------------ #
+    def _handle_catalog_op(self, payload: Dict) -> List[Answer]:
+        """One ``{"op": "catalog", ...}`` management payload (never raises)."""
+        self._bump("catalog_requests")
+        if self.catalog is None:
+            self._bump("errors")
+            return [
+                error_answer(
+                    CATALOG_OP,
+                    str(payload.get("action", "?")),
+                    RuntimeError(
+                        "no catalog configured (start the server with --catalog PATH)"
+                    ),
+                    None,
+                )
+            ]
+        answer = self.catalog.handle_payload(payload)
+        self._bump("answers")
+        if not answer.ok:
+            self._bump("errors")
+        return [answer]
+
+    def _handle_catalog_request(self, spec: str, request: Request) -> List[Answer]:
+        """Answer a request addressed to a catalog dataset, with provenance.
+
+        The catalog dataset becomes the request's first dataset reference
+        (inline rows — content-addressed, so every cache tier and fleet
+        route treats it like any wire payload), and the corresponding
+        answer's ``details["provenance"]`` is stamped *after* answering —
+        cache hits included, so a replayed envelope always carries the
+        catalog's current ingest trail.
+        """
+        if self.catalog is None:
+            self._bump("requests")
+            self._bump("answers")
+            self._bump("errors")
+            return [
+                error_answer(
+                    request.op,
+                    request.query,
+                    RuntimeError(
+                        "no catalog configured (start the server with --catalog PATH)"
+                    ),
+                    request,
+                )
+            ]
+        try:
+            ref = self.catalog.dataset_ref(spec)
+        except CatalogError as error:
+            self._bump("requests")
+            self._bump("answers")
+            self._bump("errors")
+            return [error_answer(request.op, request.query, error, request)]
+        request = replace(request, datasets=(ref,) + request.datasets)
+        answers = self.handle_request(request)
+        if request.op in _DATASET_INDEPENDENT_OPS:
+            return answers
+        if answers and answers[0].ok:
+            schema = None
+            try:
+                handle = self.session.resolve_query(request.query, depth=request.depth)
+                schema = handle.query.schema
+            except Exception:  # noqa: BLE001 - provenance must not fail the answer
+                schema = None
+            try:
+                self.catalog.annotate(answers[0], spec, schema)
+            except CatalogError:
+                pass
+        return answers
 
     def handle_request(self, request: Request) -> List[Answer]:
         """Answer one typed request with fault isolation (never raises).
@@ -437,6 +530,9 @@ class CQAServer:
             "strategy_timings": {name: dict(row) for name, row in timings.items()},
             "concurrency": self.pool.describe_dict(),
             "derived_cache": derived_cache_totals(),
+            "catalog": (
+                self.catalog.store.describe_dict() if self.catalog is not None else None
+            ),
             # Shape parity with the fleet dispatcher's stats: a single
             # server is a fleet of zero remote workers.
             "workers": [],

@@ -248,6 +248,7 @@ def spawn_worker(
     cache_size: int = 1024,
     no_cache: bool = False,
     default_workers: Optional[int] = None,
+    catalog: Optional[str] = None,
     python: Optional[str] = None,
 ) -> FleetWorker:
     """Launch one ``repro fleet-worker`` subprocess and wait for its ready line.
@@ -281,6 +282,10 @@ def spawn_worker(
         args.append("--no-cache")
     if default_workers is not None:
         args += ["--workers", str(default_workers)]
+    if catalog is not None:
+        # Every worker opens the same catalog file (WAL + busy timeout make
+        # that safe), so catalog ops land on any worker and still agree.
+        args += ["--catalog", str(catalog)]
     process = subprocess.Popen(
         args,
         stdin=subprocess.PIPE,
@@ -310,6 +315,7 @@ def spawn_worker(
             cache_size=cache_size,
             no_cache=no_cache,
             default_workers=default_workers,
+            catalog=catalog,
             python=python,
         ),
     )
@@ -422,8 +428,18 @@ class FleetDispatcher:
     # routing
     # ------------------------------------------------------------------ #
     def _routing_key(self, payload: object) -> str:
-        """The stripe identity of one request payload (see module docs)."""
+        """The stripe identity of one request payload (see module docs).
+
+        Catalog-addressed payloads (a ``"dataset": "tenant/name"`` key —
+        queries over a catalog dataset *and* ``catalog``-op ingests/deltas)
+        route by the catalog identity itself, so one dataset's reads and
+        writes serialise on one worker and its resolved database, derived
+        structures and cache entries stay hot there.
+        """
         if isinstance(payload, dict):
+            spec = payload.get("dataset")
+            if isinstance(spec, str) and spec:
+                return f"catalog:{spec}"
             try:
                 refs = dataset_refs_from_json(payload, base_dir=self.base_dir)
             except Exception:  # noqa: BLE001 - the worker will envelope it

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -238,9 +239,14 @@ class DatasetRef:
             return (self.MEMORY, _identity_token(self._database))
         if self.kind == self.ROWS:
             if self._rows_digest is None:
+                # Order-insensitive: a database is a *set* of facts, so two
+                # row payloads that differ only in order resolve to the same
+                # fact set and must share one content identity (cache
+                # entries, lock stripes and fleet routes all key on it).
+                # Sorting the rendered rows keeps duplicates significant.
                 digest = hashlib.blake2b(digest_size=16)
-                for row in self._rows:
-                    digest.update(repr(row).encode("utf-8"))
+                for rendered in sorted(repr(row) for row in self._rows):
+                    digest.update(rendered.encode("utf-8"))
                 self._rows_digest = digest.hexdigest()
             return (self.ROWS, self._rows_digest)
         if self.kind == self.CSV:
@@ -295,7 +301,15 @@ class DatasetRef:
             return (self.SQLITE, _identity_token(self._store))
         if self.path is None:
             return None
-        return (self.kind, self.path)
+        # Resolve symlinks: two references reaching one file through
+        # different link names are the *same* source and must share a lock
+        # stripe and a fleet route.  (The content fingerprint keeps the
+        # as-given path — it describes the request, not the stripe.)
+        try:
+            path = os.path.realpath(self.path)
+        except OSError:  # pragma: no cover - realpath only fails exotically
+            path = self.path
+        return (self.kind, path)
 
     def routing_key(self) -> Optional[str]:
         """A *stable* string form of the source identity, for fleet routing.
@@ -305,9 +319,10 @@ class DatasetRef:
         process computes the hash, so the key must not contain process-local
         identity tokens (``memory`` databases, ``:memory:`` stores) — those
         kinds answer ``None`` and fall back to the dispatcher's query-text
-        routing.  Path-backed kinds key on ``kind:path``; inline rows key on
-        their (memoised) content digest, so the same wire payload routes to
-        the same worker from any front door.
+        routing.  Path-backed kinds key on ``kind:realpath`` (symlink
+        aliases of one file share a route); inline rows key on their
+        (memoised, order-insensitive) content digest, so the same wire
+        payload routes to the same worker from any front door.
         """
         if self.kind == self.MEMORY:
             return None

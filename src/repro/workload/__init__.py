@@ -1,0 +1,46 @@
+"""Public-scale workload synthesis and trace replay.
+
+:mod:`repro.workload.generator` turns a seeded :class:`TraceSpec` into a
+portable JSONL trace (Zipf-skewed query popularity, tenant hot spots, delta
+bursts, adversarial cache-busting rewrites); :mod:`repro.workload.replay`
+fires a trace at any transport with open-loop pacing and measures latency
+percentiles, per-tier cache hits and provenance coverage.
+"""
+
+from .generator import (
+    TRACE_HEADER,
+    TRACE_VERSION,
+    TraceSpec,
+    generate_trace,
+    read_trace,
+    write_trace,
+    zipf_weights,
+)
+from .replay import (
+    ReplayReport,
+    compare_verdicts,
+    direct_sender,
+    http_sender,
+    jsonl_sender,
+    percentile,
+    replay,
+    sample_indices,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "TRACE_VERSION",
+    "TraceSpec",
+    "ReplayReport",
+    "compare_verdicts",
+    "direct_sender",
+    "generate_trace",
+    "http_sender",
+    "jsonl_sender",
+    "percentile",
+    "read_trace",
+    "replay",
+    "sample_indices",
+    "write_trace",
+    "zipf_weights",
+]

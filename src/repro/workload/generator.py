@@ -1,0 +1,300 @@
+"""Seeded public-scale trace synthesis (the ``repro workload`` command).
+
+A trace is a portable JSONL file: one ``#``-comment metadata header (the
+generating spec, so a trace is self-describing) followed by one JSON request
+payload per line.  Every payload is a valid line of the existing workload
+dialect — :func:`~repro.service.envelope.request_from_json_dict` ignores the
+extra ``at`` pacing key — so a trace can be piped straight into ``repro
+run``, a server's stdio loop, or the :mod:`repro.workload.replay` driver.
+
+What the generator synthesises (all seeded, fully deterministic):
+
+* **Zipf-skewed query popularity** over the q1..q6 corpus.  The paper's
+  queries span three relation schemas (``R[2,1]``, ``R[3,1]``, ``R[4,2]``),
+  so datasets are generated per schema group and each request draws a query
+  compatible with its dataset's schema.
+* **Tenant hot spots** — tenants/datasets are Zipf-ranked too, so a skewed
+  trace concentrates traffic on a few hot ``tenant/dataset`` pairs (the
+  regime where answer caching and fleet affinity pay off).
+* **Interleaved delta bursts** — every ``delta_every`` requests, one hot
+  dataset takes a ``catalog``-op delta batch (adds + removes), shifting its
+  content identity and invalidating its cache entries mid-trace.
+* **Adversarial cache-busting rewrites** — a fraction of requests carry the
+  picked dataset's rows inline *plus one unique poison row*, so their
+  content fingerprint never repeats and they can never hit any cache tier.
+
+Two modes: ``catalog`` traces address datasets by ``tenant/name`` spec and
+start with a self-contained preamble (create tenants, create datasets,
+ingest rows) so they replay against any fresh catalog-backed server;
+``rows`` traces inline every dataset's rows per request (no catalog
+required — the wire form of PR 7's fleet benchmarks, at scale).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.query import paper_queries
+from ..db.generators import random_solution_database
+
+PathLike = Union[str, Path]
+
+#: Header marker of the trace metadata comment line.
+TRACE_HEADER = "# repro-trace "
+
+#: Trace format version (bumped when the line shape changes).
+TRACE_VERSION = 1
+
+
+@dataclass
+class TraceSpec:
+    """Everything that determines a trace (same spec + seed => same trace)."""
+
+    requests: int = 1000
+    seed: int = 0
+    mode: str = "catalog"  # "catalog" | "rows"
+    queries: Tuple[str, ...] = ("q1", "q2", "q3", "q4", "q5", "q6")
+    #: Zipf exponent over query popularity (0 = uniform).
+    query_skew: float = 1.2
+    tenants: int = 3
+    datasets_per_tenant: int = 2
+    #: Zipf exponent over tenant/dataset popularity (0 = uniform).
+    tenant_skew: float = 1.2
+    #: Solution-pair count per generated dataset (size scale).
+    solutions: int = 30
+    #: Offered request rate (req/s) for the open-loop ``at`` schedule.
+    rate: float = 200.0
+    #: Every N traffic requests, one delta burst on a hot dataset (0 = none).
+    delta_every: int = 0
+    delta_size: int = 2
+    #: Fraction of requests that are adversarial cache-busting rewrites.
+    rewrite_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("catalog", "rows"):
+            raise ValueError(f"unknown trace mode {self.mode!r}")
+        if self.requests < 0:
+            raise ValueError("requests must be >= 0")
+        known = paper_queries()
+        unknown = [name for name in self.queries if name not in known]
+        if unknown:
+            raise ValueError(f"unknown queries in spec: {unknown}")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["queries"] = list(self.queries)
+        return payload
+
+
+def zipf_weights(count: int, exponent: float) -> List[float]:
+    """Rank-``i`` weight ``1/(i+1)^s`` (``s=0`` degenerates to uniform)."""
+    return [1.0 / (rank + 1) ** exponent for rank in range(count)]
+
+
+@dataclass
+class _DatasetState:
+    """The generator's live view of one dataset (mirrors catalog semantics)."""
+
+    spec: str  # "tenant/name"
+    group: Tuple[str, ...]  # compatible query names (same relation schema)
+    arity: int
+    rows: Dict[str, List[str]] = field(default_factory=dict)  # key -> values
+
+    def row_list(self) -> List[List[str]]:
+        return [list(values) for values in self.rows.values()]
+
+
+def _schema_groups(query_names: Tuple[str, ...]) -> List[Tuple[str, ...]]:
+    """Query names grouped by relation schema (datasets serve one group)."""
+    named = paper_queries()
+    groups: Dict[object, List[str]] = {}
+    for name in query_names:
+        groups.setdefault(named[name].schema, []).append(name)
+    return [tuple(names) for names in groups.values()]
+
+
+def _dataset_rows(
+    group: Tuple[str, ...], solutions: int, rng: random.Random
+) -> List[List[str]]:
+    """Seeded fact rows for one dataset, over the group's shared schema."""
+    anchor = paper_queries()[group[0]]
+    database = random_solution_database(
+        anchor,
+        solution_count=solutions,
+        noise_count=max(1, solutions // 2),
+        domain_size=max(8, (3 * solutions) // 4),
+        rng=rng,
+    )
+    return [[str(value) for value in fact.values] for fact in database.facts()]
+
+
+def _row_key(values: Iterable[str]) -> str:
+    return json.dumps(list(values), separators=(",", ":"))
+
+
+def generate_trace(spec: TraceSpec) -> List[Dict[str, object]]:
+    """The trace's payload lines (each carrying an ``at`` pacing offset)."""
+    rng = random.Random(spec.seed)
+    groups = _schema_groups(spec.queries)
+    lines: List[Dict[str, object]] = []
+
+    # -- datasets (and, in catalog mode, the self-contained preamble) ---- #
+    datasets: List[_DatasetState] = []
+    for tenant_index in range(spec.tenants):
+        tenant = f"t{tenant_index}"
+        if spec.mode == "catalog":
+            lines.append(
+                {"op": "catalog", "action": "create", "tenant": tenant, "at": 0.0}
+            )
+        for dataset_index in range(spec.datasets_per_tenant):
+            group = groups[(tenant_index * spec.datasets_per_tenant + dataset_index) % len(groups)]
+            state = _DatasetState(
+                spec=f"{tenant}/d{dataset_index}",
+                group=group,
+                arity=paper_queries()[group[0]].schema.arity,
+            )
+            rows = _dataset_rows(
+                group, spec.solutions, random.Random(rng.randrange(1 << 30))
+            )
+            for values in rows:
+                state.rows[_row_key(values)] = values
+            datasets.append(state)
+            if spec.mode == "catalog":
+                lines.append(
+                    {"op": "catalog", "action": "create", "dataset": state.spec, "at": 0.0}
+                )
+                lines.append(
+                    {
+                        "op": "catalog",
+                        "action": "ingest",
+                        "dataset": state.spec,
+                        "rows": state.row_list(),
+                        "source": f"trace-seed-{spec.seed}",
+                        "at": 0.0,
+                    }
+                )
+
+    dataset_weights = zipf_weights(len(datasets), spec.tenant_skew)
+
+    # -- traffic --------------------------------------------------------- #
+    clock = 0.0
+    for index in range(spec.requests):
+        if spec.rate > 0:
+            clock += rng.expovariate(spec.rate)
+        dataset = rng.choices(datasets, weights=dataset_weights)[0]
+        query = rng.choices(
+            dataset.group, weights=zipf_weights(len(dataset.group), spec.query_skew)
+        )[0]
+        if spec.delta_every and index and index % spec.delta_every == 0:
+            lines.append(_delta_line(dataset, spec, rng, clock))
+            continue
+        if spec.rewrite_fraction and rng.random() < spec.rewrite_fraction:
+            # Adversarial rewrite: the dataset's rows plus one unique poison
+            # row — a content identity no cache tier has seen or will see
+            # again (same block structure, so the computation stays honest).
+            poison = [f"poison-{index}"] * dataset.arity
+            lines.append(
+                {
+                    "op": "certain",
+                    "query": query,
+                    "rows": dataset.row_list() + [poison],
+                    "id": f"r{index}",
+                    "at": round(clock, 6),
+                }
+            )
+            continue
+        payload: Dict[str, object] = {
+            "op": "certain",
+            "query": query,
+            "id": f"r{index}",
+            "at": round(clock, 6),
+        }
+        if spec.mode == "catalog":
+            payload["dataset"] = dataset.spec
+        else:
+            payload["rows"] = dataset.row_list()
+        lines.append(payload)
+    return lines
+
+
+def _delta_line(
+    dataset: _DatasetState, spec: TraceSpec, rng: random.Random, clock: float
+) -> Dict[str, object]:
+    """One delta burst: remove existing rows, add fresh ones; mutate state."""
+    remove: List[List[str]] = []
+    keys = list(dataset.rows)
+    for key in rng.sample(keys, min(spec.delta_size, len(keys))):
+        remove.append(dataset.rows.pop(key))
+    add: List[List[str]] = []
+    domain = max(8, (3 * spec.solutions) // 4)
+    for _ in range(spec.delta_size):
+        values = [f"v{rng.randrange(domain)}" for _ in range(dataset.arity)]
+        add.append(values)
+        dataset.rows[_row_key(values)] = values
+    if spec.mode == "catalog":
+        return {
+            "op": "catalog",
+            "action": "delta",
+            "dataset": dataset.spec,
+            "add": add,
+            "remove": remove,
+            "at": round(clock, 6),
+        }
+    # rows mode: the burst has already mutated the generator's row state, so
+    # subsequent requests carry the new content; the line itself is a plain
+    # request over the fresh rows (there is no server-side state to patch).
+    return {
+        "op": "certain",
+        "query": dataset.group[0],
+        "rows": dataset.row_list(),
+        "id": f"delta-{dataset.spec}",
+        "at": round(clock, 6),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# trace file I/O
+# --------------------------------------------------------------------------- #
+def write_trace(path: PathLike, spec: TraceSpec) -> Tuple[Dict[str, object], int]:
+    """Generate and write one trace file; returns ``(meta, line_count)``."""
+    lines = generate_trace(spec)
+    meta = {
+        "version": TRACE_VERSION,
+        "spec": spec.to_json_dict(),
+        "lines": len(lines),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(TRACE_HEADER + json.dumps(meta, separators=(",", ":")) + "\n")
+        for line in lines:
+            handle.write(json.dumps(line, separators=(",", ":")) + "\n")
+    return meta, len(lines)
+
+
+def read_trace(
+    path: PathLike,
+) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+    """Load a trace file: ``(metadata or None, payload lines)``.
+
+    Any JSONL workload file loads (the metadata header is optional), so
+    ``repro replay`` drives plain ``repro run`` workloads too.
+    """
+    meta: Optional[Dict[str, object]] = None
+    payloads: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8-sig") as handle:
+        for raw in handle:
+            text = raw.strip()
+            if not text:
+                continue
+            if text.startswith("#"):
+                if meta is None and text.startswith(TRACE_HEADER.strip()):
+                    try:
+                        meta = json.loads(text[len(TRACE_HEADER.strip()):])
+                    except ValueError:
+                        meta = None
+                continue
+            payloads.append(json.loads(text))
+    return meta, payloads

@@ -1,0 +1,335 @@
+"""Tests for the multi-tenant dataset catalog (store, service, server dialect)."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.catalog import (
+    CatalogError,
+    CatalogService,
+    CatalogStore,
+    row_key,
+    split_spec,
+)
+from repro.catalog.store import SCHEMA_VERSION
+from repro.server.app import CQAServer
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = CatalogStore(str(tmp_path / "catalog.sqlite3"))
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = CatalogService(str(tmp_path / "catalog.sqlite3"))
+    yield service
+    service.close()
+
+
+def _seed(service):
+    service.create_tenant("acme")
+    service.create_dataset("acme/orders")
+    return service.ingest_rows(
+        "acme/orders", [["a", "b"], ["a", "c"], ["d", "e"]], source="seed"
+    )
+
+
+class TestStoreRegistry:
+    def test_create_and_list_tenants(self, store):
+        store.create_tenant("acme")
+        store.create_tenant("beta")
+        assert [row["name"] for row in store.tenants()] == ["acme", "beta"]
+
+    def test_duplicate_tenant_raises(self, store):
+        store.create_tenant("acme")
+        with pytest.raises(CatalogError, match="already exists"):
+            store.create_tenant("acme")
+
+    def test_invalid_names_raise(self, store):
+        with pytest.raises(CatalogError):
+            store.create_tenant("")
+        with pytest.raises(CatalogError):
+            store.create_tenant("a/b")
+        store.create_tenant("acme")
+        with pytest.raises(CatalogError):
+            store.create_dataset("acme", "x/y")
+
+    def test_unknown_tenant_and_dataset(self, store):
+        with pytest.raises(CatalogError, match="unknown tenant"):
+            store.create_dataset("ghost", "orders")
+        store.create_tenant("acme")
+        with pytest.raises(CatalogError, match="unknown dataset"):
+            store.dataset_id("acme", "orders")
+
+    def test_duplicate_dataset_raises(self, store):
+        store.create_tenant("acme")
+        store.create_dataset("acme", "orders")
+        with pytest.raises(CatalogError, match="already exists"):
+            store.create_dataset("acme", "orders")
+
+    def test_dataset_listing_counts(self, store):
+        store.create_tenant("acme")
+        store.create_tenant("beta")
+        dataset = store.create_dataset("acme", "orders")
+        store.create_dataset("beta", "logs")
+        store.record_import(dataset["id"], kind="rows", source="s",
+                            checksum="c", add_rows=[["1", "2"]])
+        rows = store.datasets("acme")
+        assert rows == [{"tenant": "acme", "name": "orders",
+                         "id": dataset["id"], "facts": 1, "import_sessions": 1}]
+        assert len(store.datasets()) == 2
+
+
+class TestStoreProvenance:
+    def test_import_session_counts(self, store):
+        store.create_tenant("t")
+        dataset = store.create_dataset("t", "d")
+        session = store.record_import(
+            dataset["id"], kind="rows", source="s", checksum="c",
+            add_rows=[["a", "b"], ["a", "b"], ["c", "d"]],
+        )
+        # The duplicate row is ignored: effective counts, not batch sizes.
+        assert session["facts_added"] == 2
+        assert session["fact_count"] == 2
+
+    def test_first_writer_wins(self, store):
+        store.create_tenant("t")
+        dataset = store.create_dataset("t", "d")
+        first = store.record_import(dataset["id"], kind="rows", source="one",
+                                    checksum="c1", add_rows=[["a", "b"]])
+        second = store.record_import(dataset["id"], kind="rows", source="two",
+                                     checksum="c2", add_rows=[["a", "b"], ["x", "y"]])
+        assert second["facts_added"] == 1
+        facts = dict()
+        for values, session_id in store.facts(dataset["id"]):
+            facts[tuple(values)] = session_id
+        assert facts[("a", "b")] == first["id"]
+        assert facts[("x", "y")] == second["id"]
+
+    def test_delta_removal(self, store):
+        store.create_tenant("t")
+        dataset = store.create_dataset("t", "d")
+        store.record_import(dataset["id"], kind="rows", source="s", checksum="c",
+                            add_rows=[["a", "b"], ["c", "d"]])
+        delta = store.record_import(
+            dataset["id"], kind="delta", source="delta", checksum="c2",
+            add_rows=[["e", "f"]], remove_rows=[["a", "b"], ["ghost", "row"]],
+        )
+        assert delta["facts_added"] == 1
+        assert delta["facts_removed"] == 1  # absent rows do not count
+        assert delta["fact_count"] == 2
+        assert store.sessions(dataset["id"])[-1]["id"] == delta["id"]
+
+    def test_row_key_normalises_values(self):
+        assert row_key([1, 2]) == row_key(["1", "2"])
+
+
+class TestStoreFileDiscipline:
+    def test_garbage_file_resets(self, tmp_path):
+        path = tmp_path / "catalog.sqlite3"
+        path.write_bytes(b"this is not a sqlite file, not even close......")
+        store = CatalogStore(str(path))
+        assert store.enabled
+        assert store.stats["resets"] == 1
+        store.create_tenant("acme")  # usable after the reset
+        store.close()
+
+    def test_schema_version_mismatch_resets(self, tmp_path):
+        path = tmp_path / "catalog.sqlite3"
+        first = CatalogStore(str(path))
+        first.create_tenant("acme")
+        first.close()
+        conn = sqlite3.connect(str(path))
+        conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        second = CatalogStore(str(path))
+        assert second.stats["resets"] == 1
+        assert second.tenants() == []  # the old-schema content is gone
+        second.close()
+
+    def test_reopen_preserves_content(self, tmp_path):
+        path = str(tmp_path / "catalog.sqlite3")
+        first = CatalogStore(path)
+        first.create_tenant("acme")
+        first.close()
+        second = CatalogStore(path)
+        assert [row["name"] for row in second.tenants()] == ["acme"]
+        assert second.stats["resets"] == 0
+        second.close()
+
+    def test_describe_dict(self, store):
+        store.create_tenant("t")
+        described = store.describe_dict()
+        assert described["enabled"] is True
+        assert described["tenants"] == 1
+        assert described["resets"] == 0
+        assert SCHEMA_VERSION == 1
+
+
+class TestService:
+    def test_split_spec(self):
+        assert split_spec("acme/orders") == ("acme", "orders")
+        for bad in ("acme", "/orders", "acme/", "a/b/c", ""):
+            with pytest.raises(CatalogError):
+                split_spec(bad)
+
+    def test_ingest_csv_records_checksum(self, service, tmp_path):
+        _seed(service)
+        csv_path = tmp_path / "more.csv"
+        csv_path.write_text("k,v\nq,r\n", encoding="utf-8")
+        session = service.ingest_csv("acme/orders", str(csv_path))
+        assert session["kind"] == "csv"
+        assert session["source"] == str(csv_path)
+        assert len(session["checksum"]) == 32
+        assert session["facts_added"] == 1
+
+    def test_missing_csv_raises(self, service):
+        _seed(service)
+        with pytest.raises(CatalogError, match="cannot read CSV"):
+            service.ingest_csv("acme/orders", "does-not-exist.csv")
+
+    def test_dataset_ref_tracks_content(self, service):
+        _seed(service)
+        before = service.dataset_ref("acme/orders")
+        service.apply_delta("acme/orders", add=[["z", "z"]])
+        after = service.dataset_ref("acme/orders")
+        # A delta changes the content identity: stale cache entries become
+        # unreachable instead of wrong.
+        assert before.fingerprint() != after.fingerprint()
+        assert before.routing_key() != after.routing_key()
+
+    def test_history(self, service):
+        _seed(service)
+        service.apply_delta("acme/orders", add=[["z", "z"]], source="burst")
+        sources = [row["source"] for row in service.history("acme/orders")]
+        assert sources == ["seed", "burst"]
+
+    def test_handle_payload_actions(self, service):
+        create = service.handle_payload({"op": "catalog", "action": "create",
+                                         "tenant": "acme"})
+        assert create.ok and create.op == "catalog"
+        assert service.handle_payload(
+            {"op": "catalog", "action": "create", "dataset": "acme/orders"}
+        ).ok
+        ingest = service.handle_payload(
+            {"op": "catalog", "action": "ingest", "dataset": "acme/orders",
+             "rows": [["a", "b"]], "id": "req-1"}
+        )
+        assert ingest.ok and ingest.request_id == "req-1"
+        assert ingest.verdict == ingest.details["import_session"]["id"]
+        listing = service.handle_payload({"op": "catalog", "action": "ls"})
+        assert listing.verdict == 1
+        history = service.handle_payload(
+            {"op": "catalog", "action": "history", "dataset": "acme/orders"}
+        )
+        assert history.verdict == 1
+
+    def test_handle_payload_errors_are_envelopes(self, service):
+        bad = service.handle_payload({"op": "catalog", "action": "history",
+                                      "dataset": "nope/nope"})
+        assert not bad.ok and "unknown" in bad.error
+        unknown = service.handle_payload({"op": "catalog", "action": "frobnicate"})
+        assert not unknown.ok and "unknown catalog action" in unknown.error
+
+
+class TestServerIntegration:
+    @pytest.fixture
+    def server(self, tmp_path):
+        path = str(tmp_path / "catalog.sqlite3")
+        service = CatalogService(path)
+        _seed(service)
+        service.close()
+        return CQAServer(catalog_path=path)
+
+    def test_catalog_op_via_dialect(self, server):
+        [envelope] = server.handle_payload(
+            {"op": "catalog", "action": "history", "dataset": "acme/orders"}
+        )
+        assert envelope.ok and envelope.verdict == 1
+        assert server.transport_stats["catalog_requests"] == 1
+
+    def test_no_catalog_configured(self):
+        server = CQAServer()
+        [envelope] = server.handle_payload({"op": "catalog", "action": "ls"})
+        assert not envelope.ok and "--catalog" in envelope.error
+        [answer] = server.handle_payload(
+            {"op": "certain", "query": "q3", "dataset": "acme/orders"}
+        )
+        assert not answer.ok and "--catalog" in answer.error
+
+    def test_dataset_addressed_answer_carries_provenance(self, server):
+        [answer] = server.handle_payload(
+            {"op": "certain", "query": "q3", "dataset": "acme/orders",
+             "witness": True}
+        )
+        assert answer.ok
+        provenance = answer.details["provenance"]
+        assert provenance["dataset"] == "acme/orders"
+        assert provenance["import_sessions"]
+        if answer.witness:
+            # Every witness fact that came from the catalog traces back to
+            # the session that ingested it.
+            assert set(provenance["deciding_facts"]) <= set(answer.witness)
+            assert all(isinstance(sid, int)
+                       for sid in provenance["deciding_facts"].values())
+
+    def test_cache_hit_keeps_provenance(self, server):
+        payload = {"op": "certain", "query": "q3", "dataset": "acme/orders"}
+        [first] = server.handle_payload(dict(payload))
+        [second] = server.handle_payload(dict(payload))
+        assert second.details.get("cache") == "hit"
+        assert second.details["provenance"]["import_sessions"]
+        assert first.verdict == second.verdict
+
+    def test_delta_invalidates_cached_answers(self, server):
+        payload = {"op": "certain", "query": "q3", "dataset": "acme/orders"}
+        server.handle_payload(dict(payload))
+        [hit] = server.handle_payload(dict(payload))
+        assert hit.details.get("cache") == "hit"
+        server.handle_payload(
+            {"op": "catalog", "action": "delta", "dataset": "acme/orders",
+             "add": [["fresh", "row"]]}
+        )
+        [after] = server.handle_payload(dict(payload))
+        assert after.details.get("cache") == "miss"
+        assert len(after.details["provenance"]["import_sessions"]) >= 1
+
+    def test_unknown_dataset_is_an_error_envelope(self, server):
+        [answer] = server.handle_payload(
+            {"op": "certain", "query": "q3", "dataset": "acme/ghost"}
+        )
+        assert not answer.ok and "unknown dataset" in answer.error
+
+    def test_stats_embed_catalog(self, server):
+        server.handle_payload({"op": "catalog", "action": "ls"})
+        stats = server.stats()
+        assert stats["catalog"]["tenants"] == 1
+        assert stats["catalog"]["enabled"] is True
+
+    def test_fleet_routing_key_prefers_dataset(self):
+        from repro.server.fleet import FleetDispatcher
+
+        dispatcher = FleetDispatcher.__new__(FleetDispatcher)
+        dispatcher.base_dir = None
+        key = FleetDispatcher._routing_key(
+            dispatcher, {"op": "certain", "query": "q3", "dataset": "acme/orders"}
+        )
+        assert key == "catalog:acme/orders"
+        # Catalog write ops route identically, so one dataset's reads and
+        # ingests serialise on the same worker.
+        assert FleetDispatcher._routing_key(
+            dispatcher,
+            {"op": "catalog", "action": "delta", "dataset": "acme/orders"},
+        ) == "catalog:acme/orders"
+
+    def test_answers_remain_json_serialisable(self, server):
+        [answer] = server.handle_payload(
+            {"op": "certain", "query": "q3", "dataset": "acme/orders"}
+        )
+        encoded = json.loads(json.dumps(answer.to_json_dict()))
+        assert encoded["details"]["provenance"]["dataset"] == "acme/orders"

@@ -1,0 +1,81 @@
+"""Stability of DatasetRef identities: stripes, routes and fingerprints.
+
+Equivalent references must agree on ``stripe_key()`` (the SessionPool
+stripe) and ``routing_key()`` (the fleet route): a CSV file reached through
+a symlink is the same source as the file itself, and inline rows are a set
+of facts, so their order must not change the content identity.
+"""
+
+import os
+
+import pytest
+
+from repro.service.datasets import DatasetRef
+
+ROWS = [["a", "b"], ["x", "y"], ["x", "z"], ["p", "q"]]
+
+
+def _write_csv(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("k,v\n")
+        for row in ROWS:
+            handle.write(",".join(row) + "\n")
+
+
+class TestCsvPathStability:
+    def test_symlink_shares_stripe_and_route(self, tmp_path):
+        real = tmp_path / "facts.csv"
+        _write_csv(real)
+        link = tmp_path / "alias.csv"
+        try:
+            os.symlink(real, link)
+        except OSError:  # pragma: no cover - FS without symlink support
+            pytest.skip("filesystem does not support symlinks")
+        direct = DatasetRef.csv(str(real))
+        aliased = DatasetRef.csv(str(link))
+        assert direct.stripe_key() == aliased.stripe_key()
+        assert direct.routing_key() == aliased.routing_key()
+
+    def test_relative_and_absolute_paths_share_stripe(self, tmp_path, monkeypatch):
+        real = tmp_path / "facts.csv"
+        _write_csv(real)
+        monkeypatch.chdir(tmp_path)
+        assert (DatasetRef.csv("facts.csv").stripe_key()
+                == DatasetRef.csv(str(real)).stripe_key())
+
+    def test_distinct_files_get_distinct_stripes(self, tmp_path):
+        first = tmp_path / "one.csv"
+        second = tmp_path / "two.csv"
+        _write_csv(first)
+        _write_csv(second)
+        assert (DatasetRef.csv(str(first)).stripe_key()
+                != DatasetRef.csv(str(second)).stripe_key())
+
+    def test_missing_path_still_keyed(self, tmp_path):
+        # A dangling path must not crash identity derivation — resolution
+        # will fail later with a proper envelope error.
+        ref = DatasetRef.csv(str(tmp_path / "nope.csv"))
+        assert ref.stripe_key() is not None
+
+
+class TestInlineRowsStability:
+    def test_reordered_rows_share_identity(self):
+        shuffled = [ROWS[2], ROWS[0], ROWS[3], ROWS[1]]
+        first = DatasetRef.inline_rows(ROWS)
+        second = DatasetRef.inline_rows(shuffled)
+        assert first.stripe_key() == second.stripe_key()
+        assert first.routing_key() == second.routing_key()
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_rows_differ(self):
+        first = DatasetRef.inline_rows(ROWS)
+        second = DatasetRef.inline_rows(ROWS + [["extra", "row"]])
+        assert first.stripe_key() != second.stripe_key()
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_duplicate_rows_stay_significant(self):
+        # Sorting must not collapse duplicates: a repeated row is a
+        # different payload than the deduplicated one.
+        first = DatasetRef.inline_rows(ROWS)
+        second = DatasetRef.inline_rows(ROWS + [ROWS[0]])
+        assert first.fingerprint() != second.fingerprint()

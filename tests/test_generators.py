@@ -62,6 +62,42 @@ class TestBlockDatabases:
         assert first == second
 
 
+class TestGeneratorEdgeCases:
+    def test_zero_facts(self, q3):
+        db = random_solution_database(q3, solution_count=0, noise_count=0,
+                                      domain_size=4, rng=random.Random(0))
+        assert len(db) == 0
+        assert db.block_count() == 0
+        assert db.is_consistent()
+        # The empty database has exactly one (empty) repair, which cannot
+        # satisfy the query: not certain, and the oracle must not crash.
+        assert certain_exact(q3, db) is False
+
+    def test_zero_blocks(self):
+        schema = RelationSchema("R", 3, 1)
+        db = random_block_database(schema, block_count=0, rng=random.Random(0))
+        assert len(db) == 0 and db.block_count() == 0
+
+    def test_single_block(self):
+        schema = RelationSchema("R", 3, 1)
+        db = random_block_database(schema, block_count=1, max_block_size=4,
+                                   domain_size=20, rng=random.Random(5))
+        assert db.block_count() == 1
+        assert 1 <= db.max_block_size() <= 4
+
+    def test_fully_consistent_input(self, q3):
+        # max_block_size=1 forces one fact per key: the database is its own
+        # unique repair, so certainty degenerates to plain query evaluation.
+        db = random_block_database(q3.schema, block_count=12, max_block_size=1,
+                                   domain_size=30, rng=random.Random(6))
+        assert db.is_consistent()
+        assert db.max_block_size() <= 1
+        assert certain_exact(q3, db) == q3.satisfied_by(db.facts())
+
+    def test_scaled_workload_empty_sizes(self, q3):
+        assert scaled_workload(q3, []) == []
+
+
 class TestScaledWorkload:
     def test_sizes_grow(self, q3):
         workload = scaled_workload(q3, sizes=[5, 10, 20])
