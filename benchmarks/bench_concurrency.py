@@ -35,7 +35,7 @@ import threading
 from pathlib import Path
 
 from repro import DatasetRef, Request, SqliteFactStore
-from repro.bench.harness import ExperimentReport, timed
+from repro.bench.harness import ExperimentReport, assert_core_gated, timed
 from repro.bench.reporting import emit, write_json
 from repro.core.certain import default_worker_count
 from repro.db.generators import random_solution_database
@@ -171,13 +171,12 @@ def test_concurrent_vs_locked_throughput():
     )
     emit(report)
     _JSON_REPORTS.append(report)
-    if _CORES > 1:
-        # Core-gated like PR 2: independent reads must genuinely overlap.
-        assert speedup > 1.0, (
-            f"striped pool did not beat the single lock on {_CORES} cores "
-            f"({speedup:.2f}x)"
-        )
-    else:
+    if not assert_core_gated(
+        report,
+        speedup > 1.0,
+        f"striped pool did not beat the single lock on {_CORES} cores "
+        f"({speedup:.2f}x)",
+    ):
         # One core: the win cannot exist, and the planner must *predict*
         # that — the same re-expression tests/test_planner_decisions.py pins.
         hints = [60] * max(2, _REQUESTS)

@@ -37,7 +37,12 @@ import random
 from pathlib import Path
 
 from repro import CQAServer, derived_cache_totals
-from repro.bench.harness import ExperimentReport, timed
+from repro.bench.harness import (
+    ExperimentReport,
+    assert_core_gated,
+    effective_cores,
+    timed,
+)
 from repro.bench.reporting import emit, write_json
 from repro.db.generators import random_solution_database
 from repro.fixtures import example_queries
@@ -270,7 +275,7 @@ def test_throughput_one_vs_many_workers():
         ["requests", "1-worker req/s", "fleet req/s", "speedup", "cores"],
         core_gated=True,
     )
-    cores = os.cpu_count() or 1
+    cores = effective_cores()
     report.add(
         requests=len(stream),
         **{
@@ -284,11 +289,12 @@ def test_throughput_one_vs_many_workers():
     _JSON_REPORTS.append(report)
     # A dispatcher serialises each request over one socket exchange, so the
     # win comes from workers computing concurrently — which needs cores.
-    if cores >= 4:
-        assert speedup >= 1.0, (
-            f"{_WORKERS} workers slower than one on {cores} cores: "
-            f"{speedup:.2f}x"
-        )
+    assert_core_gated(
+        report,
+        speedup >= 1.0,
+        f"{_WORKERS} workers slower than one on {cores} cores: {speedup:.2f}x",
+        min_cores=4,
+    )
 
 
 def test_fleet_regression_vs_baseline():

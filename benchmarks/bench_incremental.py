@@ -45,7 +45,12 @@ from repro import (
     certk_seed_cache_key,
     matching_cache_key,
 )
-from repro.bench.harness import ExperimentReport, timed
+from repro.bench.harness import (
+    ExperimentReport,
+    assert_core_gated,
+    effective_cores,
+    timed,
+)
 from repro.bench.reporting import emit, write_json
 from repro.db.generators import random_fact, random_solution_database
 from repro.fixtures import example_queries
@@ -357,7 +362,7 @@ def test_parallel_vs_sequential_batch():
         ["query", "databases", "workers", "cores", "sequential (s)", "parallel (s)", "speedup"],
         core_gated=True,
     )
-    cores = os.cpu_count() or 1
+    cores = effective_cores()
     report.add(
         query="q3",
         databases=len(databases),
@@ -370,10 +375,13 @@ def test_parallel_vs_sequential_batch():
         },
     )
     emit(report)
-    if cores >= _PARALLEL_WORKERS and len(databases) >= 200:
-        assert speedup > 1.0, (
+    if len(databases) >= 200:
+        assert_core_gated(
+            report,
+            speedup > 1.0,
             f"workers={_PARALLEL_WORKERS} on {cores} cores should beat the "
-            f"sequential stream, got {speedup:.2f}x"
+            f"sequential stream, got {speedup:.2f}x",
+            min_cores=_PARALLEL_WORKERS,
         )
     _JSON_REPORTS.append(report)
 

@@ -182,3 +182,53 @@ def timed(function: Callable[[], object]) -> Tuple[object, float]:
     start = time.perf_counter()
     result = function()
     return result, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------- #
+# multi-core honesty: one shared vocabulary for every core-gated claim
+# --------------------------------------------------------------------------- #
+def effective_cores() -> int:
+    """Cores genuinely available to *this process* (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a CI runner pinned to two of
+    sixty-four cores would read as eligible for an 8-way parallelism claim.
+    ``sched_getaffinity`` reports what the scheduler will actually grant.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def requires_cores(count: int) -> bool:
+    """True when ``count`` tasks can genuinely run in parallel here."""
+    return effective_cores() >= int(count)
+
+
+def assert_core_gated(
+    report: ExperimentReport,
+    condition: bool,
+    message: str,
+    min_cores: int = 2,
+) -> bool:
+    """The one way a benchmark asserts a parallelism claim.
+
+    Marks ``report`` as ``core_gated`` (so the committed JSON records that
+    its headline ratio depends on cores), then:
+
+    * on a runner with at least ``min_cores`` *effective* cores, a false
+      ``condition`` **fails loudly** — a gated claim regressing on an
+      eligible machine is a real regression, never a silent skip;
+    * on a smaller runner the claim is unverifiable and the call returns
+      ``False`` so the caller can assert its 1-core predictions instead.
+    """
+    report.core_gated = True
+    cores = effective_cores()
+    if cores < min_cores:
+        return False
+    if not condition:
+        raise AssertionError(
+            f"{message} (core-gated claim regressed on an eligible "
+            f"{cores}-core runner)"
+        )
+    return True

@@ -159,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="SQLite dataset catalog: enables the 'catalog' "
                               "wire op and tenant/name dataset addressing "
                               "(shared by every fleet worker)")
+    serve_parser.add_argument("--asyncio", action="store_true",
+                              help="run --socket/--http on asyncio transports "
+                              "(one event loop multiplexing all connections; "
+                              "same wire dialects)")
+    serve_parser.add_argument("--calibrate-every", type=float, default=0.0,
+                              metavar="SECONDS",
+                              help="refit the planner's cost model from live "
+                              "strategy timings every N seconds (0 = off)")
 
     client_parser = subparsers.add_parser(
         "client", help="send requests to a running server (JSONL socket or HTTP)"
@@ -303,7 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_parser.add_argument("trace", help="a trace (or any JSONL workload) file")
     replay_parser.add_argument("--socket", metavar="HOST:PORT", default=None,
-                               help="replay against a running JSONL socket server")
+                               help="replay against a running JSONL socket server "
+                               "(keep-alive connections, one per replay thread)")
+    replay_parser.add_argument("--no-keepalive", action="store_true",
+                               help="with --socket: dial a fresh connection per "
+                               "request (the pre-keep-alive behaviour)")
     replay_parser.add_argument("--http", metavar="URL", default=None,
                                help="replay against a running HTTP server")
     replay_parser.add_argument("--fleet", type=int, default=None, metavar="N",
@@ -548,6 +560,12 @@ def _run_run(args) -> int:
 def _run_serve(args) -> int:
     from .server import serve_stdio, start_http_server, start_jsonl_server
 
+    if args.asyncio:
+        from .server import (
+            start_async_http_server as start_http_server,
+            start_async_jsonl_server as start_jsonl_server,
+        )
+
     if not (args.stdio or args.socket is not None or args.http is not None):
         print("serve needs a transport: --stdio, --socket PORT and/or --http PORT",
               file=sys.stderr)
@@ -573,6 +591,10 @@ def _run_serve(args) -> int:
         server = fleet = FleetDispatcher(workers)
         ports = ", ".join(str(worker.port) for worker in workers)
         print(f"fleet: {len(workers)} workers on ports {ports}", file=sys.stderr)
+        if args.calibrate_every:
+            print("serve: --calibrate-every applies to single-server mode only "
+                  "(fleet workers keep their committed calibration)",
+                  file=sys.stderr)
     else:
         from .server import CQAServer
 
@@ -584,6 +606,7 @@ def _run_serve(args) -> int:
             default_workers=args.workers if args.workers else None,
             persistent_path=args.cache_db,
             catalog_path=args.catalog,
+            calibrate_every=args.calibrate_every,
         )
     background = []
     try:
@@ -1009,12 +1032,18 @@ def _run_replay(args) -> int:
         return os.path.join(tempdir.name, "catalog.sqlite3")
 
     fleet = None
+    sender = None
     try:
         if args.socket is not None:
             from .server.client import parse_host_port
 
             host, port = parse_host_port(args.socket)
-            sender = jsonl_sender(host, port)
+            if args.no_keepalive:
+                sender = jsonl_sender(host, port)
+            else:
+                from .workload.replay import jsonl_keepalive_sender
+
+                sender = jsonl_keepalive_sender(host, port)
         elif args.http is not None:
             sender = http_sender(args.http)
         elif args.fleet is not None:
@@ -1077,6 +1106,9 @@ def _run_replay(args) -> int:
             indices = sample_indices(payloads, args.verify_sample, seed=0)
             verification = compare_verdicts(report, reference, indices)
     finally:
+        closer = getattr(sender, "close", None)
+        if callable(closer):
+            closer()
         if fleet is not None:
             fleet.close()
         if tempdir is not None:

@@ -1,0 +1,378 @@
+"""A read-only shared-memory fact store for the sharded batch mode.
+
+PR 2's ``CertainEngine.explain_many`` ships every chunk of a sharded batch
+to its pool worker as a pickled list of :class:`~repro.db.fact_store.Database`
+objects.  At ~2500 facts that tax dominates the win parallelism is supposed
+to buy: each chunk re-serialises schemas, values and derived-cache payloads
+that every other chunk ships again.
+
+:class:`SharedFactStore` removes the tax.  The batch is *packed once* by the
+parent into one ``multiprocessing.shared_memory`` segment:
+
+* an **interned term dictionary** — every distinct schema and every distinct
+  element (elements are arbitrary hashables: ints, strings, the nested
+  reduction-gadget tuples) appears exactly once, pickled once for the whole
+  batch;
+* **packed fact arrays** — each fact is a fixed-width run of ``uint64``
+  tokens (``schema_index, element_index * arity``) in one flat array, with
+  per-database token bounds so a worker can rebuild database ``i`` without
+  touching the others.
+
+Workers *attach* to the segment by name (a few hundred bytes of task payload
+instead of megabytes of pickled databases) and rebuild only the databases in
+their assigned ``(start, stop)`` range.  On fork-based platforms an even
+cheaper mode is available: :func:`share_via_fork` parks the batch in a module
+global that forked workers inherit by address, skipping serialisation
+entirely.
+
+Lifecycle discipline (see ARCHITECTURE.md):
+
+* the **creator** (the parent running ``explain_many``) owns the segment: it
+  ``close()``s and ``unlink()``s it when the batch returns, and registers an
+  ``atexit`` hook so an unclean shutdown still reclaims ``/dev/shm``;
+* **attachers** (pool workers) only ever ``close()``; they deregister the
+  segment from their process's ``resource_tracker`` so a killed worker never
+  unlinks (or double-frees) a segment the creator still owns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import secrets
+import struct
+from array import array
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.terms import Fact, RelationSchema
+from .fact_store import Database
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Shared segments are named with this prefix so tests (and operators) can
+#: audit ``/dev/shm`` for leaks attributable to this store.
+SEGMENT_PREFIX = "repro-sfs"
+
+_HEADER = struct.Struct("<QQ")  # (meta_bytes, token_count)
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works on this platform."""
+    return _shared_memory is not None
+
+
+def fork_available() -> bool:
+    """Whether pool workers inherit the parent's memory (fork start method)."""
+    try:
+        import multiprocessing
+
+        return multiprocessing.get_start_method(allow_none=False) == "fork"
+    except Exception:  # noqa: BLE001 - conservative: treat unknowns as absent
+        return False
+
+
+def sharing_mode(preferred: Optional[str] = None) -> Optional[str]:
+    """The best available sharing mode: ``"shm"``, ``"fork"`` or ``None``.
+
+    ``preferred`` of ``"shm"`` or ``"fork"`` requests that mode explicitly
+    (``None``/``"auto"`` picks shm first — it works under every start
+    method); an unavailable preference resolves to ``None`` so callers can
+    fall back to the pickle path rather than crash.
+    """
+    if preferred in (None, "auto"):
+        if shm_available():
+            return "shm"
+        if fork_available():
+            return "fork"
+        return None
+    if preferred == "shm":
+        return "shm" if shm_available() else None
+    if preferred == "fork":
+        return "fork" if fork_available() else None
+    if preferred == "pickle":
+        return None
+    raise ValueError(f"unknown sharing mode {preferred!r} "
+                     "(expected 'auto', 'shm', 'fork' or 'pickle')")
+
+
+class SharedFactStore:
+    """A packed, read-only batch of databases in one shared-memory segment.
+
+    Build with :meth:`pack` (the creator) or :meth:`attach` (a worker); use
+    as a context manager or call :meth:`close` / :meth:`unlink` explicitly.
+    """
+
+    def __init__(
+        self,
+        shm,
+        schemas: Tuple[RelationSchema, ...],
+        elements: Tuple[Hashable, ...],
+        bounds: Tuple[Tuple[int, int], ...],
+        tokens: array,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._schemas = schemas
+        self._elements = elements
+        self._bounds = bounds
+        self._tokens = tokens
+        self._owner = owner
+        self._closed = False
+        if owner:
+            atexit.register(self._atexit_cleanup)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def pack(cls, databases: Sequence[Database]) -> "SharedFactStore":
+        """Pack a batch into a fresh segment (the creator side).
+
+        The element and schema tables are interned across the *whole* batch
+        and pickled exactly once; facts become fixed-width ``uint64`` token
+        runs.  The caller owns the returned store and must ``unlink()`` it.
+        """
+        if not shm_available():  # pragma: no cover - guarded by sharing_mode
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        schema_ids: Dict[RelationSchema, int] = {}
+        element_ids: Dict[Hashable, int] = {}
+        tokens = array("Q")
+        bounds: List[Tuple[int, int]] = []
+        for database in databases:
+            start = len(tokens)
+            for fact in database.facts():
+                schema_idx = schema_ids.setdefault(fact.schema, len(schema_ids))
+                tokens.append(schema_idx)
+                for value in fact.values:
+                    tokens.append(
+                        element_ids.setdefault(value, len(element_ids))
+                    )
+            bounds.append((start, len(tokens)))
+        meta = pickle.dumps(
+            {
+                "schemas": tuple(schema_ids),
+                "elements": tuple(element_ids),
+                "bounds": tuple(bounds),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        payload_size = _HEADER.size + len(meta) + len(tokens) * tokens.itemsize
+        shm = _create_segment(max(1, payload_size))
+        view = shm.buf
+        _HEADER.pack_into(view, 0, len(meta), len(tokens))
+        view[_HEADER.size:_HEADER.size + len(meta)] = meta
+        if tokens:
+            token_bytes = tokens.tobytes()
+            offset = _HEADER.size + len(meta)
+            view[offset:offset + len(token_bytes)] = token_bytes
+        return cls(
+            shm,
+            tuple(schema_ids),
+            tuple(element_ids),
+            tuple(bounds),
+            tokens,
+            owner=True,
+        )
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedFactStore":
+        """Attach to an existing segment by name (the worker side).
+
+        The attacher deregisters the segment from its own resource tracker:
+        only the creator unlinks, so a worker killed mid-batch can never
+        free (or double-free) memory its siblings are still reading.
+        """
+        if not shm_available():  # pragma: no cover - guarded by sharing_mode
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        shm = _attach_untracked(name)
+        view = shm.buf
+        meta_bytes, token_count = _HEADER.unpack_from(view, 0)
+        meta = pickle.loads(bytes(view[_HEADER.size:_HEADER.size + meta_bytes]))
+        tokens = array("Q")
+        if token_count:
+            offset = _HEADER.size + meta_bytes
+            tokens.frombytes(
+                bytes(view[offset:offset + token_count * tokens.itemsize])
+            )
+        return cls(
+            shm,
+            tuple(meta["schemas"]),
+            tuple(meta["elements"]),
+            tuple(meta["bounds"]),
+            tokens,
+            owner=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Segment size in bytes (the one-off shared payload)."""
+        return self._shm.size
+
+    def facts(self, index: int) -> Iterator[Fact]:
+        """The facts of database ``index``, decoded lazily."""
+        start, stop = self._bounds[index]
+        tokens = self._tokens
+        schemas = self._schemas
+        elements = self._elements
+        position = start
+        while position < stop:
+            schema = schemas[tokens[position]]
+            position += 1
+            values = tuple(
+                elements[tokens[position + i]] for i in range(schema.arity)
+            )
+            position += schema.arity
+            yield Fact(schema, values)
+
+    def database(self, index: int) -> Database:
+        """Rebuild database ``index`` (fresh indexes, no derived caches)."""
+        return Database(self.facts(index))
+
+    def databases(self) -> Iterator[Database]:
+        return (self.database(index) for index in range(len(self)))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "databases": len(self),
+            "schemas": len(self._schemas),
+            "elements": len(self._elements),
+            "tokens": len(self._tokens),
+            "bytes": self.size,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Detach this process's mapping (creator and attachers alike)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform noise
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment (creator only; attachers silently no-op)."""
+        if not self._owner:
+            return
+        self.close()
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # already reclaimed
+            pass
+        atexit.unregister(self._atexit_cleanup)
+
+    def _atexit_cleanup(self) -> None:  # pragma: no cover - process teardown
+        try:
+            self.unlink()
+        except Exception:  # noqa: BLE001 - best-effort reclamation
+            pass
+
+    def __enter__(self) -> "SharedFactStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink() if self._owner else self.close()
+
+
+def _create_segment(size: int):
+    """A fresh named segment under :data:`SEGMENT_PREFIX` (retry collisions)."""
+    for _ in range(8):
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        try:
+            return _shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:  # pragma: no cover - 2^32 collision
+            continue
+    # Fall back to a tracker-picked name rather than fail the batch.
+    return _shared_memory.SharedMemory(create=True, size=size)  # pragma: no cover
+
+
+def _attach_untracked(name: str):
+    """``SharedMemory(name=...)`` without registering with the resource tracker.
+
+    On POSIX every ``SharedMemory`` constructor call — attach included —
+    registers the segment with the process's ``resource_tracker``, whose job
+    is to unlink leaked segments at process exit.  Correct for creators,
+    wrong for attachers: a pool worker that exits (or shares the creator's
+    forked tracker and unregisters) must never free — or strip the tracking
+    of — a segment the creator still owns.  Python 3.13 grew ``track=False``
+    for exactly this; on earlier versions the registration is suppressed by
+    swapping the tracker's ``register`` hook for the duration of the call
+    (worker initialisers are single-threaded, so this is race-free where it
+    runs).
+    """
+    try:  # pragma: no cover - Python >= 3.13
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+# --------------------------------------------------------------------------- #
+# fork-inherited sharing: zero-copy where the platform allows it
+# --------------------------------------------------------------------------- #
+#: Batches parked for fork-inherited workers, keyed by token.  Children of a
+#: ``fork`` start method inherit this dict by address: the workers read the
+#: parent's databases (indexes included) without any serialisation at all.
+_FORK_BATCHES: Dict[str, Sequence[Database]] = {}
+_fork_counter = itertools.count()
+
+
+def share_via_fork(databases: Sequence[Database]) -> str:
+    """Park a batch for fork-inherited workers; returns the claim token."""
+    token = f"fork-{os.getpid()}-{next(_fork_counter)}"
+    _FORK_BATCHES[token] = databases
+    return token
+
+
+def fork_batch(token: str) -> Sequence[Database]:
+    """A parked batch, from the creator or any forked child."""
+    try:
+        return _FORK_BATCHES[token]
+    except KeyError:
+        raise KeyError(
+            f"no fork-shared batch {token!r} in this process "
+            "(fork sharing needs the 'fork' start method)"
+        ) from None
+
+
+def release_fork_batch(token: str) -> None:
+    """Drop a parked batch (creator side, after the pool returns)."""
+    _FORK_BATCHES.pop(token, None)
+
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedFactStore",
+    "fork_available",
+    "fork_batch",
+    "release_fork_batch",
+    "share_via_fork",
+    "sharing_mode",
+    "shm_available",
+]

@@ -37,9 +37,15 @@ Quickstart::
     http.shutdown()
 """
 
-from .app import STATS_OP, AnswerCacheStrategy, CachingSession, CQAServer
+from .aio import (
+    AsyncHttpServer,
+    AsyncJsonlServer,
+    start_async_http_server,
+    start_async_jsonl_server,
+)
+from .app import PING_OP, STATS_OP, AnswerCacheStrategy, CachingSession, CQAServer
 from .cache import AnswerCache, CacheKey, persistable_key, settings_digest
-from .client import call_http, call_jsonl, fetch_stats, workload_lines
+from .client import JsonlClient, call_http, call_jsonl, fetch_stats, workload_lines
 from .fleet import FleetDispatcher, FleetWorker, spawn_fleet, spawn_worker
 from .http_transport import HttpServer, start_http_server
 from .jsonl import JsonlServer, serve_stdio, serve_stream, start_jsonl_server
@@ -49,9 +55,13 @@ from .pool import ReadWriteLock, SessionPool
 __all__ = [
     "AnswerCache",
     "AnswerCacheStrategy",
+    "AsyncHttpServer",
+    "AsyncJsonlServer",
     "CacheKey",
     "CachingSession",
     "CQAServer",
+    "JsonlClient",
+    "PING_OP",
     "FleetDispatcher",
     "FleetWorker",
     "PersistentAnswerCache",
@@ -69,6 +79,8 @@ __all__ = [
     "settings_digest",
     "spawn_fleet",
     "spawn_worker",
+    "start_async_http_server",
+    "start_async_jsonl_server",
     "start_http_server",
     "start_jsonl_server",
     "workload_lines",

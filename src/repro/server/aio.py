@@ -1,0 +1,511 @@
+"""Asyncio transports: one event loop multiplexing every connection.
+
+The threaded transports (:mod:`repro.server.jsonl`,
+:mod:`repro.server.http_transport`) spend one OS thread per connection just
+to *wait* — a keep-alive client that sends a request every few seconds pins
+a thread for its whole lifetime.  The servers here multiplex all sockets on
+a single event loop and push only the CPU work (``handle_line`` /
+``handle_payload``) to a thread-pool executor, so thousands of mostly-idle
+keep-alive connections cost one thread plus a file descriptor each.
+
+Wire compatibility is exact: :class:`AsyncJsonlServer` speaks the ``repro
+run`` JSONL dialect with the same 64 MB line cap, the same oversized-line
+envelope-then-drop behaviour, and answers flushed per request;
+:class:`AsyncHttpServer` mirrors every route and status code of the threaded
+HTTP transport (``POST /answer``, ``GET /stats``, ``GET /healthz``,
+411/400-with-close semantics).  A client cannot tell which transport it hit.
+
+Per-connection pipelining (JSONL): the reader coroutine enqueues one
+executor future per line into a **bounded** queue (:data:`MAX_PIPELINE_DEPTH`
+in-flight requests), and a dedicated writer task awaits each future in
+order and writes its envelopes — so answers always come back in request
+order, a slow client exerts backpressure on its own reader only, and a
+client that disconnects mid-stream never strands the CPU work: the writer
+keeps draining futures (discarding output) until the stream ends, which is
+what keeps a cancelled connection from poisoning the shared session pool.
+
+Lifecycle parity with the socketserver transports: ``.port``,
+``shutdown()``, ``server_close()``, ``serve_forever()`` and the
+``start_async_*`` helpers all behave like their threaded namesakes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from http.client import responses as _http_reasons
+from typing import Dict, List, Optional, Tuple
+
+from ..service.envelope import ENVELOPE_SCHEMA_VERSION
+from .app import CQAServer
+from .http_transport import MAX_BODY_BYTES
+from .jsonl import MAX_LINE_BYTES, _oversized_answer
+
+#: Per-connection bound on in-flight (accepted but unanswered) requests.
+#: The reader blocks on the queue once this many answers are pending, so a
+#: client that pipelines faster than the server computes is throttled by
+#: TCP backpressure instead of growing an unbounded future list.
+MAX_PIPELINE_DEPTH = 32
+
+#: End-of-stream sentinel handed to the writer task (never a real future).
+_DONE = object()
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a stream writer, swallowing the client's share of the faults."""
+    with contextlib.suppress(Exception):
+        writer.close()
+        await writer.wait_closed()
+
+
+class _WriterState:
+    """Shared flag: the socket broke, keep draining but stop writing."""
+
+    __slots__ = ("broken",)
+
+    def __init__(self) -> None:
+        self.broken = False
+
+
+class _AsyncTransportBase:
+    """Event-loop ownership shared by both asyncio transports.
+
+    The constructor binds the listening socket synchronously (so ``.port``
+    is valid immediately), but the loop only starts consuming connections
+    once :meth:`start` (daemon thread) or :meth:`serve_forever` (caller's
+    thread) runs it.  All cross-thread interaction goes through
+    ``call_soon_threadsafe`` — the loop is only ever *run* by one thread.
+    """
+
+    name = "repro-aio"
+
+    def __init__(
+        self,
+        app: CQAServer,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        executor_workers: Optional[int] = None,
+    ) -> None:
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+        workers = executor_workers or min(32, (os.cpu_count() or 1) + 4)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"{self.name}-cpu"
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        host, port = address
+        self._server = self._loop.run_until_complete(
+            asyncio.start_server(self._on_connection, host, port, limit=MAX_LINE_BYTES)
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with port 0)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    def start(self) -> None:
+        """Run the event loop on a daemon thread (the ``in_thread`` mode)."""
+        self._thread = threading.Thread(target=self._run, name=self.name, daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Run the event loop on the calling thread until :meth:`shutdown`."""
+        self._run()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        """After the loop stops: cancel connections, drain, close the loop.
+
+        The gather waits for every connection's ``finally`` block, which in
+        turn waits for in-flight executor futures — so CPU work already
+        accepted into the session pool always runs to completion and the
+        pool's locks are released before the loop closes.
+        """
+        pending = [task for task in asyncio.all_tasks(self._loop) if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.close()
+
+    def shutdown(self) -> None:
+        """Stop serving and release every resource (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._request_stop)
+            if self._thread is not None:
+                self._thread.join(timeout=30)
+        elif not self._loop.is_closed():
+            self._server.close()
+            self._loop.run_until_complete(self._server.wait_closed())
+            self._finalize()
+        self._executor.shutdown(wait=False)
+
+    def server_close(self) -> None:
+        """socketserver-API parity: same teardown as :meth:`shutdown`."""
+        self.shutdown()
+
+    def _request_stop(self) -> None:
+        self._server.close()
+        self._loop.stop()
+
+    # ------------------------------------------------------------------ #
+    # connection dispatch
+    # ------------------------------------------------------------------ #
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Connections are only cancelled at terminal shutdown; ending
+            # the task *uncancelled* keeps asyncio's stream-protocol done
+            # callback (which calls task.exception()) from logging it.
+            return
+        except (ConnectionError, TimeoutError):
+            pass  # clients that go away are not server errors
+        except Exception:  # noqa: BLE001 - genuine faults still get reported
+            traceback.print_exc(file=sys.stderr)
+        finally:
+            await _close_writer(writer)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        raise NotImplementedError
+
+
+class AsyncJsonlServer(_AsyncTransportBase):
+    """The JSONL dialect on one event loop (see module docs)."""
+
+    name = "repro-aio-jsonl"
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=MAX_PIPELINE_DEPTH)
+        state = _WriterState()
+        drainer = loop.create_task(self._write_envelopes(queue, writer, state))
+        line_number = 0
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except ValueError:
+                    # The line outgrew the stream limit: answer the same
+                    # oversize envelope as the threaded transport, then drop
+                    # the connection (the rest of the runaway line cannot be
+                    # resynced into a line stream worth trusting).
+                    line_number += 1
+                    oversize = loop.create_future()
+                    oversize.set_result([_oversized_answer(line_number)])
+                    await queue.put(oversize)
+                    break
+                except (ConnectionError, TimeoutError):
+                    break
+                if not raw:
+                    break
+                line_number += 1
+                text = raw.decode("utf-8", errors="replace")
+                await queue.put(
+                    loop.run_in_executor(
+                        self._executor, self.app.handle_line, text, line_number
+                    )
+                )
+        finally:
+            await _finish_drainer(queue, drainer)
+
+    async def _write_envelopes(
+        self,
+        queue: asyncio.Queue,
+        writer: asyncio.StreamWriter,
+        state: _WriterState,
+    ) -> None:
+        """Await queued futures in order; write envelopes; flush per request.
+
+        A broken socket flips ``state.broken`` and the task keeps *draining*
+        (awaiting futures, discarding output) so the reader's bounded-queue
+        puts never deadlock and in-flight session work finishes cleanly.
+        """
+        while True:
+            item = await queue.get()
+            if item is _DONE:
+                return
+            answers = await item  # handle_line never raises (app contract)
+            if state.broken or not answers:
+                continue
+            try:
+                for answer in answers:
+                    writer.write(
+                        (json.dumps(answer.to_json_dict()) + "\n").encode("utf-8")
+                    )
+                await writer.drain()
+            except (ConnectionError, TimeoutError, RuntimeError):
+                state.broken = True
+
+
+async def _finish_drainer(queue: asyncio.Queue, drainer: asyncio.Task) -> None:
+    """Deliver the end-of-stream sentinel, then wait for the writer task.
+
+    Cancellation-safe: during shutdown both the connection task and the
+    writer task are cancelled together, so a blocking ``queue.put`` could
+    strand this coroutine with no consumer.  The sentinel is therefore
+    offered without blocking, retrying while the drainer is still consuming.
+    """
+    try:
+        while not drainer.done():
+            try:
+                queue.put_nowait(_DONE)
+                break
+            except asyncio.QueueFull:
+                await asyncio.sleep(0.005)
+    except asyncio.CancelledError:
+        drainer.cancel()
+    with contextlib.suppress(asyncio.CancelledError, Exception):
+        await drainer
+
+
+class AsyncHttpServer(_AsyncTransportBase):
+    """The HTTP routes on one event loop, keep-alive by default.
+
+    Route and status-code behaviour mirrors
+    :class:`repro.server.http_transport.HttpAnswerHandler` exactly,
+    including which error responses force ``Connection: close`` (any
+    response sent without fully reading the request body must, or the
+    unread bytes would be parsed as the next request line).
+    """
+
+    name = "repro-aio-http"
+
+    #: Per-read timeout, the asyncio analogue of the threaded handler's
+    #: socket ``timeout = 30``: a client announcing a body it never sends
+    #: (or dribbling headers — slowloris) holds only its own connection,
+    #: and only for this long.
+    request_timeout: float = 30.0
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                request_line = await self._read(reader.readline())
+                if not request_line:
+                    return
+                text = request_line.decode("latin-1").strip()
+                if not text:
+                    continue
+                parts = text.split()
+                if len(parts) != 3:
+                    await self._send_json(
+                        writer,
+                        400,
+                        {"ok": False, "error": f"malformed request line {text!r}"},
+                        close=True,
+                    )
+                    return
+                method, target, version = parts
+                headers = await self._read_headers(reader)
+                connection = headers.get("connection", "").lower()
+                close_after = connection == "close" or (
+                    version == "HTTP/1.0" and connection != "keep-alive"
+                )
+                if method == "GET":
+                    await self._handle_get(loop, writer, target)
+                elif method == "POST":
+                    done = await self._handle_post(loop, reader, writer, target, headers)
+                    if done:
+                        return
+                else:
+                    await self._send_json(
+                        writer,
+                        405,
+                        {"ok": False, "error": f"method {method} not allowed"},
+                        close=True,
+                    )
+                    return
+                if close_after:
+                    return
+        except (ValueError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return  # oversized header line, read timeout, or half-closed client
+
+    async def _read(self, awaitable):
+        return await asyncio.wait_for(awaitable, timeout=self.request_timeout)
+
+    async def _read_headers(self, reader: asyncio.StreamReader) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._read(reader.readline())
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    # ------------------------------------------------------------------ #
+    # routes (status codes mirror http_transport.HttpAnswerHandler)
+    # ------------------------------------------------------------------ #
+    async def _handle_get(self, loop, writer, target: str) -> None:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/stats":
+            self.app._bump("stats_requests")
+            payload = await loop.run_in_executor(self._executor, self._stats_payload)
+            await self._send_json(writer, 200, payload)
+        elif path in ("/", "/healthz"):
+            await self._send_json(
+                writer,
+                200,
+                {"ok": True, "uptime_s": time.monotonic() - self.app._started},
+            )
+        else:
+            await self._send_json(
+                writer, 404, {"ok": False, "error": f"unknown path {target!r}"}
+            )
+
+    async def _handle_post(self, loop, reader, writer, target: str, headers) -> bool:
+        """Serve one POST; returns True when the connection must end."""
+        path = target.split("?", 1)[0].rstrip("/")
+        if path != "/answer":
+            await self._send_json(
+                writer,
+                404,
+                {"ok": False, "error": f"unknown path {target!r}"},
+                close=True,
+            )
+            return True
+        if headers.get("transfer-encoding"):
+            await self._send_json(
+                writer,
+                411,
+                {
+                    "ok": False,
+                    "error": "chunked bodies not supported; send Content-Length",
+                },
+                close=True,
+            )
+            return True
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            await self._send_json(
+                writer,
+                411,
+                {"ok": False, "error": "Content-Length required"},
+                close=True,
+            )
+            return True
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            await self._send_json(
+                writer, 400, {"ok": False, "error": "bad Content-Length"}, close=True
+            )
+            return True
+        try:
+            body = await self._read(reader.readexactly(length))
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            await self._send_json(
+                writer,
+                400,
+                {"ok": False, "error": "truncated request body"},
+                close=True,
+            )
+            return True
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            await self._send_json(
+                writer, 400, {"ok": False, "error": f"malformed JSON body: {error}"}
+            )
+            return False
+        items: List[object] = payload if isinstance(payload, list) else [payload]
+        rendered = await loop.run_in_executor(self._executor, self._answer_items, items)
+        await self._send_json(
+            writer,
+            200,
+            {"schema_version": ENVELOPE_SCHEMA_VERSION, "answers": rendered},
+        )
+        return False
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _stats_payload(self) -> dict:
+        return self.app.stats_answer().to_json_dict()
+
+    def _answer_items(self, items: List[object]) -> List[dict]:
+        answers: List[dict] = []
+        for index, item in enumerate(items, start=1):
+            for answer in self.app.handle_payload(item, line_number=index):
+                answers.append(answer.to_json_dict())
+        return answers
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, close=False
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        reason = _http_reasons.get(status, "")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Server: repro-cqa\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+        )
+        if close:
+            head += "Connection: close\r\n"
+        head += "\r\n"
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+
+def start_async_jsonl_server(
+    app: CQAServer, host: str = "127.0.0.1", port: int = 0, in_thread: bool = True
+) -> AsyncJsonlServer:
+    """Bind an :class:`AsyncJsonlServer`; by default its loop runs on a
+    daemon thread.  With ``in_thread=False`` the caller owns
+    ``serve_forever()`` — exact parity with
+    :func:`repro.server.jsonl.start_jsonl_server`."""
+    server = AsyncJsonlServer(app, (host, port))
+    if in_thread:
+        server.start()
+    return server
+
+
+def start_async_http_server(
+    app: CQAServer, host: str = "127.0.0.1", port: int = 0, in_thread: bool = True
+) -> AsyncHttpServer:
+    """Bind an :class:`AsyncHttpServer` (mirror of ``start_http_server``)."""
+    server = AsyncHttpServer(app, (host, port))
+    if in_thread:
+        server.start()
+    return server
+
+
+__all__ = [
+    "MAX_PIPELINE_DEPTH",
+    "AsyncHttpServer",
+    "AsyncJsonlServer",
+    "start_async_http_server",
+    "start_async_jsonl_server",
+]

@@ -52,6 +52,11 @@ from .pool import SessionPool
 #: The server-level operation answering with cache/session/transport stats.
 STATS_OP = "stats"
 
+#: The server-level no-compute echo operation.  Keep-alive clients use it to
+#: frame a batch on a multiplexed connection: send N requests plus a ping
+#: carrying a unique id, then read envelopes until the ping's echo arrives.
+PING_OP = "ping"
+
 #: Fingerprint placeholder for dataset-independent operations.
 _NO_DATASET = ("none",)
 
@@ -303,6 +308,8 @@ class CQAServer:
         base_dir: Optional[str] = None,
         concurrent: bool = True,
         catalog_path: Optional[str] = None,
+        calibrate_every: float = 0.0,
+        calibrate_min_requests: int = 20,
     ) -> None:
         if session is None:
             cache = None
@@ -339,7 +346,31 @@ class CQAServer:
             "errors": 0,
             "stats_requests": 0,
             "catalog_requests": 0,
+            "pings": 0,
         }
+        # Serving-time calibration feedback (``repro calibrate`` as a
+        # background pass): every ``calibrate_every`` seconds, refit the
+        # cost-model constants from the session's recorded strategy timings
+        # and install the refit on the live planner.  0 disables the loop.
+        self.calibrate_every = float(calibrate_every)
+        self.calibrate_min_requests = int(calibrate_min_requests)
+        self.calibration: Dict[str, object] = {
+            "enabled": self.calibrate_every > 0,
+            "interval_s": self.calibrate_every,
+            "passes": 0,
+            "refits": 0,
+            "skipped": 0,
+            "last_drifts": [],
+        }
+        self._calibrate_stop = threading.Event()
+        self._calibrate_thread: Optional[threading.Thread] = None
+        if self.calibrate_every > 0:
+            self._calibrate_thread = threading.Thread(
+                target=self._calibration_loop,
+                name="repro-calibration",
+                daemon=True,
+            )
+            self._calibrate_thread.start()
 
     @property
     def cache(self) -> Optional[AnswerCache]:
@@ -384,6 +415,20 @@ class CQAServer:
         if isinstance(payload, dict) and payload.get("op") == STATS_OP:
             self._bump("stats_requests")
             answer = self.stats_answer()
+            request_id = payload.get("id")
+            answer.request_id = str(request_id) if request_id is not None else None
+            return [answer]
+        if isinstance(payload, dict) and payload.get("op") == PING_OP:
+            self._bump("pings")
+            answer = Answer(
+                op=PING_OP,
+                query="*",
+                verdict=True,
+                algorithm="ping",
+                backend="server",
+                exact=True,
+                details={"uptime_s": time.monotonic() - self._started},
+            )
             request_id = payload.get("id")
             answer.request_id = str(request_id) if request_id is not None else None
             return [answer]
@@ -498,6 +543,66 @@ class CQAServer:
         self._bump("errors", sum(1 for answer in answers if not answer.ok))
         return answers
 
+    # ------------------------------------------------------------------ #
+    # serving-time calibration feedback
+    # ------------------------------------------------------------------ #
+    def run_calibration_pass(self, drift_threshold: float = 2.0) -> Optional[Dict]:
+        """One calibration pass: refit from live timings, install the model.
+
+        The refit always starts from the *committed* calibration (not the
+        currently-installed model), so repeated passes converge on the
+        observed host instead of compounding scale factors pass over pass.
+        Returns the drift summary, or ``None`` when the serving window has
+        too few planned requests to be worth fitting (the pass is skipped
+        and counted as such).  Installing the refit is a single attribute
+        swap on the planner — atomic under the GIL, so in-flight requests
+        see either the old model or the new one, never a torn mix.
+        """
+        from ..service.costmodel import CostModel, refit_from_timings
+
+        with self._stats_lock:
+            self.calibration["passes"] = int(self.calibration["passes"]) + 1
+        timings = {
+            name: dict(row)
+            for name, row in getattr(self.session, "strategy_timings", {}).items()
+        }
+        usable = sum(
+            int(row.get("requests", 0))
+            for row in timings.values()
+            if isinstance(row, dict)
+        )
+        if usable < self.calibrate_min_requests:
+            with self._stats_lock:
+                self.calibration["skipped"] = int(self.calibration["skipped"]) + 1
+            return None
+        refitted, drifts = refit_from_timings(
+            timings, CostModel.committed(), drift_threshold=drift_threshold
+        )
+        self.session.planner.cost_model = refitted
+        summary = {
+            "requests": usable,
+            "drifts": [drift.to_json_dict() for drift in drifts],
+        }
+        with self._stats_lock:
+            self.calibration["refits"] = int(self.calibration["refits"]) + 1
+            self.calibration["last_drifts"] = summary["drifts"]
+        return summary
+
+    def _calibration_loop(self) -> None:
+        while not self._calibrate_stop.wait(self.calibrate_every):
+            try:
+                self.run_calibration_pass()
+            except Exception:  # noqa: BLE001 - the loop must survive any pass
+                with self._stats_lock:
+                    self.calibration["skipped"] = int(self.calibration["skipped"]) + 1
+
+    def stop_calibration(self) -> None:
+        """Stop the background calibration loop (idempotent)."""
+        self._calibrate_stop.set()
+        if self._calibrate_thread is not None:
+            self._calibrate_thread.join(timeout=5)
+            self._calibrate_thread = None
+
     def _bump(self, key: str, amount: int = 1) -> None:
         """Increment a transport counter atomically (transports are threaded)."""
         if not amount:
@@ -529,6 +634,7 @@ class CQAServer:
             "strategies": self.session.planner.registry.names(),
             "strategy_timings": {name: dict(row) for name, row in timings.items()},
             "concurrency": self.pool.describe_dict(),
+            "calibration": dict(self.calibration),
             "derived_cache": derived_cache_totals(),
             "catalog": (
                 self.catalog.store.describe_dict() if self.catalog is not None else None

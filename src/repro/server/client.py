@@ -4,6 +4,10 @@ Thin stdlib wrappers over the two wire transports:
 
 * :func:`call_jsonl` — open a TCP connection to a JSONL server, send request
   lines, half-close the write side and read every answer envelope until EOF;
+* :class:`JsonlClient` — a *keep-alive* JSONL connection: many calls, one
+  socket.  Each call appends a ``ping`` framing line (a unique id) and reads
+  envelopes until the ping's echo, so the connection never needs EOF to
+  delimit a batch;
 * :func:`call_http` — ``POST /answer`` with one request payload or a list;
 * :func:`fetch_stats` — the ``stats`` operation over either transport.
 
@@ -14,9 +18,11 @@ contract, exactly like any non-Python consumer would.
 
 from __future__ import annotations
 
+import itertools
 import json
 import socket
 import threading
+import time
 import urllib.request
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -83,6 +89,113 @@ def call_jsonl(
     if drain_errors:
         raise drain_errors[0]
     return envelopes
+
+
+class JsonlClient:
+    """A keep-alive JSONL connection: many calls, one socket.
+
+    :func:`call_jsonl` frames a batch by half-closing the write side, which
+    burns one TCP connect (and one server-side accept) per call.  This
+    client keeps the socket open and frames each batch with the server's
+    ``ping`` operation instead: after the request lines it sends ``{"op":
+    "ping", "id": <unique>}`` and reads envelopes until the ping's echo
+    comes back — everything before the echo belongs to this call, in
+    request order (the server answers a connection's lines sequentially).
+
+    Concurrency: one call at a time per client (an internal lock enforces
+    it); use one client per thread for parallel load.  A connection found
+    dead mid-call is re-dialed once and the batch resent — safe because a
+    dead socket means the *previous* framing completed or the server
+    restarted; a failure on the fresh connection propagates.
+
+    Accounting for the replay driver: ``connects`` counts dials,
+    ``last_connect_s`` holds the dial time of the most recent call (0.0
+    when the call reused the warm connection).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connects = 0
+        self.last_connect_s = 0.0
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._writer = None
+
+    # ------------------------------------------------------------------ #
+    def call(self, lines: Iterable[str]) -> List[Dict[str, object]]:
+        """Send request lines, return their envelopes (ping excluded)."""
+        batch = [line.rstrip("\n") for line in lines]
+        with self._lock:
+            self.last_connect_s = 0.0
+            try:
+                if self._sock is None:
+                    self._connect()
+                return self._exchange(batch)
+            except (OSError, ValueError):
+                # The warm connection died (server restart, idle drop, or a
+                # torn stream): dial once more and resend the batch.
+                self._teardown()
+                self._connect()
+                return self._exchange(batch)
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    def __enter__(self) -> "JsonlClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        started = time.perf_counter()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._writer = self._sock.makefile("w", encoding="utf-8", newline="\n")
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self.last_connect_s = time.perf_counter() - started
+        self.connects += 1
+
+    def _teardown(self) -> None:
+        for stream in (self._writer, self._reader, self._sock):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._sock = self._reader = self._writer = None
+
+    def _exchange(self, batch: List[str]) -> List[Dict[str, object]]:
+        frame_id = f"frame-{id(self)}-{next(self._ids)}"
+        for line in batch:
+            self._writer.write(line + "\n")
+        self._writer.write(
+            json.dumps({"op": "ping", "id": frame_id}) + "\n"
+        )
+        self._writer.flush()
+        envelopes: List[Dict[str, object]] = []
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the connection before the framing ping echoed"
+                )
+            if not line.strip():
+                continue
+            envelope = json.loads(line)
+            if (
+                envelope.get("op") == "ping"
+                and envelope.get("request_id") == frame_id
+            ):
+                return envelopes
+            envelopes.append(envelope)
 
 
 def call_http(

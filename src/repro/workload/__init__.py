@@ -21,6 +21,7 @@ from .replay import (
     compare_verdicts,
     direct_sender,
     http_sender,
+    jsonl_keepalive_sender,
     jsonl_sender,
     percentile,
     replay,
@@ -36,6 +37,7 @@ __all__ = [
     "direct_sender",
     "generate_trace",
     "http_sender",
+    "jsonl_keepalive_sender",
     "jsonl_sender",
     "percentile",
     "read_trace",

@@ -33,7 +33,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..service.envelope import OPERATIONS
 
-#: A sender: one decoded payload in, the answered envelope dicts out.
+#: A sender: one decoded payload in, the answered envelope dicts out.  A
+#: sender may instead return ``(envelopes, connect_s)`` — the driver then
+#: splits connection-establishment time out of the service latency (the
+#: keep-alive sender reports 0.0 for reused connections).
 Sender = Callable[[Dict[str, object]], List[Dict[str, object]]]
 
 
@@ -47,14 +50,67 @@ def direct_sender(server) -> Sender:
 
 
 def jsonl_sender(host: str, port: int, timeout: float = 60.0) -> Sender:
-    """Drive a TCP JSONL server (one connection per request, thread-safe)."""
+    """Drive a TCP JSONL server (one connection per request, thread-safe).
+
+    Every call dials a fresh connection; the dial time is reported
+    separately so the latency split stays comparable with
+    :func:`jsonl_keepalive_sender`.
+    """
     import json
+    import socket
 
-    from ..server.client import call_jsonl
+    def send(payload: Dict[str, object]):
+        begin = time.perf_counter()
+        connection = socket.create_connection((host, port), timeout=timeout)
+        connect_s = time.perf_counter() - begin
+        envelopes: List[Dict[str, object]] = []
+        with connection:
+            connection.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            connection.shutdown(socket.SHUT_WR)
+            reader = connection.makefile("r", encoding="utf-8")
+            for line in reader:
+                if line.strip():
+                    envelopes.append(json.loads(line))
+        return envelopes, connect_s
 
-    def send(payload: Dict[str, object]) -> List[Dict[str, object]]:
-        return call_jsonl(host, port, [json.dumps(payload)], timeout=timeout)
+    return send
 
+
+def jsonl_keepalive_sender(host: str, port: int, timeout: float = 60.0) -> Sender:
+    """Drive a TCP JSONL server over keep-alive connections (one per thread).
+
+    Each replay worker thread gets its own persistent
+    :class:`~repro.server.client.JsonlClient` (ping-framed batches, no EOF
+    needed), so ``--concurrency N`` costs N dials total instead of one per
+    request.  The returned sender carries a ``close()`` attribute that tears
+    down every thread's connection.
+    """
+    import json
+    import threading
+
+    from ..server.client import JsonlClient
+
+    local = threading.local()
+    clients: List[object] = []
+    clients_lock = threading.Lock()
+
+    def send(payload: Dict[str, object]):
+        client = getattr(local, "client", None)
+        if client is None:
+            client = JsonlClient(host, port, timeout=timeout)
+            local.client = client
+            with clients_lock:
+                clients.append(client)
+        envelopes = client.call([json.dumps(payload)])
+        return envelopes, client.last_connect_s
+
+    def close() -> None:
+        with clients_lock:
+            for client in clients:
+                client.close()
+            clients.clear()
+
+    send.close = close
     return send
 
 
@@ -87,6 +143,11 @@ class ReplayReport:
     elapsed_s: float = 0.0
     #: Wire latency per trace line, seconds (same order as the trace).
     latencies_s: List[float] = field(default_factory=list)
+    #: Connection-establishment share of each latency (0.0 when the sender
+    #: reused a warm connection or does not report connects).
+    connects_s: List[float] = field(default_factory=list)
+    #: How many trace lines actually paid a dial (connect_s > 0).
+    connects: int = 0
     #: Per-tier cache accounting over query answers.
     tiers: Dict[str, int] = field(
         default_factory=lambda: {
@@ -108,14 +169,30 @@ class ReplayReport:
     def throughput(self) -> float:
         return self.requests / self.elapsed_s if self.elapsed_s else 0.0
 
+    def _services_s(self) -> List[float]:
+        """Per-line service time: wire latency minus the connect share."""
+        return [
+            max(0.0, latency - connect)
+            for latency, connect in zip(self.latencies_s, self.connects_s)
+        ]
+
     def hit_rate(self) -> float:
         hits = self.tiers["memory_hits"] + self.tiers["persistent_hits"]
         looked_up = hits + self.tiers["misses"]
         return hits / looked_up if looked_up else 0.0
 
-    def record(self, payload: Dict[str, object], envelopes, latency_s: float) -> None:
+    def record(
+        self,
+        payload: Dict[str, object],
+        envelopes,
+        latency_s: float,
+        connect_s: float = 0.0,
+    ) -> None:
         self.requests += 1
         self.latencies_s.append(latency_s)
+        self.connects_s.append(connect_s)
+        if connect_s > 0:
+            self.connects += 1
         self.verdicts.append(envelopes[0].get("verdict") if envelopes else None)
         is_query = payload.get("op") in OPERATIONS
         expects_provenance = is_query and payload.get("dataset") is not None
@@ -157,6 +234,20 @@ class ReplayReport:
                 "p99": round(percentile(self.latencies_s, 0.99) * 1e3, 3),
                 "max": round(max(self.latencies_s) * 1e3, 3) if self.latencies_s else 0.0,
             },
+            "connects": self.connects,
+            "connect_ms": {
+                "p50": round(percentile(self.connects_s, 0.50) * 1e3, 3),
+                "max": round(max(self.connects_s) * 1e3, 3) if self.connects_s else 0.0,
+                "total": round(sum(self.connects_s) * 1e3, 3),
+            },
+            "service_ms": {
+                "p50": round(
+                    percentile(self._services_s(), 0.50) * 1e3, 3
+                ),
+                "p90": round(
+                    percentile(self._services_s(), 0.90) * 1e3, 3
+                ),
+            },
             "cache_tiers": dict(self.tiers),
             "hit_rate": round(self.hit_rate(), 4),
             "control_lines": self.control,
@@ -177,6 +268,9 @@ class ReplayReport:
             f"({stats['throughput_rps']} req/s)",
             f"latency   : p50={latency['p50']}ms p90={latency['p90']}ms "
             f"p99={latency['p99']}ms max={latency['max']}ms",
+            f"connects  : {self.connects} dials "
+            f"(p50={stats['connect_ms']['p50']}ms, "
+            f"service p50={stats['service_ms']['p50']}ms)",
             f"cache     : memory={tiers['memory_hits']} "
             f"persistent={tiers['persistent_hits']} misses={tiers['misses']} "
             f"uncached={tiers['uncached']} hit_rate={stats['hit_rate']}",
@@ -202,7 +296,10 @@ def replay(
     ``speed = 1`` replays in trace time, ``2`` at double speed, and so on.
     ``concurrency = 1`` runs strictly sequentially (deterministic order);
     larger values fire from a thread pool, which is what makes open-loop
-    pacing honest when the server falls behind the offered load.
+    pacing honest when the server falls behind the offered load.  Catalog
+    mutations are always replayed as barriers (in-flight reads drain
+    first), so a concurrent replay answers exactly what a sequential one
+    would.
     """
     report = ReplayReport()
     if not payloads:
@@ -211,23 +308,42 @@ def replay(
 
     def fire(payload: Dict[str, object]):
         begin = time.perf_counter()
-        envelopes = send(payload)
-        return envelopes, time.perf_counter() - begin
+        result = send(payload)
+        latency = time.perf_counter() - begin
+        if isinstance(result, tuple):  # (envelopes, connect_s) senders
+            envelopes, connect_s = result
+        else:
+            envelopes, connect_s = result, 0.0
+        return envelopes, latency, connect_s
 
     if concurrency <= 1:
         for payload in payloads:
             _pace(payload, speed, started)
-            envelopes, latency = fire(payload)
-            report.record(payload, envelopes, latency)
+            envelopes, latency, connect_s = fire(payload)
+            report.record(payload, envelopes, latency, connect_s)
     else:
         with ThreadPoolExecutor(max_workers=concurrency) as pool:
-            futures = []
+            pending = []
+
+            def drain():
+                for queued, future in pending:
+                    envelopes, latency, connect_s = future.result()
+                    report.record(queued, envelopes, latency, connect_s)
+                pending.clear()
+
             for payload in payloads:
                 _pace(payload, speed, started)
-                futures.append((payload, pool.submit(fire, payload)))
-            for payload, future in futures:
-                envelopes, latency = future.result()
-                report.record(payload, envelopes, latency)
+                if payload.get("op") == "catalog":
+                    # Catalog lines mutate shared state (creates, ingests,
+                    # deltas); running them as barriers means every read
+                    # observes the same catalog state as a sequential
+                    # replay, so verdict fidelity survives concurrency.
+                    drain()
+                    envelopes, latency, connect_s = fire(payload)
+                    report.record(payload, envelopes, latency, connect_s)
+                else:
+                    pending.append((payload, pool.submit(fire, payload)))
+            drain()
     report.elapsed_s = time.perf_counter() - started
     return report
 

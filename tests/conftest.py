@@ -12,6 +12,23 @@ from repro import (
     RelationSchema,
     paper_queries,
 )
+from repro.bench.harness import effective_cores
+
+
+def requires_cores(count: int):
+    """Skip marker for tests whose claim needs ``count`` genuinely-parallel
+    cores (affinity-aware, shared with the benchmarks' ``assert_core_gated``).
+
+    Usage::
+
+        @requires_cores(2)
+        def test_parallel_actually_wins(): ...
+    """
+    available = effective_cores()
+    return pytest.mark.skipif(
+        available < count,
+        reason=f"needs {count} effective cores, have {available}",
+    )
 from repro.fixtures import (
     figure_1b_database,
     figure_1c_tripath,

@@ -156,6 +156,46 @@ class TestReplayReport:
         assert stats["verdicts"] == {"True": 1, "False": 1, "None": 1}
         assert "provenance" in report.render() or report.provenance_expected
 
+    def test_connect_and_service_split_accounting(self):
+        report = ReplayReport()
+        # A cold request that spent most of its latency dialing …
+        report.record({"op": "certain", "query": "q3"},
+                      [{"ok": True, "verdict": True, "details": {}}],
+                      0.05, connect_s=0.04)
+        # … two warm keep-alive requests (no dial) …
+        report.record({"op": "certain", "query": "q3"},
+                      [{"ok": True, "verdict": True, "details": {}}],
+                      0.01)
+        report.record({"op": "certain", "query": "q3"},
+                      [{"ok": True, "verdict": False, "details": {}}],
+                      0.02, connect_s=0.0)
+        # … and a clock-skewed one where connect_s > latency (service floors
+        # at zero instead of going negative).
+        report.record({"op": "certain", "query": "q3"},
+                      [{"ok": True, "verdict": True, "details": {}}],
+                      0.001, connect_s=0.002)
+        assert report.connects == 2
+        stats = report.to_json_dict()
+        assert stats["connects"] == 2
+        assert set(stats["connect_ms"]) == {"p50", "max", "total"}
+        assert set(stats["service_ms"]) == {"p50", "p90"}
+        # The latency block's schema is unchanged by the split.
+        assert set(stats["latency_ms"]) == {"p50", "p90", "p99", "max"}
+        assert stats["connect_ms"]["max"] >= stats["connect_ms"]["p50"]
+        # Service time is latency minus connect, floored at zero.
+        services = sorted(report._services_s())
+        assert services[0] == 0.0
+        assert all(value >= 0.0 for value in services)
+        assert "dials" in report.render()
+
+    def test_legacy_record_without_connect_kwarg(self):
+        # Positional 3-arg record() keeps working: no dial accounted.
+        report = ReplayReport()
+        report.record({"op": "certain", "query": "q3"},
+                      [{"ok": True, "verdict": True, "details": {}}], 0.01)
+        assert report.connects == 0
+        assert report.to_json_dict()["connects"] == 0
+
     def test_compare_verdicts(self):
         observed, reference = ReplayReport(), ReplayReport()
         observed.verdicts = [True, False, True]
@@ -214,3 +254,54 @@ class TestReplayIntegration:
     def test_empty_trace(self):
         report = replay([], direct_sender(CQAServer()))
         assert report.requests == 0 and report.elapsed_s == 0.0
+
+    def test_concurrent_catalog_replay_matches_sequential(self, tmp_path):
+        """Catalog mutations barrier the pool: concurrency changes nothing."""
+        payloads = generate_trace(TraceSpec(**SMALL, delta_every=7))
+        sequential = replay(payloads, direct_sender(
+            CQAServer(catalog_path=str(tmp_path / "seq.sqlite3"))))
+        concurrent = replay(payloads, direct_sender(
+            CQAServer(catalog_path=str(tmp_path / "conc.sqlite3"))),
+            concurrency=6)
+        assert concurrent.errors == 0
+        assert concurrent.requests == len(payloads)
+        indices = sample_indices(payloads, 50)
+        assert compare_verdicts(concurrent, sequential, indices)["mismatches"] == []
+
+    def test_keepalive_replay_reuses_connections(self, tmp_path):
+        """Keep-alive socket replay: far fewer dials than requests, 0 errors."""
+        from repro.server.aio import start_async_jsonl_server
+        from repro.workload import jsonl_keepalive_sender
+
+        payloads = generate_trace(TraceSpec(
+            **{**SMALL, "requests": 16, "mode": "rows"}))
+        server = start_async_jsonl_server(
+            CQAServer(catalog_path=str(tmp_path / "catalog.sqlite3")))
+        sender = jsonl_keepalive_sender("127.0.0.1", server.port)
+        try:
+            report = replay(payloads, sender, concurrency=4)
+        finally:
+            sender.close()
+            server.shutdown()
+        assert report.errors == 0
+        assert report.requests == len(payloads)
+        # One dial per worker thread, not per request.
+        assert 0 < report.connects <= 4 < report.requests
+        stats = report.to_json_dict()
+        assert stats["connects"] == report.connects
+        assert stats["connect_ms"]["total"] > 0.0
+
+    def test_one_shot_sender_dials_per_request(self, tmp_path):
+        from repro.server.aio import start_async_jsonl_server
+        from repro.workload import jsonl_sender
+
+        payloads = generate_trace(TraceSpec(
+            **{**SMALL, "requests": 6, "mode": "rows"}))
+        server = start_async_jsonl_server(
+            CQAServer(catalog_path=str(tmp_path / "catalog.sqlite3")))
+        try:
+            report = replay(payloads, jsonl_sender("127.0.0.1", server.port))
+        finally:
+            server.shutdown()
+        assert report.errors == 0
+        assert report.connects == report.requests == len(payloads)
