@@ -1,0 +1,249 @@
+"""Experiment X — the relational backend layer: pushdown vs materialise.
+
+Measures what the DB-API pushdown path buys on escape-heavy databases
+that live behind a relational backend (stdlib sqlite3 here; the same
+SQL fragments run against Postgres when a driver is present):
+
+* **X.a — pushdown vs indexed-memory over the same backend.**  One
+  escape-heavy ``q3`` database per size is ingested into a DB-API
+  backend file; the planner then answers it twice — once with the
+  ``backend-pushdown`` strategy (server-side fragments, only the
+  solution-relevant reduction streams into Python) and once pinned to
+  ``backend=memory`` (the full table streams into an in-memory
+  :class:`Database` before indexed evaluation).  Verdicts must agree;
+  the wall-clock speedup at the largest size is the regression-gated
+  headline, and the per-size rows trace the crossover the cost model
+  prices (committed constants in ``COST_MODEL.json``).
+* **X.b — bounded footprint.**  ``tracemalloc`` peaks for both paths on
+  the largest database: the memory strategy's peak is proportional to
+  ``|D|`` (every fact materialised), the pushdown peak to the
+  solution-relevant reduction plus one ``fetchmany`` batch.  The
+  acceptance bar: at equal verdicts the materialised footprint is at
+  least **10x** the pushdown footprint — i.e. the pushdown path answers
+  a database 10x larger than what the memory strategy's budget admits.
+
+Environment knobs (for CI smoke runs): ``BENCH_BACKEND_SIZES`` (comma
+separated fact counts, default ``10000,50000``).  A JSON baseline is
+written next to this file as ``BENCH_backend.json`` on default-sized
+runs.
+"""
+
+import json
+import os
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro import DatasetRef, Request, Session, parse_query
+from repro.backends import DbApiBackend
+from repro.bench.harness import ExperimentReport
+from repro.bench.reporting import emit, write_json
+from repro.core.terms import Fact
+
+_SIZES = tuple(
+    int(size)
+    for size in os.environ.get("BENCH_BACKEND_SIZES", "10000,50000").split(",")
+    if size.strip()
+)
+
+_DEFAULT_SIZED_RUN = "BENCH_BACKEND_SIZES" not in os.environ
+
+#: Facts forming the solution chain (the relevant core kept by the reduction).
+_CHAIN = 24
+#: Escape facts sharing the chain head's block (forces representative probes).
+_CROWDED = 48
+#: Regression gate vs the committed baseline (matches the other suites).
+_REGRESSION_FACTOR = 2.0
+#: Absolute cap on gate thresholds (see bench_server.py).
+_GATE_FLOOR = 4.0
+#: X.b acceptance bar: materialised peak / pushdown peak.
+_FOOTPRINT_RATIO = 10.0
+
+_QUERY = "q3"
+_QUERY_TEXT = "R(x|y) R(y|z)"
+
+_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_backend.json"
+
+_JSON_REPORTS = []
+#: experiment key -> measured speedup, consumed by the regression gate.
+_MEASURED = {}
+
+
+def _escape_heavy_facts(size):
+    """``size`` facts of which only the chain (+1 block) survives reduction.
+
+    A ``_CHAIN``-long path ``s0 -> s1 -> ... `` supplies the solution pairs;
+    ``_CROWDED`` extra facts crowd the chain head's key block (so the
+    reduction must probe the server for an escape representative); every
+    remaining fact is a single-member block that joins with nothing and is
+    dropped wholesale by the solution-relevant reduction.
+    """
+    schema = parse_query(_QUERY_TEXT).schema
+    facts = [
+        Fact(schema, (f"s{i}", f"s{i + 1}")) for i in range(_CHAIN)
+    ]
+    facts.extend(
+        Fact(schema, ("s0", f"u{i}")) for i in range(_CROWDED)
+    )
+    facts.extend(
+        Fact(schema, (f"e{i}", f"z{i}")) for i in range(size - len(facts))
+    )
+    return facts
+
+
+def _answer(backend, *, pin=None):
+    """One cold answer over ``backend``; returns (answer, seconds)."""
+    ref = DatasetRef.backend(backend)
+    request = Request(
+        op="certain", query=_QUERY, datasets=(ref,), backend=pin,
+        explain_plan=True,
+    )
+    started = time.perf_counter()
+    [answer] = Session().answer(request)
+    elapsed = time.perf_counter() - started
+    assert answer.ok, answer.error
+    return answer, elapsed
+
+
+def _traced_peak(backend, *, pin=None):
+    """tracemalloc peak (bytes) of one cold answer over ``backend``."""
+    tracemalloc.start()
+    try:
+        answer, _ = _answer(backend, pin=pin)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return answer, peak
+
+
+def test_pushdown_vs_materialise_crossover():
+    """X.a: server-side pushdown must out-run full-table materialisation."""
+    report = ExperimentReport(
+        "Experiment X.a — DB-API pushdown vs indexed-memory over the same "
+        "backend (escape-heavy q3)",
+        ["facts", "reduced", "pushdown (ms)", "materialise (ms)", "speedup",
+         "verdicts"],
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-backend-") as scratch:
+        for size in _SIZES:
+            backend = DbApiBackend(
+                f"dbapi:sqlite:{Path(scratch) / f'facts-{size}.db'}",
+                schema=parse_query(_QUERY_TEXT).schema,
+            )
+            backend.ingest(_escape_heavy_facts(size))
+            pushed, pushdown_s = _answer(backend, pin="dbapi")
+            streaming = pushed.details["streaming"]
+            materialised, materialise_s = _answer(backend, pin="memory")
+            backend.close()
+
+            assert pushed.backend == "backend-pushdown"
+            assert materialised.backend != "backend-pushdown"
+            # Certainty-equivalence of the reduction, end to end.
+            assert pushed.verdict == materialised.verdict
+            assert streaming["server_facts"] == size
+            assert streaming["reduced_facts"] < size // 10
+            assert streaming["peak_buffer_rows"] <= streaming["batch_size"]
+
+            speedup = materialise_s / pushdown_s if pushdown_s else float("inf")
+            _MEASURED[f"pushdown-speedup@{size}"] = speedup
+            report.add(
+                facts=size,
+                reduced=streaming["reduced_facts"],
+                **{
+                    "pushdown (ms)": f"{pushdown_s * 1e3:.2f}",
+                    "materialise (ms)": f"{materialise_s * 1e3:.2f}",
+                    "speedup": f"{speedup:.2f}x",
+                    "verdicts":
+                        f"{pushed.verdict}=={materialised.verdict}",
+                },
+            )
+    emit(report)
+    _JSON_REPORTS.append(report)
+    # The crossover sits near ~100 facts (COST_MODEL.json); at 10k+ facts
+    # the pushdown path must win outright.
+    largest = max(_SIZES)
+    assert _MEASURED[f"pushdown-speedup@{largest}"] > 1.0, (
+        f"pushdown slower than materialising at {largest} facts"
+    )
+
+
+def test_pushdown_footprint_ratio():
+    """X.b: materialised peak RSS must be >=10x the pushdown peak."""
+    size = max(_SIZES)
+    with tempfile.TemporaryDirectory(prefix="bench-backend-") as scratch:
+        backend = DbApiBackend(
+            f"dbapi:sqlite:{Path(scratch) / 'facts.db'}",
+            schema=parse_query(_QUERY_TEXT).schema,
+        )
+        backend.ingest(_escape_heavy_facts(size))
+        pushed, pushdown_peak = _traced_peak(backend, pin="dbapi")
+        materialised, materialise_peak = _traced_peak(backend, pin="memory")
+        backend.close()
+
+    assert pushed.verdict == materialised.verdict
+    ratio = materialise_peak / pushdown_peak if pushdown_peak else float("inf")
+    report = ExperimentReport(
+        "Experiment X.b — tracemalloc peak: full materialisation vs "
+        "bounded pushdown streaming",
+        ["facts", "pushdown peak (KiB)", "materialise peak (KiB)", "ratio"],
+    )
+    report.add(
+        facts=size,
+        **{
+            "pushdown peak (KiB)": f"{pushdown_peak / 1024:.0f}",
+            "materialise peak (KiB)": f"{materialise_peak / 1024:.0f}",
+            "ratio": f"{ratio:.1f}x",
+        },
+    )
+    emit(report)
+    _JSON_REPORTS.append(report)
+    # Acceptance: the pushdown path answers a database >=10x larger than
+    # the memory strategy's footprint admits, at equal verdicts.
+    assert ratio >= _FOOTPRINT_RATIO, (
+        f"materialised/pushdown peak ratio {ratio:.1f}x < "
+        f"{_FOOTPRINT_RATIO:.0f}x at {size} facts"
+    )
+
+
+def test_backend_regression_vs_baseline():
+    """Gate: the speedup may not regress >2x vs the committed baseline."""
+    if not _BASELINE_PATH.exists():
+        return
+    baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline_speedups = {}
+    for entry in baseline.get("reports", ()):
+        if "pushdown vs indexed-memory" not in entry.get("title", ""):
+            continue
+        for row in entry.get("rows", ()):
+            key = f"pushdown-speedup@{row.get('facts')}"
+            try:
+                baseline_speedups[key] = float(
+                    str(row.get("speedup", "")).rstrip("x")
+                )
+            except ValueError:
+                continue
+    checked = 0
+    for key, measured in _MEASURED.items():
+        reference = baseline_speedups.get(key)
+        if not reference:
+            continue
+        checked += 1
+        threshold = min(reference / _REGRESSION_FACTOR, _GATE_FLOOR)
+        assert measured >= threshold, (
+            f"{key}: regressed to {measured:.2f}x "
+            f"(baseline {reference:.2f}x, gate threshold {threshold:.2f}x)"
+        )
+    if _MEASURED:
+        assert checked or not _DEFAULT_SIZED_RUN, (
+            "default run must match baseline rows"
+        )
+
+
+def test_write_baseline_json():
+    """Persist the measured reports as the committed JSON baseline."""
+    if not _JSON_REPORTS:  # pragma: no cover - ordering guard
+        return
+    if _DEFAULT_SIZED_RUN:
+        write_json(_BASELINE_PATH, _JSON_REPORTS)
+        assert json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))["reports"]

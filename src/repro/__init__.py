@@ -31,6 +31,17 @@ operation with one typed envelope::
     print(answer.verdict, answer.algorithm, answer.witness)
 """
 
+from .backends import (
+    Backend,
+    BackendCapabilities,
+    BackendSpec,
+    DatasetUnavailable,
+    DbApiBackend,
+    backend_totals,
+    is_backend_spec,
+    parse_backend_spec,
+    reset_backend_totals,
+)
 from .core.approximate import (
     RepairOracle,
     SupportEstimate,
@@ -215,6 +226,10 @@ __all__ = [
     "iter_repairs", "count_repairs", "sample_repair", "sample_repairs",
     "random_solution_database", "random_block_database", "scaled_workload",
     "SqliteFactStore", "certain_answer_via_sqlite", "certain_answers_via_sqlite",
+    # relational backend layer (DB-API pushdown)
+    "Backend", "BackendCapabilities", "BackendSpec", "DbApiBackend",
+    "DatasetUnavailable", "is_backend_spec", "parse_backend_spec",
+    "backend_totals", "reset_backend_totals",
     # indexed evaluation layer
     "FactIndex", "AtomMatcher", "IndexedEvaluator",
     # delta pipeline

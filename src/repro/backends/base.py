@@ -1,0 +1,264 @@
+"""The relational backend protocol: connect, capabilities, pushdown, stream.
+
+A *backend* holds the facts of one relation schema in an external SQL
+engine and pushes the hot relational fragments of the certain-answer
+pipeline server-side (see :mod:`repro.backends.fragments`).  The protocol is
+deliberately small:
+
+``connect()``
+    Idempotently establish the connection (and, once a schema is bound,
+    create the fact/term tables).
+``capabilities()``
+    Static facts the planner and the dataset layer negotiate against:
+    paramstyle, whether terms are interned server-side, whether a
+    server-side content signature is available.
+``ingest(facts)`` / ``encode terms``
+    Batched ``executemany`` loading; implementations that intern terms
+    store digest keys in the fact table and the wide values in a term
+    dictionary, so wide values never travel on the answer path.
+``stream_solution_pairs`` / ``stream_facts`` / ``block_sizes`` /
+``block_total`` / ``escape_representative``
+    The pushdown fragments, streamed through bounded cursors.
+``content_signature()``
+    ``(count, signature_sum)`` computed entirely server-side — the basis of
+    content-addressed dataset fingerprints for caching and fleet routing.
+
+Two implementations ship: :class:`~repro.db.sqlite_backend.SqliteFactStore`
+(the original store, refactored onto the shared fragments) and
+:class:`~repro.backends.dbapi.DbApiBackend` (generic DB-API 2.0, conformance
+tested over stdlib ``sqlite3``, connection strings for ``psycopg``/Postgres
+when installed).
+
+The module also owns the ``backend://`` / ``dbapi:`` connection-spec parser
+and the process-wide usage counters surfaced by the server's ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from urllib.parse import parse_qsl
+
+from ..core.query import TwoAtomQuery
+from ..core.terms import Fact, RelationSchema
+
+#: Drivers the spec parser understands.  ``postgres`` is gated on psycopg
+#: being importable — the container need not ship it.
+KNOWN_DRIVERS = ("sqlite", "postgres")
+
+
+class DatasetUnavailable(FileNotFoundError):
+    """A dataset's backing storage cannot be reached or read.
+
+    Raised instead of raw ``FileNotFoundError``/driver exceptions wherever a
+    :class:`~repro.service.datasets.DatasetRef` or a backend touches its
+    source, so the service layer can return a typed error envelope
+    (``details["error_kind"] == "dataset_unavailable"``) and the CLI a
+    distinct exit code instead of a traceback.  Subclasses
+    ``FileNotFoundError`` so pre-existing callers catching the raw error
+    keep working.
+    """
+
+    kind = "dataset_unavailable"
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend implementation can push down / negotiate."""
+
+    driver: str
+    paramstyle: str = "qmark"
+    #: Terms are interned in a dictionary table; fact columns hold digests.
+    interned_terms: bool = False
+    #: ``content_signature()`` is computed server-side (COUNT + SUM(sig)).
+    server_side_signature: bool = False
+    #: Rows are streamed through bounded cursors (fetchmany batches).
+    streaming: bool = True
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "driver": self.driver,
+            "paramstyle": self.paramstyle,
+            "interned_terms": self.interned_terms,
+            "server_side_signature": self.server_side_signature,
+            "streaming": self.streaming,
+        }
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed ``dbapi:`` / ``backend://`` connection spec."""
+
+    driver: str
+    dsn: str
+    table: Optional[str] = None
+    options: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def option(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for name, value in self.options:
+            if name == key:
+                return value
+        return default
+
+    def describe(self) -> str:
+        suffix = f"?table={self.table}" if self.table else ""
+        return f"dbapi:{self.driver}:{self.dsn}{suffix}"
+
+
+def is_backend_spec(text: object) -> bool:
+    """Whether a dataset token names a relational backend connection."""
+    return isinstance(text, str) and (
+        text.startswith("dbapi:") or text.startswith("backend://")
+    )
+
+
+def parse_backend_spec(text: str) -> BackendSpec:
+    """Parse ``dbapi:DRIVER:DSN[?opt=...]`` or ``backend://DRIVER/DSN[?...]``.
+
+    Accepted forms (the two schemes are equivalent)::
+
+        dbapi:sqlite:/tmp/facts.db          backend://sqlite//tmp/facts.db
+        dbapi:sqlite:///tmp/facts.db        (URI-style triple slash)
+        dbapi:sqlite::memory:               an in-process scratch store
+        dbapi:postgres://user@host/db       psycopg DSN (when installed)
+
+    Options ride in the query string: ``?table=facts_R&batch=512``.
+    """
+    if not isinstance(text, str):
+        raise ValueError(f"backend spec must be a string, got {type(text).__name__}")
+    if text.startswith("backend://"):
+        rest = text[len("backend://"):]
+        driver, separator, body = rest.partition("/")
+        if not separator:
+            raise ValueError(f"backend spec {text!r} is missing a DSN after the driver")
+    elif text.startswith("dbapi:"):
+        rest = text[len("dbapi:"):]
+        driver, separator, body = rest.partition(":")
+        if not separator:
+            raise ValueError(f"backend spec {text!r} is missing a DSN after the driver")
+    else:
+        raise ValueError(
+            f"not a backend spec: {text!r} (expected dbapi:... or backend://...)"
+        )
+    driver = driver.strip().lower()
+    if driver not in KNOWN_DRIVERS:
+        raise ValueError(
+            f"unknown backend driver {driver!r}; expected one of {KNOWN_DRIVERS}"
+        )
+    body, _, query = body.partition("?")
+    options = tuple(parse_qsl(query))
+    if driver == "sqlite":
+        # URI-style `dbapi:sqlite:///path` leaves `///path` after the
+        # partition and `backend://sqlite//path` leaves `/path` intact; strip
+        # the two authority slashes so both name the absolute path `/path`.
+        if body.startswith("//"):
+            body = body[2:]
+        dsn = body or ":memory:"
+    else:
+        # Restore the DSN scheme psycopg expects (`dbapi:postgres://x` parses
+        # to body `//x`).
+        dsn = f"postgresql:{body}" if body.startswith("//") else body
+    table = next((value for name, value in options if name == "table"), None)
+    kept = tuple((name, value) for name, value in options if name != "table")
+    return BackendSpec(driver=driver, dsn=dsn, table=table, options=kept)
+
+
+# --------------------------------------------------------------------------- #
+# process-wide usage counters (surfaced by the server's ``stats`` op)
+# --------------------------------------------------------------------------- #
+_COUNTER_LOCK = threading.Lock()
+_COUNTERS: Dict[str, int] = {
+    "connects": 0,
+    "statements": 0,
+    "rows_ingested": 0,
+    "rows_streamed": 0,
+    "escape_probes": 0,
+    "term_decodes": 0,
+}
+
+
+def note_backend_event(key: str, amount: int = 1) -> None:
+    """Bump one process-wide backend counter (thread-safe)."""
+    with _COUNTER_LOCK:
+        _COUNTERS[key] = _COUNTERS.get(key, 0) + amount
+
+
+def backend_totals() -> Dict[str, int]:
+    """A snapshot of the process-wide backend usage counters."""
+    with _COUNTER_LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_backend_totals() -> None:
+    """Zero the counters (tests only — the server reports monotone totals)."""
+    with _COUNTER_LOCK:
+        for key in list(_COUNTERS):
+            _COUNTERS[key] = 0
+
+
+# --------------------------------------------------------------------------- #
+# the protocol
+# --------------------------------------------------------------------------- #
+class Backend:
+    """Abstract base of the relational backend protocol (see module docs).
+
+    Subclasses must implement everything that raises ``NotImplementedError``;
+    the streaming reduction (:mod:`repro.backends.streaming`) and the dataset
+    layer program against exactly this surface.
+    """
+
+    schema: Optional[RelationSchema]
+
+    # -- lifecycle ------------------------------------------------------- #
+    def connect(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def capabilities(self) -> BackendCapabilities:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    # -- ingest / shape -------------------------------------------------- #
+    def ingest(self, facts: Iterable[Fact], batch_size: int = 512) -> int:
+        raise NotImplementedError
+
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def content_signature(self) -> Tuple[int, int]:
+        """(row count, signature sum), both computed server-side."""
+        raise NotImplementedError
+
+    # -- pushdown fragments ---------------------------------------------- #
+    def stream_solution_pairs(
+        self, query: TwoAtomQuery, batch_size: int = 512, stats=None
+    ) -> Iterator[Tuple[Fact, Fact]]:
+        """Ordered solutions of ``query``, streamed in bounded batches.
+
+        ``stats`` (a :class:`~repro.backends.streaming.ReductionStats`) when
+        given must observe the bounded cursor via ``stats.watch``.
+        """
+        raise NotImplementedError
+
+    def stream_facts(self, batch_size: int = 512, stats=None) -> Iterator[Fact]:
+        raise NotImplementedError
+
+    def block_total(self, key: Tuple[object, ...]) -> int:
+        raise NotImplementedError
+
+    def escape_representative(
+        self, key: Tuple[object, ...], excluded: List[Fact]
+    ) -> Optional[Fact]:
+        raise NotImplementedError
+
+    # -- term decoding ---------------------------------------------------- #
+    def decode_fact(self, fact: Fact) -> Fact:
+        """Resolve interned digests back to real values (identity when not
+        interned).  Used only for the few facts that become user-visible
+        (witness repairs) — wide values stay server-side otherwise."""
+        return fact

@@ -1,0 +1,402 @@
+"""Generic DB-API 2.0 backend with interned terms and streamed pushdown.
+
+One :class:`DbApiBackend` holds the facts of a relation schema in any DB-API
+2.0 engine — conformance-tested over stdlib ``sqlite3``, connection-string
+support for ``psycopg``/Postgres when installed (gated: a missing driver is
+a typed ``dataset_unavailable`` error, never an import crash).
+
+Storage layout (the rdflib ``AbstractSQLStore`` design, adapted):
+
+``<table>`` — the fact table
+    One ``TEXT`` column per relation position holding the *term digest*
+    (blake2b-128 of the canonical element encoding), plus a 32-bit ``sig``
+    row-signature column, ``UNIQUE`` over the digest columns and a B-tree
+    index over the key positions.  Wide values never appear here.
+``<table>_terms`` — the interned term dictionary
+    ``digest TEXT PRIMARY KEY, value TEXT``: digest → canonical encoding.
+    Written with batched ``executemany`` at ingest; read back only for the
+    handful of facts that become user-visible (witness repairs).
+
+Because digests are injective images of elements (equal elements ⇔ equal
+digests), the digest-valued facts preserve blocks, solutions and repairs
+exactly, so every certain-answer algorithm runs on them unchanged; the
+``sig`` column gives ``COUNT(*) + SUM(sig)`` — a server-side content
+signature that fingerprints the table for the answer cache and fleet
+routing without shipping a row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.query import TwoAtomQuery
+from ..core.terms import Fact, RelationSchema
+from .base import (
+    Backend,
+    BackendCapabilities,
+    BackendSpec,
+    DatasetUnavailable,
+    note_backend_event,
+    parse_backend_spec,
+)
+from .encoding import decode_element, encode_element, row_signature, term_digest
+from .fragments import (
+    TableSpec,
+    block_total_sql,
+    content_signature_sql,
+    escape_row_sql,
+    scan_sql,
+    solution_pair_sql,
+)
+from .streaming import DEFAULT_BATCH_SIZE, BoundedRowStream
+
+#: Default ``executemany`` batch for ingest.
+DEFAULT_INGEST_BATCH = 512
+
+
+def _connect_sqlite(dsn: str):
+    import sqlite3
+
+    try:
+        return sqlite3.connect(dsn), "qmark", "INSERT OR IGNORE"
+    except sqlite3.Error as error:
+        raise DatasetUnavailable(f"cannot open sqlite database {dsn!r}: {error}")
+
+
+def _connect_postgres(dsn: str):
+    try:
+        import psycopg  # type: ignore[import-not-found]
+    except ImportError:
+        raise DatasetUnavailable(
+            "postgres backend requested but psycopg is not installed "
+            "(pip install psycopg to enable dbapi:postgres connections)"
+        )
+    try:
+        connection = psycopg.connect(dsn)
+    except Exception as error:  # psycopg.OperationalError et al.
+        raise DatasetUnavailable(f"cannot connect to postgres {dsn!r}: {error}")
+    return connection, "format", "INSERT"
+
+
+class DbApiBackend(Backend):
+    """Facts of one relation schema in a DB-API 2.0 engine (see module docs).
+
+    ``schema`` may be bound lazily (:meth:`bind_schema`) — the service layer
+    learns it from the query at resolve time; fingerprinting only needs the
+    table name, which a ``?table=`` spec option can provide up front.
+    """
+
+    def __init__(
+        self,
+        spec,
+        schema: Optional[RelationSchema] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self.spec: BackendSpec = (
+            spec if isinstance(spec, BackendSpec) else parse_backend_spec(spec)
+        )
+        self.schema = schema
+        self.connection = None
+        self._paramstyle = "qmark"
+        self._insert_prefix = "INSERT OR IGNORE"
+        self._tables_ready = False
+        if batch_size is None:
+            option = self.spec.option("batch")
+            batch_size = int(option) if option else DEFAULT_BATCH_SIZE
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / capabilities
+    # ------------------------------------------------------------------ #
+    def connect(self) -> None:
+        if self.connection is not None:
+            return
+        if self.spec.driver == "sqlite":
+            self.connection, self._paramstyle, self._insert_prefix = _connect_sqlite(
+                self.spec.dsn
+            )
+        elif self.spec.driver == "postgres":
+            self.connection, self._paramstyle, self._insert_prefix = (
+                _connect_postgres(self.spec.dsn)
+            )
+        else:  # pragma: no cover - parse_backend_spec rejects unknown drivers
+            raise DatasetUnavailable(f"unknown backend driver {self.spec.driver!r}")
+        note_backend_event("connects")
+
+    def close(self) -> None:
+        if self.connection is not None:
+            try:
+                self.connection.close()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
+            self.connection = None
+            self._tables_ready = False
+
+    def __enter__(self) -> "DbApiBackend":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            driver=self.spec.driver,
+            paramstyle=self._paramstyle,
+            interned_terms=True,
+            server_side_signature=True,
+            streaming=True,
+        )
+
+    def describe(self) -> str:
+        return self.spec.describe()
+
+    def bind_schema(self, schema: RelationSchema) -> None:
+        """Adopt the relation schema (idempotent; conflicting rebinds fail)."""
+        if self.schema is not None:
+            if (self.schema.arity, self.schema.key_size) != (
+                schema.arity,
+                schema.key_size,
+            ):
+                raise ValueError(
+                    f"backend {self.describe()} is bound to "
+                    f"{self.schema.describe()}, cannot rebind to {schema.describe()}"
+                )
+            return
+        self.schema = schema
+
+    # ------------------------------------------------------------------ #
+    # table plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def table_name(self) -> str:
+        if self.spec.table:
+            return self.spec.table
+        if self.schema is None:
+            raise DatasetUnavailable(
+                f"backend {self.describe()} has no table bound: pass ?table=... "
+                "in the spec or resolve through a query first"
+            )
+        return f"facts_{self.schema.name}"
+
+    @property
+    def terms_table(self) -> str:
+        return f"{self.table_name}_terms"
+
+    def table_spec(self) -> TableSpec:
+        if self.schema is None:
+            raise DatasetUnavailable(
+                f"backend {self.describe()} has no schema bound yet"
+            )
+        return TableSpec(
+            table=self.table_name,
+            arity=self.schema.arity,
+            key_size=self.schema.key_size,
+            paramstyle=self._paramstyle,
+        )
+
+    def _execute(self, sql: str, params: Tuple = ()):
+        self.connect()
+        note_backend_event("statements")
+        try:
+            cursor = self.connection.cursor()
+            cursor.execute(sql, params)
+            return cursor
+        except Exception as error:
+            raise DatasetUnavailable(
+                f"backend {self.describe()} failed to execute: {error}"
+            )
+
+    def ensure_tables(self) -> None:
+        if self._tables_ready:
+            return
+        spec = self.table_spec()
+        columns = ", ".join(f"{column} TEXT NOT NULL" for column in spec.columns())
+        unique = ", ".join(spec.columns())
+        with self.connection:
+            self._execute(
+                f"CREATE TABLE IF NOT EXISTS {spec.table} "
+                f"({columns}, sig BIGINT NOT NULL, UNIQUE ({unique}))"
+            )
+            self._execute(
+                f"CREATE TABLE IF NOT EXISTS {self.terms_table} "
+                "(digest TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            if spec.key_size:
+                key_columns = ", ".join(spec.key_columns())
+                self._execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{spec.table}_key "
+                    f"ON {spec.table} ({key_columns})"
+                )
+        self._tables_ready = True
+
+    # ------------------------------------------------------------------ #
+    # ingest (batched executemany, interned terms)
+    # ------------------------------------------------------------------ #
+    def ingest(self, facts: Iterable[Fact], batch_size: Optional[int] = None) -> int:
+        """Insert facts (duplicates ignored); returns the number inserted.
+
+        Terms are interned first (digest → canonical encoding), then the
+        fact rows — digests plus the 32-bit row signature — land via
+        batched ``executemany``.
+        """
+        batch = batch_size or DEFAULT_INGEST_BATCH
+        self.connect()
+        placeholder = "?" if self._paramstyle == "qmark" else "%s"
+        term_conflict = (
+            ""
+            if self._insert_prefix == "INSERT OR IGNORE"
+            else " ON CONFLICT (digest) DO NOTHING"
+        )
+        fact_conflict = "" if self._insert_prefix == "INSERT OR IGNORE" else (
+            " ON CONFLICT DO NOTHING"
+        )
+        inserted_before = None
+        total = 0
+        fact_rows: List[Tuple] = []
+        term_rows: Dict[str, str] = {}
+        spec = None
+        for fact in facts:
+            if self.schema is None:
+                self.bind_schema(fact.schema)
+            if fact.schema != self.schema:
+                raise ValueError(
+                    f"fact {fact} does not match schema {self.schema.describe()}"
+                )
+            if spec is None:
+                self.ensure_tables()
+                spec = self.table_spec()
+                inserted_before = self.count()
+            digests = []
+            for value in fact.values:
+                encoded = encode_element(value)
+                digest = term_digest(encoded)
+                digests.append(digest)
+                term_rows.setdefault(digest, encoded)
+            fact_rows.append(tuple(digests) + (row_signature(digests),))
+            if len(fact_rows) >= batch:
+                total += self._flush_ingest(
+                    spec, fact_rows, term_rows, placeholder,
+                    term_conflict, fact_conflict,
+                )
+                fact_rows, term_rows = [], {}
+        if spec is not None and (fact_rows or term_rows):
+            total += self._flush_ingest(
+                spec, fact_rows, term_rows, placeholder,
+                term_conflict, fact_conflict,
+            )
+        if inserted_before is None:
+            return 0
+        inserted = self.count() - inserted_before
+        note_backend_event("rows_ingested", total)
+        return inserted
+
+    def _flush_ingest(
+        self, spec, fact_rows, term_rows, placeholder, term_conflict, fact_conflict
+    ) -> int:
+        note_backend_event("statements", 2)
+        with self.connection:
+            cursor = self.connection.cursor()
+            cursor.executemany(
+                f"{self._insert_prefix} INTO {self.terms_table} "
+                f"(digest, value) VALUES ({placeholder}, {placeholder})"
+                f"{term_conflict}",
+                list(term_rows.items()),
+            )
+            placeholders = ", ".join(placeholder for _ in range(spec.arity + 1))
+            cursor.executemany(
+                f"{self._insert_prefix} INTO {spec.table} "
+                f"VALUES ({placeholders}){fact_conflict}",
+                fact_rows,
+            )
+        return len(fact_rows)
+
+    def load_database(self, database) -> int:
+        return self.ingest(database.facts())
+
+    # ------------------------------------------------------------------ #
+    # shape / signature
+    # ------------------------------------------------------------------ #
+    def count(self) -> int:
+        cursor = self._execute(f"SELECT COUNT(*) FROM {self.table_name}")
+        return int(cursor.fetchone()[0])
+
+    def content_signature(self) -> Tuple[int, int]:
+        spec_table = self.table_name  # may rely on ?table= before any schema
+        cursor = self._execute(
+            content_signature_sql(
+                TableSpec(table=spec_table, arity=1, key_size=0)
+            )
+        )
+        count, signature = cursor.fetchone()
+        return int(count), int(signature or 0)
+
+    # ------------------------------------------------------------------ #
+    # pushdown fragments
+    # ------------------------------------------------------------------ #
+    def _fact(self, values: Tuple[str, ...]) -> Fact:
+        return Fact(self.schema, tuple(values))
+
+    def stream_solution_pairs(
+        self, query: TwoAtomQuery, batch_size: int = DEFAULT_BATCH_SIZE, stats=None
+    ) -> Iterator[Tuple[Fact, Fact]]:
+        spec = self.table_spec()
+        sql, _ = solution_pair_sql(spec, query)
+        stream = BoundedRowStream(self._execute(sql), batch_size)
+        if stats is not None:
+            stats.watch(stream)
+        arity = spec.arity
+        for row in stream:
+            yield (
+                self._fact(tuple(row[:arity])),
+                self._fact(tuple(row[arity:])),
+            )
+
+    def stream_facts(
+        self, batch_size: int = DEFAULT_BATCH_SIZE, stats=None
+    ) -> Iterator[Fact]:
+        spec = self.table_spec()
+        stream = BoundedRowStream(self._execute(scan_sql(spec)), batch_size)
+        if stats is not None:
+            stats.watch(stream)
+        for row in stream:
+            yield self._fact(tuple(row))
+
+    def block_total(self, key: Tuple[object, ...]) -> int:
+        spec = self.table_spec()
+        cursor = self._execute(block_total_sql(spec), tuple(key))
+        return int(cursor.fetchone()[0])
+
+    def escape_representative(
+        self, key: Tuple[object, ...], excluded: List[Fact]
+    ) -> Optional[Fact]:
+        spec = self.table_spec()
+        params: List[object] = list(key)
+        for fact in excluded:
+            params.extend(fact.values)
+        note_backend_event("escape_probes")
+        cursor = self._execute(escape_row_sql(spec, len(excluded)), tuple(params))
+        row = cursor.fetchone()
+        return self._fact(tuple(row)) if row is not None else None
+
+    # ------------------------------------------------------------------ #
+    # term decoding (witness rendering only)
+    # ------------------------------------------------------------------ #
+    def decode_fact(self, fact: Fact) -> Fact:
+        """Resolve the fact's interned digests back to real element values."""
+        digests = [str(value) for value in fact.values]
+        unique = list(dict.fromkeys(digests))
+        placeholder = "?" if self._paramstyle == "qmark" else "%s"
+        marks = ", ".join(placeholder for _ in unique)
+        cursor = self._execute(
+            f"SELECT digest, value FROM {self.terms_table} "
+            f"WHERE digest IN ({marks})",
+            tuple(unique),
+        )
+        mapping = {digest: value for digest, value in cursor.fetchall()}
+        note_backend_event("term_decodes", len(mapping))
+        values = tuple(
+            decode_element(mapping[digest]) if digest in mapping else digest
+            for digest in digests
+        )
+        return Fact(fact.schema, values)

@@ -43,7 +43,7 @@ from .store import CatalogError, CatalogStore, row_key
 CATALOG_OP = "catalog"
 
 #: The ``action`` values :meth:`CatalogService.handle_payload` understands.
-CATALOG_ACTIONS = ("create", "ls", "ingest", "history", "delta")
+CATALOG_ACTIONS = ("create", "ls", "ingest", "history", "delta", "delete")
 
 
 def split_spec(spec: str) -> Tuple[str, str]:
@@ -163,6 +163,23 @@ class CatalogService:
     def history(self, spec: str) -> List[Dict[str, object]]:
         tenant, name = split_spec(spec)
         return self.store.sessions(self.store.dataset_id(tenant, name))
+
+    def delete_dataset(self, spec: str) -> Dict[str, object]:
+        """Drop a dataset; returns the deleted summary plus its fingerprint.
+
+        The content fingerprint is computed from the rows the dataset held at
+        deletion time — the same identity an inline-rows reference over those
+        rows would carry — so the serving layer can evict every answer cache
+        entry (in-memory and persistent) derived from the deleted data.  A
+        dataset later re-created with identical rows is *recomputed*, never
+        served from stale cache.
+        """
+        tenant, name = split_spec(spec)
+        deleted = self.store.delete_dataset(tenant, name)
+        rows = deleted.pop("rows")
+        fingerprint = DatasetRef.inline_rows(rows, label=spec).fingerprint()
+        deleted["fingerprint"] = list(fingerprint) if fingerprint else None
+        return deleted
 
     # ------------------------------------------------------------------ #
     # answering
@@ -308,6 +325,9 @@ class CatalogService:
             spec = str(payload.get("dataset", ""))
             sessions = self.history(spec)
             return len(sessions), {"dataset": spec, "import_sessions": sessions}
+        if action == "delete":
+            spec = str(payload.get("dataset", ""))
+            return True, {"deleted": self.delete_dataset(spec)}
         raise CatalogError(
             f"unknown catalog action {action!r}; expected one of {CATALOG_ACTIONS}"
         )

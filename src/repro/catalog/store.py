@@ -250,6 +250,45 @@ class CatalogStore:
             self._conn.commit()
             return {"id": cursor.lastrowid, "tenant": tenant, "name": name}
 
+    def delete_dataset(self, tenant: str, name: str) -> Dict[str, object]:
+        """Remove one dataset with its facts and import history, atomically.
+
+        Returns a summary carrying the rows the dataset held *before* the
+        delete, so the caller (the service layer) can compute the content
+        fingerprint of the deleted data and evict dependent cache entries.
+        Raises :class:`CatalogError` if the dataset does not exist.
+        """
+        dataset_id = self.dataset_id(tenant, name)
+        with self._lock:
+            rows = [
+                json.loads(row[0])
+                for row in self._execute(
+                    "SELECT row_json FROM facts "
+                    "WHERE dataset_id=? ORDER BY fact_key",
+                    (dataset_id,),
+                ).fetchall()
+            ]
+            sessions = int(
+                self._execute(
+                    "SELECT COUNT(*) FROM import_sessions WHERE dataset_id=?",
+                    (dataset_id,),
+                ).fetchone()[0]
+            )
+            self._execute("DELETE FROM facts WHERE dataset_id=?", (dataset_id,))
+            self._execute(
+                "DELETE FROM import_sessions WHERE dataset_id=?", (dataset_id,)
+            )
+            self._execute("DELETE FROM datasets WHERE id=?", (dataset_id,))
+            self._conn.commit()
+        return {
+            "id": dataset_id,
+            "tenant": tenant,
+            "name": name,
+            "facts": len(rows),
+            "import_sessions": sessions,
+            "rows": rows,
+        }
+
     def dataset_id(self, tenant: str, name: str) -> int:
         with self._lock:
             row = self._execute(

@@ -88,8 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
     certain_parser = subparsers.add_parser("certain", help="certain answer over CSV relations")
     certain_parser.add_argument("query", help="the two-atom query")
     certain_parser.add_argument("csv", nargs="+",
-                                help="CSV file(s) with one column per position; several "
-                                "files are answered in one batch, reusing the engine")
+                                help="CSV file(s) with one column per position, or "
+                                "relational backend connection specs "
+                                "(dbapi:sqlite:/path?table=facts, backend://...); "
+                                "several are answered in one batch, reusing the engine")
+    certain_parser.add_argument("--backend", default=None, metavar="SPEC",
+                                help="execution backend: 'memory', 'sqlite', 'dbapi', "
+                                "or a connection spec like dbapi:sqlite:/path — with "
+                                "a spec, each CSV file is first ingested into that "
+                                "backend and answered server-side (pushdown)")
     certain_parser.add_argument("--no-header", action="store_true",
                                 help="the CSV files have no header row")
     certain_parser.add_argument("--witness", action="store_true",
@@ -255,7 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
         "history", help="show a dataset's import sessions (provenance trail)"
     )
     catalog_history.add_argument("spec", help="the dataset as TENANT/NAME")
-    for sub in (catalog_create, catalog_ls, catalog_ingest, catalog_history):
+    catalog_delete = catalog_sub.add_parser(
+        "delete", help="delete a dataset with its facts and import history "
+        "(a serving catalog also evicts dependent cached answers)"
+    )
+    catalog_delete.add_argument("spec", help="the dataset as TENANT/NAME")
+    for sub in (catalog_create, catalog_ls, catalog_ingest, catalog_history,
+                catalog_delete):
         sub.add_argument("--catalog", default="catalog.sqlite3", metavar="PATH",
                          help="the catalog SQLite file (default catalog.sqlite3)")
         sub.add_argument("--json", action="store_true",
@@ -382,6 +395,23 @@ def _print_witness(answer: Answer, label: Optional[str] = None) -> None:
         print(f"  {fact}")
 
 
+def _emit_dataset_unavailable(request: Request, error: Exception, as_json: bool) -> int:
+    """Render an unreadable-dataset failure as the typed envelope; exit 2.
+
+    The envelope is the same ``ok: false`` shape ``repro run`` and the server
+    emit for the fault (``details["error_kind"] = "dataset_unavailable"``),
+    so scripted callers can dispatch on the failure class either way.
+    """
+    from .service.runner import error_answer
+
+    answer = error_answer(request.op, request.query, error, request)
+    if as_json:
+        _emit_json([answer])
+    else:
+        print(f"error: {answer.error}", file=sys.stderr)
+    return 2
+
+
 # --------------------------------------------------------------------------- #
 # command handlers
 # --------------------------------------------------------------------------- #
@@ -433,19 +463,48 @@ def _print_plan(answers: Sequence[Answer]) -> None:
 
 
 def _run_certain(args) -> int:
-    datasets = tuple(
-        DatasetRef.csv(path, has_header=not args.no_header) for path in args.csv
+    from .backends.base import DatasetUnavailable, is_backend_spec
+
+    ingest_spec = (
+        args.backend
+        if args.backend is not None and is_backend_spec(args.backend)
+        else None
     )
+    plain_csv = [path for path in args.csv if not is_backend_spec(path)]
+    if ingest_spec is not None and len(plain_csv) > 1:
+        print("--backend with a connection spec ingests into one table: "
+              "pass one CSV file (or use ?table=... specs as positionals)",
+              file=sys.stderr)
+        return 2
+    datasets = []
+    for path in args.csv:
+        if is_backend_spec(path):
+            datasets.append(DatasetRef.backend(path))
+        elif ingest_spec is not None:
+            datasets.append(
+                DatasetRef.backend(
+                    ingest_spec,
+                    ingest_csv=path,
+                    has_header=not args.no_header,
+                    label=path,
+                )
+            )
+        else:
+            datasets.append(DatasetRef.csv(path, has_header=not args.no_header))
     request = Request(
         op="certain",
         query=args.query,
-        datasets=datasets,
+        datasets=tuple(datasets),
         workers=args.workers,
         witness=args.witness,
+        backend="dbapi" if ingest_spec is not None else args.backend,
         explain_plan=args.explain_plan,
     )
     session = Session()
-    answers = session.answer(request)
+    try:
+        answers = session.answer(request)
+    except DatasetUnavailable as error:
+        return _emit_dataset_unavailable(request, error, args.json)
     _emit_warnings(answers)
     if args.json:
         _emit_json(answers)
@@ -478,6 +537,8 @@ def _run_certain(args) -> int:
 
 
 def _run_support(args) -> int:
+    from .backends.base import DatasetUnavailable
+
     request = Request(
         op="support",
         query=args.query,
@@ -486,7 +547,10 @@ def _run_support(args) -> int:
         seed=args.seed,
     )
     session = Session()
-    answers = session.answer(request)
+    try:
+        answers = session.answer(request)
+    except DatasetUnavailable as error:
+        return _emit_dataset_unavailable(request, error, args.json)
     _emit_warnings(answers)
     if args.json:
         _emit_json(answers)
@@ -920,6 +984,15 @@ def _run_catalog(args) -> int:
                 f"-{session['facts_removed']} facts "
                 f"({session['fact_count']} total) "
                 f"checksum={session['checksum'][:12]}"
+            ]
+        elif args.catalog_command == "delete":
+            deleted = service.delete_dataset(args.spec)
+            result = {"deleted": deleted}
+            lines = [
+                f"deleted {deleted['tenant']}/{deleted['name']}: "
+                f"{deleted['facts']} facts, "
+                f"{deleted['import_sessions']} import sessions "
+                f"(fingerprint {'dropped' if deleted['fingerprint'] else 'none'})"
             ]
         else:  # history
             split_spec(args.spec)  # fail fast on a malformed spec

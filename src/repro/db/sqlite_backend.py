@@ -14,21 +14,46 @@ lives in a database file.  It provides:
   :class:`~repro.db.fact_store.Database` so that any of the certain-answer
   algorithms can run on top of SQLite-resident data.
 
-Elements are stored as text with a reversible, canonical serialisation:
-scalars are tagged with their type (``int:42``, ``str:alice``) with the
-delimiter characters escaped, and composite elements (tuples created by the
-reductions) nest recursively (``(int:1|(str:a|str:b))``).  Equal elements
-always produce equal encodings, and the supported scalar types — ``str``,
-``int``, ``bool``, ``float`` and ``None`` — round-trip exactly, so facts
-rehydrated from SQLite compare equal to the facts that were stored.
+Elements are stored as text with a reversible, canonical serialisation
+(shared with every relational backend through
+:mod:`repro.backends.encoding`): scalars are tagged with their type
+(``int:42``, ``str:alice``) with the delimiter characters escaped, and
+composite elements (tuples created by the reductions) nest recursively
+(``(int:1|(str:a|str:b))``).  Equal elements always produce equal encodings,
+and the supported scalar types — ``str``, ``int``, ``bool``, ``float`` and
+``None`` — round-trip exactly, so facts rehydrated from SQLite compare equal
+to the facts that were stored.
+
+The SQL fragments themselves (self-join, ``Cert_k`` seed filter, block
+grouping, escape probes) live in :mod:`repro.backends.fragments`; this store
+is one implementation of the :class:`repro.backends.base.Backend` protocol,
+alongside the generic :class:`repro.backends.dbapi.DbApiBackend`.
 """
 
 from __future__ import annotations
 
-import re
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+# Canonical element codec, shared by every backend.  The underscore aliases
+# are the store's historical names — kept importable for downstream users.
+from ..backends.encoding import decode_element as _decode_element
+from ..backends.encoding import encode_element as _encode_element
+from ..backends.encoding import escape as _escape  # noqa: F401
+from ..backends.encoding import parse_element as _parse_element  # noqa: F401
+from ..backends.encoding import unescape as _unescape  # noqa: F401
+from ..backends.base import BackendCapabilities, note_backend_event
+from ..backends.fragments import (
+    TableSpec,
+    block_sizes_sql,
+    block_total_sql,
+    certk_seed_sql,
+    escape_row_sql,
+    scan_sql,
+    self_solution_sql,
+    solution_pair_sql,
+)
+from ..backends.streaming import DEFAULT_BATCH_SIZE, BoundedRowStream
 from ..core.certk import certk_seed_cache_key
 from ..core.query import TwoAtomQuery
 from ..core.solutions import (
@@ -36,86 +61,15 @@ from ..core.solutions import (
     solution_graph_cache_key,
     solution_graph_from_pairs,
 )
-from ..core.terms import Element, Fact, RelationSchema
+from ..core.terms import Fact, RelationSchema
 from ..eval.deltas import SeedAntichain, graph_maintainer, seed_maintainer
 from .fact_store import Database
 
-#: Characters with structural meaning in the encoding, escaped inside scalars.
-_STRUCTURAL_RE = re.compile(r"[\\()|]")
-_UNESCAPE_RE = re.compile(r"\\(.)")
-
-
-def _escape(text: str) -> str:
-    return _STRUCTURAL_RE.sub(lambda match: "\\" + match.group(0), text)
-
-
-def _unescape(text: str) -> str:
-    return _UNESCAPE_RE.sub(lambda match: match.group(1), text)
-
-
-def _encode_element(value: Element) -> str:
-    """Serialise an element to canonical text (reversible, see module docs)."""
-    if isinstance(value, tuple):
-        return "(" + "|".join(_encode_element(item) for item in value) + ")"
-    return f"{type(value).__name__}:{_escape(str(value))}"
-
-
-def _decode_element(text: str) -> Element:
-    """Exact inverse of :func:`_encode_element`.
-
-    Tuples decode back to tuples (recursively); scalars are restored from
-    their type tag.  Unknown scalar types decode to their string payload —
-    they were stringified by the encoder, and the algorithms only ever
-    compare elements for equality, so the string form is a faithful
-    identifier as long as it is used consistently on both sides.
-    """
-    value, position = _parse_element(text, 0)
-    if position != len(text):
-        raise ValueError(f"trailing data in encoded element: {text!r}")
-    return value
-
-
-def _parse_element(text: str, position: int) -> Tuple[Element, int]:
-    if position < len(text) and text[position] == "(":
-        position += 1
-        items: List[Element] = []
-        if position < len(text) and text[position] == ")":
-            return (), position + 1
-        while True:
-            item, position = _parse_element(text, position)
-            items.append(item)
-            if position >= len(text):
-                raise ValueError(f"unterminated tuple in encoded element: {text!r}")
-            if text[position] == "|":
-                position += 1
-                continue
-            if text[position] == ")":
-                return tuple(items), position + 1
-            raise ValueError(f"malformed tuple in encoded element: {text!r}")
-    # Scalar: scan to the next unescaped structural character.
-    start = position
-    while position < len(text):
-        char = text[position]
-        if char == "\\":
-            position += 2
-            continue
-        if char in "|)(":
-            break
-        position += 1
-    token = text[start:position]
-    kind, separator, payload = token.partition(":")
-    if not separator:
-        raise ValueError(f"scalar without type tag in encoded element: {text!r}")
-    payload = _unescape(payload)
-    if kind == "int":
-        return int(payload), position
-    if kind == "bool":
-        return payload == "True", position
-    if kind == "float":
-        return float(payload), position
-    if kind == "NoneType":
-        return None, position
-    return payload, position
+__all__ = [
+    "SqliteFactStore",
+    "certain_answer_via_sqlite",
+    "certain_answers_via_sqlite",
+]
 
 
 class SqliteFactStore:
@@ -126,6 +80,13 @@ class SqliteFactStore:
     the block-structure ``GROUP BY``, the key-equality filters of the
     ``Cert_k`` seeding pushdown and key-bound self-join probes are answered
     from the index even on cold stores that never load into memory.
+
+    The store implements the relational backend protocol
+    (:class:`repro.backends.base.Backend`): capabilities, bounded streaming
+    of solution pairs and facts, per-block totals and escape probes.  Unlike
+    :class:`~repro.backends.dbapi.DbApiBackend` it does not intern terms —
+    fact columns hold canonical encodings directly, so streamed facts carry
+    real element values and :meth:`decode_fact` is the identity.
     """
 
     def __init__(
@@ -146,8 +107,17 @@ class SqliteFactStore:
     def table_name(self) -> str:
         return f"facts_{self.schema.name}"
 
+    def table_spec(self) -> TableSpec:
+        """This table's shape for the shared SQL fragment builders."""
+        return TableSpec(
+            table=self.table_name,
+            arity=self.schema.arity,
+            key_size=self.schema.key_size,
+            paramstyle="qmark",
+        )
+
     def _columns(self) -> List[str]:
-        return [f"c{position}" for position in range(self.schema.arity)]
+        return self.table_spec().columns()
 
     def _create_table(self) -> None:
         columns = ", ".join(f"{column} TEXT NOT NULL" for column in self._columns())
@@ -186,7 +156,9 @@ class SqliteFactStore:
             self.connection.executemany(
                 f"INSERT OR IGNORE INTO {self.table_name} VALUES ({placeholders})", rows
             )
-            return self.count() - before
+            inserted = self.count() - before
+            note_backend_event("rows_ingested", inserted)
+            return inserted
 
     def load_database(self, database: Database) -> int:
         return self.insert_facts(database.facts())
@@ -265,17 +237,94 @@ class SqliteFactStore:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # backend protocol
+    # ------------------------------------------------------------------ #
+    def connect(self) -> None:
+        """The connection is opened by ``__init__``; nothing to do."""
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            driver="sqlite",
+            paramstyle="qmark",
+            interned_terms=False,
+            server_side_signature=False,
+            streaming=True,
+        )
+
+    def describe(self) -> str:
+        return f"dbapi:sqlite:{self.path}?table={self.table_name}"
+
+    def ingest(self, facts: Iterable[Fact], batch_size: int = 512) -> int:
+        return self.insert_facts(facts)
+
+    def content_signature(self) -> Tuple[int, int]:
+        """(count, 0) — this store has no per-row signature column; callers
+        needing content addressing hash the fetched rows instead."""
+        return self.count(), 0
+
+    def stream_solution_pairs(
+        self, query: TwoAtomQuery, batch_size: int = DEFAULT_BATCH_SIZE, stats=None
+    ) -> Iterator[Tuple[Fact, Fact]]:
+        """Ordered solutions streamed in bounded ``fetchmany`` batches."""
+        sql, _ = self.query_sql(query)
+        stream = BoundedRowStream(self.connection.execute(sql), batch_size)
+        if stats is not None:
+            stats.watch(stream)
+        arity = self.schema.arity
+        for row in stream:
+            yield (
+                Fact(self.schema, tuple(_decode_element(text) for text in row[:arity])),
+                Fact(self.schema, tuple(_decode_element(text) for text in row[arity:])),
+            )
+
+    def stream_facts(
+        self, batch_size: int = DEFAULT_BATCH_SIZE, stats=None
+    ) -> Iterator[Fact]:
+        stream = BoundedRowStream(
+            self.connection.execute(scan_sql(self.table_spec())), batch_size
+        )
+        if stats is not None:
+            stats.watch(stream)
+        for row in stream:
+            yield Fact(self.schema, tuple(_decode_element(text) for text in row))
+
+    def block_total(self, key: Tuple[object, ...]) -> int:
+        """Fact count of one key block, answered from the key index."""
+        params = tuple(_encode_element(value) for value in key)
+        cursor = self.connection.execute(block_total_sql(self.table_spec()), params)
+        return int(cursor.fetchone()[0])
+
+    def escape_representative(
+        self, key: Tuple[object, ...], excluded: List[Fact]
+    ) -> Optional[Fact]:
+        """One real row of the block that is none of ``excluded`` (or None)."""
+        params: List[str] = [_encode_element(value) for value in key]
+        for fact in excluded:
+            params.extend(_encode_element(value) for value in fact.values)
+        note_backend_event("escape_probes")
+        cursor = self.connection.execute(
+            escape_row_sql(self.table_spec(), len(excluded)), tuple(params)
+        )
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        return Fact(self.schema, tuple(_decode_element(text) for text in row))
+
+    def decode_fact(self, fact: Fact) -> Fact:
+        """Identity — this store's streamed facts already carry real values."""
+        return fact
+
+    # ------------------------------------------------------------------ #
     # SQL analyses
     # ------------------------------------------------------------------ #
     def key_columns(self) -> List[str]:
-        return self._columns()[: self.schema.key_size]
+        return self.table_spec().key_columns()
 
     def block_sizes(self) -> Dict[Tuple[str, ...], int]:
         """Block structure via ``GROUP BY`` on the key columns."""
-        key_cols = ", ".join(self.key_columns())
-        cursor = self.connection.execute(
-            f"SELECT {key_cols}, COUNT(*) FROM {self.table_name} GROUP BY {key_cols}"
-        )
+        cursor = self.connection.execute(block_sizes_sql(self.table_spec()))
+        if self.schema.key_size == 0:
+            return {(): int(cursor.fetchone()[0])}
         return {tuple(row[:-1]): int(row[-1]) for row in cursor.fetchall()}
 
     def inconsistent_block_count(self) -> int:
@@ -312,31 +361,12 @@ class SqliteFactStore:
 
         The query becomes a self-join of the fact table with one equality per
         repeated variable occurrence; the second component of the result is a
-        human-readable rendering of the join condition.
+        human-readable rendering of the join condition.  Built by the shared
+        fragment builders (:mod:`repro.backends.fragments`).
         """
         if query.schema != self.schema:
             raise ValueError("query schema does not match the store schema")
-        conditions: List[str] = []
-        seen: Dict[str, str] = {}
-        for alias, atom in (("a", query.atom_a), ("b", query.atom_b)):
-            for position, variable in enumerate(atom.variables):
-                column = f"{alias}.c{position}"
-                if variable in seen:
-                    conditions.append(f"{seen[variable]} = {column}")
-                else:
-                    seen[variable] = column
-        where = " AND ".join(conditions) if conditions else "1 = 1"
-        columns = ", ".join(
-            [f"a.c{position}" for position in range(self.schema.arity)]
-            + [f"b.c{position}" for position in range(self.schema.arity)]
-        )
-        sql = (
-            f"SELECT {columns} FROM {self.table_name} AS a, {self.table_name} AS b "
-            f"WHERE {where}"
-        )
-        if limit is not None:
-            sql += f" LIMIT {int(limit)}"
-        return sql, where
+        return solution_pair_sql(self.table_spec(), query, limit=limit)
 
     # ------------------------------------------------------------------ #
     # Cert_k seeding pushdown
@@ -350,10 +380,9 @@ class SqliteFactStore:
         of being re-tested in Python per pair.  With key size 0 every pair of
         facts shares the single block, so no pair seeds.
         """
-        sql, _ = self.query_sql(query)
-        key_equal = " AND ".join(f"a.{column} = b.{column}" for column in self.key_columns())
-        condition = f"NOT ({key_equal})" if key_equal else "0 = 1"
-        return f"{sql} AND {condition}"
+        if query.schema != self.schema:
+            raise ValueError("query schema does not match the store schema")
+        return certk_seed_sql(self.table_spec(), query)
 
     def self_solution_sql(self, query: TwoAtomQuery) -> str:
         """SQL selecting the facts ``a`` with ``q(a a)`` (single-row solutions).
@@ -364,19 +393,7 @@ class SqliteFactStore:
         """
         if query.schema != self.schema:
             raise ValueError("query schema does not match the store schema")
-        conditions: List[str] = []
-        seen: Dict[str, str] = {}
-        for atom in (query.atom_a, query.atom_b):
-            for position, variable in enumerate(atom.variables):
-                column = f"c{position}"
-                if variable in seen:
-                    if seen[variable] != column:
-                        conditions.append(f"{seen[variable]} = {column}")
-                else:
-                    seen[variable] = column
-        where = " AND ".join(dict.fromkeys(conditions)) if conditions else "1 = 1"
-        columns = ", ".join(self._columns())
-        return f"SELECT {columns} FROM {self.table_name} WHERE {where}"
+        return self_solution_sql(self.table_spec(), query)
 
     def certk_self_solutions(self, query: TwoAtomQuery) -> List[Fact]:
         """The self-solution seeds, computed in SQL."""

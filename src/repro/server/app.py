@@ -38,6 +38,7 @@ import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from ..backends.base import backend_totals
 from ..catalog.service import CATALOG_OP, CatalogError
 from ..db.fact_store import derived_cache_totals
 from ..service.datasets import DatasetRef
@@ -471,6 +472,15 @@ class CQAServer:
                 )
             ]
         answer = self.catalog.handle_payload(payload)
+        if answer.ok and payload.get("action") == "delete":
+            # Deleting a dataset severs the provenance of every answer
+            # computed from its content: evict them from both cache tiers
+            # so a later re-create (even with identical rows) recomputes.
+            deleted = answer.details.get("deleted", {})
+            fingerprint = deleted.get("fingerprint")
+            cache = self.cache
+            if cache is not None and fingerprint is not None:
+                deleted["cache_evictions"] = cache.evict_fingerprint(fingerprint)
         self._bump("answers")
         if not answer.ok:
             self._bump("errors")
@@ -636,6 +646,7 @@ class CQAServer:
             "concurrency": self.pool.describe_dict(),
             "calibration": dict(self.calibration),
             "derived_cache": derived_cache_totals(),
+            "backends": backend_totals(),
             "catalog": (
                 self.catalog.store.describe_dict() if self.catalog is not None else None
             ),

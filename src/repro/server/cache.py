@@ -44,6 +44,7 @@ envelopes they receive without corrupting the cache.
 from __future__ import annotations
 
 import copy
+import json
 import threading
 import weakref
 from collections import OrderedDict
@@ -120,6 +121,11 @@ def settings_digest(request: Request, session: "Session") -> Optional[Tuple]:
             return None
         return ("support", request.samples, request.confidence, request.seed) + base
     return None
+
+
+def _fingerprint_text(fingerprint) -> str:
+    """Canonical JSON text of a fingerprint (tuple/list agnostic comparison)."""
+    return json.dumps(fingerprint, separators=(",", ":"), default=str)
 
 
 class CacheKey(NamedTuple):
@@ -393,6 +399,40 @@ class AnswerCache:
         """Drop every entry of one watched database; returns the count."""
         with self._lock:
             return self._drop_token_keys(token)
+
+    def evict_fingerprint(self, fingerprint) -> int:
+        """Drop every entry (both tiers) computed against one fingerprint.
+
+        The catalog's ``delete`` action funnels here: deleting a dataset
+        evicts every cached answer derived from its content, in the memory
+        LRU *and* the persistent tier, so re-creating the dataset with
+        identical rows recomputes instead of serving a verdict whose
+        provenance no longer exists.  Fingerprints are compared by their
+        canonical JSON text — tuples and lists (the wire form) are the same
+        key.  Returns the total number of entries removed across tiers.
+        """
+        target = _fingerprint_text(fingerprint)
+        with self._lock:
+            victims = [
+                key
+                for key in self._entries
+                if _fingerprint_text(key.fingerprint) == target
+            ]
+            for key in victims:
+                del self._entries[key]
+                token = self._token_of(key.fingerprint)
+                if token is not None:
+                    keys = self._token_keys.get(token)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            del self._token_keys[token]
+            self.stats["invalidations"] += len(victims)
+        dropped = len(victims)
+        persistent = self.persistent
+        if persistent is not None:
+            dropped += persistent.evict_fingerprint(fingerprint)
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""

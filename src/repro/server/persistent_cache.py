@@ -252,6 +252,45 @@ class PersistentAnswerCache:
                 self._fail()
                 return 0
 
+    def evict_fingerprint(self, fingerprint) -> int:
+        """Drop every entry computed against one dataset fingerprint.
+
+        The catalog's ``delete`` action calls this (through
+        :meth:`AnswerCache.evict_fingerprint`) so answers derived from a
+        deleted dataset never survive it — even across a restart, and even
+        if the dataset is later re-created with identical content.  Keys are
+        stored as deterministic JSON arrays whose fourth element is the
+        fingerprint, so the sweep decodes and compares rather than pattern-
+        matching on text.  Returns the number of rows removed.
+        """
+        target = json.dumps(fingerprint, separators=(",", ":"))
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                rows = self._conn.execute("SELECT key FROM answers").fetchall()
+                victims = []
+                for (encoded,) in rows:
+                    try:
+                        parts = json.loads(encoded)
+                    except (ValueError, TypeError):
+                        continue
+                    if (
+                        isinstance(parts, list)
+                        and len(parts) >= 4
+                        and json.dumps(parts[3], separators=(",", ":")) == target
+                    ):
+                        victims.append(encoded)
+                for encoded in victims:
+                    self._conn.execute(
+                        "DELETE FROM answers WHERE key=?", (encoded,)
+                    )
+                self._conn.commit()
+                return len(victims)
+            except sqlite3.Error:
+                self._fail()
+                return 0
+
     def prune(self, max_entries: int) -> int:
         """Trim to ``max_entries`` rows, dropping the oldest-stored first.
 

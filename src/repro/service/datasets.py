@@ -1,10 +1,10 @@
-"""Dataset references: one handle over the library's three data sources.
+"""Dataset references: one handle over the library's data sources.
 
 Every request addresses its data through a :class:`DatasetRef` — a lazy,
 backend-tagged handle that the planner can inspect (kind, cheap size hint)
 *before* any facts are materialised, and that the session resolves into an
 in-memory :class:`~repro.db.fact_store.Database` only when an answer actually
-needs one.  Four kinds exist:
+needs one.  Five kinds exist:
 
 ``memory``
     An already-built :class:`~repro.db.fact_store.Database`.
@@ -17,10 +17,21 @@ needs one.  Four kinds exist:
     so the solution pairs and ``Cert_k`` seeds are pushed down to SQL.
 ``rows``
     Inline rows (the wire form used by JSONL workload files).
+``backend``
+    A ``dbapi:`` / ``backend://`` connection spec resolved through the
+    pluggable relational backend layer (:mod:`repro.backends`): the hot
+    relational fragments run server-side and only the solution-relevant
+    reduction is ever materialised in Python, so the source database may be
+    far larger than RAM.  Fingerprints come from the backend's server-side
+    content signature, so the answer cache, persistent tier and fleet
+    routing compose unchanged.
 
 Resolutions are memoised per (query, pushdown) so that several requests over
 the same reference share one load, and the handle survives being answered
-for several different queries over the same relation schema.
+for several different queries over the same relation schema.  A source that
+cannot be reached raises :class:`~repro.backends.base.DatasetUnavailable`
+(a ``FileNotFoundError`` subclass), which the service layer converts into a
+typed error envelope (``details["error_kind"] == "dataset_unavailable"``).
 """
 
 from __future__ import annotations
@@ -31,6 +42,19 @@ import os
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
+from ..backends.base import (
+    BackendSpec,
+    DatasetUnavailable,
+    is_backend_spec,
+    parse_backend_spec,
+)
+from ..backends.dbapi import DbApiBackend
+from ..backends.streaming import (
+    DEFAULT_BATCH_SIZE,
+    ReductionStats,
+    materialized_database,
+    reduced_streamed_database,
+)
 from ..core.query import TwoAtomQuery
 from ..core.terms import RelationSchema
 from ..db.csvio import csv_row_count, facts_from_rows, load_csv_text
@@ -90,6 +114,7 @@ class DatasetRef:
     CSV = "csv"
     SQLITE = "sqlite"
     ROWS = "rows"
+    BACKEND = "backend"
 
     def __init__(
         self,
@@ -99,10 +124,13 @@ class DatasetRef:
         path: Optional[PathLike] = None,
         store: Optional[SqliteFactStore] = None,
         rows: Optional[Sequence[Sequence[object]]] = None,
+        backend_spec: Optional[BackendSpec] = None,
+        backend_obj=None,
+        ingest_csv: Optional[PathLike] = None,
         has_header: bool = True,
         label: Optional[str] = None,
     ) -> None:
-        if kind not in (self.MEMORY, self.CSV, self.SQLITE, self.ROWS):
+        if kind not in (self.MEMORY, self.CSV, self.SQLITE, self.ROWS, self.BACKEND):
             raise ValueError(f"unknown dataset kind {kind!r}")
         self.kind = kind
         self._database = database
@@ -110,6 +138,11 @@ class DatasetRef:
         self._store = store
         self._owns_store = False
         self._rows = [tuple(row) for row in rows] if rows is not None else None
+        self.backend_spec = backend_spec
+        self._backend = backend_obj
+        self._owns_backend = False
+        self._ingest_csv = str(ingest_csv) if ingest_csv is not None else None
+        self._ingested = False
         self.has_header = has_header
         self._label = label
         self._resolved: Dict[Hashable, Database] = {}
@@ -117,6 +150,9 @@ class DatasetRef:
         self._loaded_fingerprint: Optional[Tuple[object, ...]] = None
         self._size_hint: Optional[int] = None
         self._rows_digest: Optional[str] = None
+        #: Shape of the most recent streaming resolution of a ``backend``
+        #: reference (surfaced in answer details by the pushdown strategy).
+        self.last_reduction: Optional[ReductionStats] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -147,6 +183,76 @@ class DatasetRef:
         """Inline fact rows (one tuple of values per fact)."""
         return cls(cls.ROWS, rows=rows, label=label)
 
+    @classmethod
+    def backend(
+        cls,
+        spec: Union[str, BackendSpec, DbApiBackend],
+        schema: Optional[RelationSchema] = None,
+        ingest_csv: Optional[PathLike] = None,
+        has_header: bool = True,
+        label: Optional[str] = None,
+    ) -> "DatasetRef":
+        """A relational backend connection (``dbapi:`` / ``backend://`` spec).
+
+        ``ingest_csv`` loads a CSV into the backend table before the first
+        resolution (the CLI's ``--backend`` + CSV combination); ``schema``
+        may pre-bind the relation, otherwise it is learned from the query at
+        resolve time.
+        """
+        if isinstance(spec, DbApiBackend):
+            ref = cls(
+                cls.BACKEND,
+                backend_spec=spec.spec,
+                backend_obj=spec,
+                ingest_csv=ingest_csv,
+                has_header=has_header,
+                label=label,
+            )
+            return ref
+        parsed = spec if isinstance(spec, BackendSpec) else parse_backend_spec(spec)
+        ref = cls(
+            cls.BACKEND,
+            backend_spec=parsed,
+            ingest_csv=ingest_csv,
+            has_header=has_header,
+            label=label,
+        )
+        if schema is not None:
+            ref._ensure_backend(schema)
+        return ref
+
+    def _ensure_backend(
+        self, schema: Optional[RelationSchema] = None
+    ) -> DbApiBackend:
+        """The live backend, created/connected (and CSV-ingested) on demand."""
+        if self._backend is None:
+            self._backend = DbApiBackend(self.backend_spec)
+            self._owns_backend = True
+        if schema is not None and self._backend.schema is None:
+            self._backend.bind_schema(schema)
+        self._backend.connect()
+        if self._ingest_csv is not None and not self._ingested:
+            if self._backend.schema is None:
+                # The CSV's schema arrives with the first query; until then
+                # the ingest stays pending.
+                return self._backend
+            try:
+                with open(self._ingest_csv, "rb") as handle:
+                    data = handle.read()
+            except OSError as error:
+                raise DatasetUnavailable(
+                    f"CSV dataset cannot be read: {self._ingest_csv!r} ({error})"
+                )
+            database = load_csv_text(
+                data.decode("utf-8"),
+                self._backend.schema,
+                has_header=self.has_header,
+                source=self._ingest_csv,
+            )
+            self._backend.ingest(database.facts())
+            self._ingested = True
+        return self._backend
+
     # ------------------------------------------------------------------ #
     # planner-facing inspection
     # ------------------------------------------------------------------ #
@@ -171,6 +277,14 @@ class DatasetRef:
                 except OSError:
                     return None
             return self._size_hint
+        if self.kind == self.BACKEND:
+            backend = self._backend
+            if backend is None:
+                return None
+            try:
+                return backend.count()
+            except DatasetUnavailable:
+                return None
         if self._store is not None:
             return self._store.count()
         return None
@@ -180,6 +294,11 @@ class DatasetRef:
         """The live database of a ``memory`` reference (``None`` otherwise)."""
         return self._database
 
+    @property
+    def live_backend(self) -> Optional[DbApiBackend]:
+        """The live backend of a ``backend`` reference (``None`` otherwise)."""
+        return self._backend
+
     def describe(self) -> str:
         """A short ``kind:source`` label used by envelopes and reports."""
         if self._label is not None:
@@ -188,6 +307,8 @@ class DatasetRef:
             return f"memory:{self._database.describe()}"
         if self.kind == self.ROWS:
             return f"rows:{len(self._rows)}"
+        if self.kind == self.BACKEND:
+            return f"backend:{self.backend_spec.describe()}"
         return f"{self.kind}:{self.path}"
 
     # ------------------------------------------------------------------ #
@@ -228,7 +349,17 @@ class DatasetRef:
         ``rows``
             ``("rows", content-digest)`` over the (immutable) row tuples,
             memoised on the reference.
+        ``backend``
+            ``("backend", driver, dsn, table, count, signature-sum)`` — the
+            count and signature sum are computed *server-side* on every call
+            (one aggregate row travels, never the facts), so out-of-band
+            writers change the fingerprint immediately.  Never memoised:
+            the resolution memo key includes the same signature, so the
+            fingerprint always describes the facts a fresh resolve would
+            serve.
         """
+        if self.kind == self.BACKEND:
+            return self._content_fingerprint()
         if self._loaded_fingerprint is not None and self._resolved:
             return self._loaded_fingerprint
         return self._content_fingerprint()
@@ -256,6 +387,20 @@ class DatasetRef:
             # has_header changes which rows become facts, so it is part of
             # the content identity, not just a load option.
             return (self.CSV, self.path, self.has_header, content)
+        if self.kind == self.BACKEND:
+            backend = self._backend
+            if backend is None:
+                return None
+            try:
+                count, signature = backend.content_signature()
+            except DatasetUnavailable:
+                return None
+            spec = self.backend_spec
+            try:
+                table = backend.table_name
+            except DatasetUnavailable:
+                table = spec.table
+            return (self.BACKEND, spec.driver, spec.dsn, table, count, signature)
         # SQLite: a real path is fingerprinted from the committed file image
         # *plus* the write-ahead log — in WAL mode committed out-of-band
         # writes live in ``<path>-wal`` until a checkpoint and leave the
@@ -299,6 +444,13 @@ class DatasetRef:
             if self._store is None:
                 return None
             return (self.SQLITE, _identity_token(self._store))
+        if self.kind == self.BACKEND:
+            spec = self.backend_spec
+            if spec.driver == "sqlite" and spec.dsn == ":memory:":
+                if self._backend is None:
+                    return None
+                return (self.BACKEND, _identity_token(self._backend))
+            return (self.BACKEND, spec.driver, spec.dsn, spec.table)
         if self.path is None:
             return None
         # Resolve symlinks: two references reaching one file through
@@ -328,6 +480,11 @@ class DatasetRef:
             return None
         if self.kind == self.SQLITE and self.path in (None, ":memory:"):
             return None
+        if self.kind == self.BACKEND:
+            spec = self.backend_spec
+            if spec.driver == "sqlite" and spec.dsn == ":memory:":
+                return None  # process-local scratch store, no stable route
+            return repr((self.BACKEND, spec.driver, spec.dsn, spec.table))
         key = self.stripe_key()
         if key is None:
             return None
@@ -395,17 +552,49 @@ class DatasetRef:
         if self.kind == self.SQLITE:
             # Pushdown primes per-query caches, so the memo is per query.
             return (schema, query if pushdown else None, pushdown)
+        if self.kind == self.BACKEND:
+            # The memo must go stale when the server-side content changes,
+            # so the (cheap, server-computed) content signature is part of
+            # the key: a changed table re-streams instead of serving the
+            # old reduction.
+            backend = self._ensure_backend(schema)
+            return (
+                schema,
+                query if pushdown else None,
+                pushdown,
+                backend.content_signature(),
+            )
         return schema
 
     def _load(self, query: TwoAtomQuery, pushdown: bool) -> Database:
         if self.kind == self.ROWS:
             return Database(facts_from_rows(query.schema, self._rows))
+        if self.kind == self.BACKEND:
+            backend = self._ensure_backend(query.schema)
+            if pushdown:
+                database, stats = reduced_streamed_database(
+                    backend,
+                    query,
+                    batch_size=backend.batch_size,
+                    server_facts=backend.count(),
+                )
+            else:
+                database, stats = materialized_database(
+                    backend, batch_size=backend.batch_size
+                )
+            self.last_reduction = stats
+            return database
         if self.kind == self.CSV:
             # One read serves both the parse and the content digest, so the
             # cache identity describes exactly the bytes the facts came
             # from — a rewrite racing the load cannot split them.
-            with open(self.path, "rb") as handle:
-                data = handle.read()
+            try:
+                with open(self.path, "rb") as handle:
+                    data = handle.read()
+            except OSError as error:
+                raise DatasetUnavailable(
+                    f"CSV dataset cannot be read: {self.path!r} ({error})"
+                )
             database = load_csv_text(
                 data.decode("utf-8"),
                 query.schema,
@@ -428,7 +617,7 @@ class DatasetRef:
             # query over zero facts; a read reference must fail instead,
             # like the CSV path does.
             if self.path != ":memory:" and not Path(self.path).exists():
-                raise FileNotFoundError(
+                raise DatasetUnavailable(
                     f"SQLite dataset does not exist: {self.path!r}"
                 )
             self._store = SqliteFactStore(schema, self.path)
@@ -446,6 +635,11 @@ class DatasetRef:
             self._store.close()
             self._store = None
             self._owns_store = False
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+            self._backend = None
+            self._owns_backend = False
+            self._ingested = False
         self._resolved.clear()
         self._loaded_versions.clear()
         self._loaded_fingerprint = None
@@ -461,10 +655,12 @@ def dataset_refs_from_json(
     """Extract the dataset references of one JSON request payload.
 
     Recognised keys: ``csv`` (path or list of paths), ``sqlite`` (path or
-    list of paths), ``rows`` (a list of row-lists, one inline dataset).  A
-    relative path is tried as given first, then against ``base_dir`` (the
-    directory of the workload file), so workloads stay runnable from
-    anywhere.  ``has_header`` applies to every CSV of the request.
+    list of paths), ``rows`` (a list of row-lists, one inline dataset),
+    ``dbapi`` (a ``dbapi:`` / ``backend://`` connection spec or list of
+    them).  A relative path is tried as given first, then against
+    ``base_dir`` (the directory of the workload file), so workloads stay
+    runnable from anywhere.  ``has_header`` applies to every CSV of the
+    request.
     """
     refs: List[DatasetRef] = []
     has_header = bool(payload.get("has_header", True))
@@ -472,6 +668,8 @@ def dataset_refs_from_json(
         refs.append(DatasetRef.csv(_locate(path, base_dir), has_header=has_header))
     for path in _as_paths(payload.get("sqlite")):
         refs.append(DatasetRef.sqlite(_locate(path, base_dir)))
+    for spec in _as_paths(payload.get("dbapi")):
+        refs.append(DatasetRef.backend(spec, has_header=has_header))
     rows = payload.get("rows")
     if rows is not None:
         refs.append(DatasetRef.inline_rows(rows))

@@ -19,6 +19,12 @@ contract:
     Resolution through the SQLite backend's SQL pushdown: the solution
     pairs and ``Cert_k`` seeds arrive precomputed in the rehydrated
     database's derived cache.
+``backend-pushdown``
+    Resolution through the pluggable relational backend layer
+    (:mod:`repro.backends`): fragments run server-side over a ``dbapi:`` /
+    ``backend://`` connection and only the solution-relevant streaming
+    reduction is materialised in Python, so the source may be far larger
+    than RAM.
 ``sharded-pool``
     The batch sharded across a multiprocessing pool.  Pool width and chunk
     size are cost-model outputs; an explicit ``workers=N`` request is
@@ -67,6 +73,7 @@ from .strategies import (
 
 INDEXED_MEMORY = "indexed-memory"
 SQLITE_PUSHDOWN = "sqlite-pushdown"
+BACKEND_PUSHDOWN = "backend-pushdown"
 SHARDED_POOL = "sharded-pool"
 SHARED_POOL = "shared-pool"
 #: The server-layer short-circuit: every dataset of the request was served
@@ -244,6 +251,17 @@ class Planner:
                 alternatives=scoreboard,
                 cost=estimate,
             )
+        if winner.name == BACKEND_PUSHDOWN:
+            return Plan(
+                BACKEND_PUSHDOWN,
+                None,
+                True,
+                "relational backend data: fragments run server-side, only the "
+                "solution-relevant reduction streams into Python",
+                tuple(warnings),
+                alternatives=scoreboard,
+                cost=estimate,
+            )
         reason = (
             "sequential indexed in-memory evaluation"
             if winner.name == INDEXED_MEMORY
@@ -356,6 +374,16 @@ class Planner:
             and (sharded is None or not sharded.eligible)
         ):
             return pushdown, pushdown.cost
+        # 2b. backend="dbapi" (or a full connection spec) forces the
+        #     relational-backend pushdown the same way, when it applies.
+        backend_pushdown = by_name.get(BACKEND_PUSHDOWN)
+        if (
+            backend_mode == "dbapi"
+            and backend_pushdown is not None
+            and backend_pushdown.eligible
+            and (sharded is None or not sharded.eligible)
+        ):
+            return backend_pushdown, backend_pushdown.cost
         # 3. Cost comparison: cheapest eligible wins; ties break toward the
         #    more specialised strategy, then registration order.
         best: Optional[Tuple[float, int, int, ScoredStrategy]] = None
@@ -382,7 +410,7 @@ class Planner:
     def _backend_mode(
         self, request: Request, datasets: Sequence[DatasetRef], warnings: List[str]
     ) -> str:
-        """Classify the ``backend=`` request: default / memory / sqlite.
+        """Classify the ``backend=`` request: default / memory / sqlite / dbapi.
 
         An unknown value warns and *falls back to the default scored
         routing*; it used to silently behave like a pushdown request.
@@ -397,10 +425,24 @@ class Planner:
                 )
                 return "default"
             return "sqlite"
+        if request.backend == "dbapi" or (
+            request.backend is not None
+            and (
+                request.backend.startswith("dbapi:")
+                or request.backend.startswith("backend://")
+            )
+        ):
+            if not any(ref.kind == DatasetRef.BACKEND for ref in datasets):
+                warnings.append(
+                    "backend=dbapi requested but no dataset is a relational "
+                    "backend connection; answering on the in-memory path"
+                )
+                return "default"
+            return "dbapi"
         if request.backend is not None:
             warnings.append(
                 f"unknown backend={request.backend!r} ignored "
-                "(expected 'memory' or 'sqlite'); planner default applies"
+                "(expected 'memory', 'sqlite' or 'dbapi'); planner default applies"
             )
         return "default"
 

@@ -128,12 +128,20 @@ def run_workload(
 def error_answer(
     op: str, query: str, error: Exception, request: Optional[Request] = None
 ) -> Answer:
-    """An ``ok: false`` envelope for a failed request (shared fault shape)."""
+    """An ``ok: false`` envelope for a failed request (shared fault shape).
+
+    Typed exceptions (those carrying a string ``kind`` attribute, e.g.
+    :class:`~repro.backends.base.DatasetUnavailable`) surface it as
+    ``details["error_kind"]`` so callers can dispatch on the failure class
+    without parsing the error text.
+    """
+    kind = getattr(error, "kind", None)
     return Answer(
         op=op,
         query=query,
         ok=False,
         error=f"{type(error).__name__}: {error}",
+        details={"error_kind": kind} if isinstance(kind, str) else {},
         request_id=request.request_id if request is not None else None,
     )
 

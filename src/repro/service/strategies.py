@@ -274,17 +274,31 @@ class IndexedMemoryStrategy(_SequentialExecution):
         # maintenance instead of assuming the matching refreshes for free.
         # Fresh datasets have no backlog, so cold routing is unchanged.
         refresh_s = 0.0
+        # A relational-backend dataset answered in memory must first stream
+        # the *whole* table out of the server (connect + one row per fact) —
+        # the load the backend-pushdown strategy's streaming reduction
+        # avoids paying; pricing it here is what makes the planner's
+        # crossover real.
+        stream_s = 0.0
         for ref, hint in zip(request.datasets, size_hints):
+            if ref.kind == DatasetRef.BACKEND:
+                n = model.default_facts if hint is None else hint
+                stream_s += model.connect_s + model.stream_row_s * n
+                continue
             if ref.kind != DatasetRef.MEMORY:
                 continue
             database = ref.memory_database
             backlog = database.derived_backlog() if database is not None else 0
             refresh_s += model.matching_refresh_cost(backlog, hint)
-        notes = "warm datasets: pending deltas priced as maintenance" if refresh_s else ""
+        notes = ""
+        if refresh_s:
+            notes = "warm datasets: pending deltas priced as maintenance"
+        elif stream_s:
+            notes = "backend datasets: full table streamed into memory first"
         return CostEstimate(
-            total_s=setup_s + eval_s + sat_s + refresh_s,
+            total_s=setup_s + eval_s + sat_s + refresh_s + stream_s,
             setup_s=setup_s,
-            eval_s=eval_s + refresh_s,
+            eval_s=eval_s + refresh_s + stream_s,
             sat_s=sat_s,
             notes=notes,
         )
@@ -321,6 +335,101 @@ class SqlitePushdownStrategy(_SequentialExecution):
             sat_s=sat_s,
             notes="solution pairs and Cert_k seeds precomputed in SQL",
         )
+
+
+class PushdownStrategy(_SequentialExecution):
+    """Resolution through the pluggable relational backend layer.
+
+    Every dataset is a ``dbapi:`` / ``backend://`` connection
+    (:class:`~repro.service.datasets.DatasetRef` kind ``backend``); the hot
+    relational fragments — the solution-pair self-join, the ``Cert_k`` seed
+    filter, per-block counts and escape probes — run server-side as
+    parameterised SQL, and only the *solution-relevant reduction* is ever
+    materialised in Python (one bounded stream, certainty-equivalent to the
+    full table; see :mod:`repro.backends.streaming`).  That is what lets the
+    session decide certainty for a database far larger than RAM.
+    """
+
+    name = "backend-pushdown"
+    specificity = 12
+
+    def supports(self, request, classification, context):
+        if request.backend == "memory":
+            return False, ("backend=memory pins resolution to the in-memory path",)
+        if not request.datasets:
+            return False, ("needs at least one dataset",)
+        other = [
+            ref.describe()
+            for ref in request.datasets
+            if ref.kind != DatasetRef.BACKEND
+        ]
+        if other:
+            return False, (
+                "needs every dataset behind a relational backend connection "
+                f"(got {', '.join(other[:3])})",
+            )
+        return True, ()
+
+    def estimate(self, request, classification, size_hints, context):
+        model = context.cost_model
+        fraction = model.backend_stream_fraction
+        # connect + server-side self-join scan over the full table, then the
+        # reduction streams only the solution-relevant fraction into Python
+        # and the engine answers over that reduced database.
+        connect_s = model.connect_s * max(1, len(size_hints))
+        scan_s = 0.0
+        stream_s = 0.0
+        reduced_hints = []
+        for hint in size_hints:
+            n = model.default_facts if hint is None else hint
+            scan_s += model.pushdown_per_fact_s * n
+            stream_s += model.stream_row_s * fraction * n
+            reduced_hints.append(max(1, int(fraction * n)))
+        setup_s, eval_s, sat_s = model.cost_breakdown(
+            reduced_hints, classification, pushdown=True
+        )
+        return CostEstimate(
+            total_s=connect_s + scan_s + stream_s + setup_s + eval_s + sat_s,
+            setup_s=connect_s + setup_s,
+            eval_s=scan_s + stream_s + eval_s,
+            sat_s=sat_s,
+            notes=(
+                "fragments pushed server-side; only the solution-relevant "
+                "reduction streams into Python"
+            ),
+        )
+
+    def execute(self, ctx: ExecutionContext, request: Request) -> List[Answer]:
+        engine = ctx.engine
+        want_witness = request.wants_witness
+        answers = []
+        for ref in request.datasets:
+            database, load_s = ctx.resolve(ref)
+            answer_started = time.perf_counter()
+            report = engine.explain(database, want_witness=want_witness)
+            timings = {
+                "load_s": load_s,
+                "answer_s": time.perf_counter() - answer_started,
+            }
+            details: Dict[str, object] = {}
+            backend = ref.live_backend
+            stats = getattr(ref, "last_reduction", None)
+            if stats is not None:
+                details["streaming"] = stats.to_json_dict()
+            if backend is not None:
+                details["backend"] = backend.capabilities().to_json_dict()
+            answer = ctx.answer_for(
+                request, ref, database, report, timings, details
+            )
+            # Interned backends store term digests in the fact columns;
+            # only the few user-visible witness facts are decoded back to
+            # real values (wide terms never travel otherwise).
+            if answer.witness is not None and backend is not None:
+                answer.witness = [
+                    str(backend.decode_fact(fact)) for fact in report.witness
+                ]
+            answers.append(answer)
+        return answers
 
 
 class ShardedPoolStrategy(Strategy):
@@ -568,6 +677,7 @@ class StrategyRegistry:
             (
                 IndexedMemoryStrategy(),
                 SqlitePushdownStrategy(),
+                PushdownStrategy(),
                 ShardedPoolStrategy(),
                 SharedMemoryPoolStrategy(),
             )
@@ -603,6 +713,7 @@ __all__ = [
     "ExecutionContext",
     "IndexedMemoryStrategy",
     "PlannerContext",
+    "PushdownStrategy",
     "ScoredStrategy",
     "SharedMemoryPoolStrategy",
     "ShardedPoolStrategy",

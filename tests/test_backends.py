@@ -1,0 +1,557 @@
+"""The pluggable relational backend layer (DB-API pushdown + streaming).
+
+Four claims are pinned here:
+
+* **Connection specs** — every documented ``dbapi:`` / ``backend://`` form
+  parses to the same ``BackendSpec``; unknown drivers and malformed specs
+  fail loudly; the Postgres driver is *gated* (no psycopg installed → a
+  typed :class:`DatasetUnavailable`, never an ImportError).
+* **Differential conformance** — streaming the solution-relevant reduction
+  out of a DB-API backend (over stdlib sqlite3, interned blake2b terms)
+  answers certain(q) identically to the exponential ``certain_bruteforce``
+  oracle across q1..q7 on ~150 seeded databases, with both verdicts
+  exercised for every query class.
+* **Bounded streaming** — the Python-side row buffer never exceeds the
+  batch size: the reduction is decided without materialising the backend's
+  fact table (the out-of-RAM contract), asserted through the stream's own
+  peak counter on databases much larger than the batch.
+* **Planner integration** — ``--explain-plan`` scoreboards show
+  ``backend-pushdown`` selected for backend-resident data and rejected
+  (with reasons) for in-memory datasets; an unreachable backend or CSV
+  surfaces the typed ``dataset_unavailable`` envelope and CLI exit code 2.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CertainEngine,
+    DatasetRef,
+    Request,
+    Session,
+    certain_bruteforce,
+    paper_queries,
+)
+from repro.backends import (
+    BackendSpec,
+    DatasetUnavailable,
+    DbApiBackend,
+    is_backend_spec,
+    parse_backend_spec,
+)
+from repro.backends.encoding import (
+    decode_element,
+    encode_element,
+    term_digest,
+)
+from repro.backends.streaming import BoundedRowStream, reduced_streamed_database
+from repro.db.generators import random_block_database, random_solution_database
+from repro.service.runner import run_workload
+
+#: Brute-force oracle bound: skip (rare) databases with more repairs.
+MAX_REPAIRS = 512
+
+#: Seeded databases per query class (two generator families each).
+CASES_PER_QUERY = 11
+
+ALL_QUERIES = ("q1", "q2", "q3", "q4", "q5", "q6", "q7")
+
+
+# --------------------------------------------------------------------------- #
+# connection specs
+# --------------------------------------------------------------------------- #
+class TestBackendSpecs:
+    @pytest.mark.parametrize(
+        "text, driver, dsn, table",
+        [
+            ("dbapi:sqlite:/tmp/x.db", "sqlite", "/tmp/x.db", None),
+            ("dbapi:sqlite:///tmp/x.db", "sqlite", "/tmp/x.db", None),
+            ("dbapi:sqlite::memory:", "sqlite", ":memory:", None),
+            ("dbapi:sqlite:", "sqlite", ":memory:", None),
+            ("backend://sqlite//tmp/x.db", "sqlite", "/tmp/x.db", None),
+            ("backend://sqlite/rel.db", "sqlite", "rel.db", None),
+            (
+                "dbapi:sqlite:/tmp/x.db?table=facts_R",
+                "sqlite",
+                "/tmp/x.db",
+                "facts_R",
+            ),
+            (
+                "dbapi:postgres://user@host/db",
+                "postgres",
+                "postgresql://user@host/db",
+                None,
+            ),
+        ],
+    )
+    def test_documented_forms_parse(self, text, driver, dsn, table):
+        spec = parse_backend_spec(text)
+        assert (spec.driver, spec.dsn, spec.table) == (driver, dsn, table)
+        assert is_backend_spec(text)
+
+    def test_describe_round_trips(self):
+        spec = parse_backend_spec("dbapi:sqlite:/tmp/x.db?table=facts_R")
+        assert parse_backend_spec(spec.describe()) == spec
+
+    def test_batch_option_reaches_the_backend(self):
+        backend = DbApiBackend("dbapi:sqlite::memory:?batch=7")
+        assert backend.batch_size == 7
+
+    @pytest.mark.parametrize(
+        "text",
+        ["dbapi:oracle:/x", "backend://mysql/x", "dbapi:", "backend://"],
+    )
+    def test_unknown_or_malformed_specs_fail(self, text):
+        with pytest.raises(ValueError):
+            parse_backend_spec(text)
+
+    def test_non_backend_paths_are_not_specs(self):
+        assert not is_backend_spec("facts.csv")
+        assert not is_backend_spec("/tmp/facts.db")
+
+    def test_postgres_is_gated_not_broken(self):
+        """Without psycopg installed, connecting raises the typed error."""
+        try:
+            import psycopg  # noqa: F401
+        except ImportError:
+            backend = DbApiBackend(
+                "dbapi:postgres://user@nowhere.invalid/db",
+                schema=paper_queries()["q3"].schema,
+            )
+            with pytest.raises(DatasetUnavailable):
+                backend.connect()
+        else:  # pragma: no cover - environment-dependent
+            pytest.skip("psycopg installed: the gate does not apply")
+
+    def test_spec_is_hashable_and_frozen(self):
+        spec = BackendSpec(driver="sqlite", dsn=":memory:")
+        assert hash(spec) == hash(BackendSpec(driver="sqlite", dsn=":memory:"))
+        with pytest.raises(AttributeError):
+            spec.dsn = "/tmp/x.db"
+
+
+# --------------------------------------------------------------------------- #
+# the interned-term codec
+# --------------------------------------------------------------------------- #
+class TestTermEncoding:
+    @pytest.mark.parametrize(
+        "value",
+        ["a", "a,b|c", "", 42, -7, True, False, None, 2.5, (1, "x"), ((1, 2), "y")],
+    )
+    def test_canonical_round_trip(self, value):
+        assert decode_element(encode_element(value)) == value
+
+    def test_digests_separate_values_commas_cannot_confuse(self):
+        # The classic flat-join collision: ("a,b", "c") vs ("a", "b,c").
+        left = term_digest(encode_element(("a,b", "c")))
+        right = term_digest(encode_element(("a", "b,c")))
+        assert left != right
+
+    def test_decode_unmapped_digest_is_identity(self):
+        backend = DbApiBackend(
+            "dbapi:sqlite::memory:", schema=paper_queries()["q3"].schema
+        )
+        assert decode_element("str:plain") == "plain"
+        backend.close()
+
+
+# --------------------------------------------------------------------------- #
+# differential conformance: DB-API streaming vs the brute-force oracle
+# --------------------------------------------------------------------------- #
+def _seeded_cases(query):
+    databases = []
+    for index in range(CASES_PER_QUERY):
+        rng = random.Random(40_000 + 977 * index)
+        databases.append(
+            random_solution_database(
+                query,
+                solution_count=rng.randint(2, 5),
+                noise_count=rng.randint(0, 4),
+                domain_size=rng.randint(3, 5),
+                rng=rng,
+            )
+        )
+        rng = random.Random(50_000 + 991 * index)
+        databases.append(
+            random_block_database(
+                query.schema,
+                block_count=rng.randint(2, 5),
+                max_block_size=3,
+                domain_size=rng.randint(3, 6),
+                rng=rng,
+            )
+        )
+    return [db for db in databases if db.repair_count() <= MAX_REPAIRS]
+
+
+@pytest.mark.parametrize("name", ALL_QUERIES)
+def test_dbapi_streaming_matches_bruteforce_oracle(name):
+    """certain(q) through the pushed-down streaming reduction == the oracle.
+
+    Every database is ingested into a DB-API backend (interned digests,
+    batched executemany), then answered through the full service path with
+    ``backend="dbapi"`` — the planner must route to ``backend-pushdown``,
+    the streamed reduction must stay within one batch of buffered rows, and
+    the verdict must equal the exponential repair enumeration.
+    """
+    query = paper_queries()[name]
+    databases = _seeded_cases(query)
+    assert len(databases) >= 2 * CASES_PER_QUERY - 3
+    session = Session()
+    verdicts = set()
+    for database in databases:
+        expected = certain_bruteforce(query, database)
+        verdicts.add(expected)
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        backend.ingest(database.facts())
+        try:
+            [answer] = session.answer(
+                Request(
+                    op="certain",
+                    query=name,
+                    datasets=(DatasetRef.backend(backend),),
+                    backend="dbapi",
+                )
+            )
+        finally:
+            backend.close()
+        assert answer.ok, answer.error
+        assert answer.backend == "backend-pushdown"
+        assert answer.verdict == expected, (
+            f"{name}: backend-pushdown disagrees with the oracle on "
+            f"{database.describe()}"
+        )
+        streaming = answer.details["streaming"]
+        assert streaming["server_facts"] == len(database.facts())
+        assert streaming["peak_buffer_rows"] <= streaming["batch_size"]
+        assert answer.details["backend"]["driver"] == "sqlite"
+    # Every query class must exercise both verdicts, or the sweep proves
+    # nothing about the negative (falsifying-repair) side.
+    assert verdicts == {True, False}, f"{name}: one-sided verdict sweep"
+
+
+def test_witness_facts_decode_back_to_original_values():
+    """Backends store digests; served witnesses must show the real terms."""
+    query = paper_queries()["q2"]
+    found_negative = False
+    for index in range(30):
+        rng = random.Random(7_000 + 31 * index)
+        database = random_solution_database(
+            query, rng.randint(1, 3), rng.randint(2, 6), 3, rng
+        )
+        if database.repair_count() > MAX_REPAIRS:
+            continue
+        if certain_bruteforce(query, database):
+            continue
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        backend.ingest(database.facts())
+        try:
+            [answer] = Session().answer(
+                Request(
+                    op="witness",
+                    query="q2",
+                    datasets=(DatasetRef.backend(backend),),
+                    backend="dbapi",
+                    witness=True,
+                )
+            )
+        finally:
+            backend.close()
+        assert answer.verdict is False
+        assert answer.witness
+        rendered = {str(fact) for fact in database}
+        for fact_text in answer.witness:
+            assert fact_text in rendered, (
+                f"witness fact {fact_text!r} is not a decoded database fact"
+            )
+        found_negative = True
+        break
+    assert found_negative
+
+
+# --------------------------------------------------------------------------- #
+# bounded streaming: out-of-RAM discipline
+# --------------------------------------------------------------------------- #
+class TestBoundedStreaming:
+    def test_row_stream_buffer_never_exceeds_batch(self):
+        """A counting cursor proves fetchmany batches bound the buffer."""
+
+        class CountingCursor:
+            def __init__(self, rows, batch):
+                self._rows = list(rows)
+                self.max_requested = 0
+                self.closed = False
+
+            def fetchmany(self, size):
+                self.max_requested = max(self.max_requested, size)
+                out, self._rows = self._rows[:size], self._rows[size:]
+                return out
+
+            def close(self):
+                self.closed = True
+
+        cursor = CountingCursor([(i,) for i in range(1000)], 32)
+        stream = BoundedRowStream(cursor, batch_size=32)
+        assert sum(1 for _ in stream) == 1000
+        assert cursor.max_requested == 32
+        assert stream.peak_rows <= 32
+        assert stream.total_rows == 1000
+        assert cursor.closed
+
+    def test_reduction_buffer_bounded_on_large_database(self):
+        """A 400+ fact database streams through a 16-row buffer, verdict intact."""
+        query = paper_queries()["q3"]
+        rng = random.Random(99)
+        database = random_solution_database(query, 60, 200, 40, rng)
+        assert len(database.facts()) > 250
+        backend = DbApiBackend(
+            "dbapi:sqlite::memory:", schema=query.schema, batch_size=16
+        )
+        backend.ingest(database.facts())
+        try:
+            reduced, stats = reduced_streamed_database(
+                backend, query, batch_size=16, server_facts=backend.count()
+            )
+        finally:
+            backend.close()
+        assert stats.peak_buffer_rows <= 16
+        assert stats.server_facts == len(database.facts())
+        # The reduction is certainty-equivalent to the full database.
+        engine = CertainEngine(query)
+        assert engine.is_certain(reduced) == engine.is_certain(database)
+
+    def test_reduction_ships_fewer_facts_than_the_server_holds(self):
+        """Escape representatives compress untouched key blocks to one row."""
+        query = paper_queries()["q3"]
+        rng = random.Random(7)
+        database = random_block_database(query.schema, 40, 6, 8, rng)
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        backend.ingest(database.facts())
+        try:
+            reduced, stats = reduced_streamed_database(backend, query)
+        finally:
+            backend.close()
+        assert stats.reduced_facts == len(reduced.facts())
+        assert stats.reduced_facts <= stats.server_facts
+
+
+# --------------------------------------------------------------------------- #
+# ingest and content identity
+# --------------------------------------------------------------------------- #
+class TestIngestIdentity:
+    def test_ingest_is_idempotent(self):
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 5, 5, 6, random.Random(3))
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        first = backend.ingest(database.facts())
+        second = backend.ingest(database.facts())
+        assert first == len(database.facts())
+        assert second == 0
+        assert backend.count() == first
+        backend.close()
+
+    def test_content_signature_tracks_content_not_order(self, tmp_path):
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 5, 5, 6, random.Random(4))
+        facts = database.facts()
+        one = DbApiBackend(
+            f"dbapi:sqlite:{tmp_path}/a.db", schema=query.schema
+        )
+        two = DbApiBackend(
+            f"dbapi:sqlite:{tmp_path}/b.db", schema=query.schema
+        )
+        one.ingest(facts)
+        two.ingest(list(reversed(facts)))
+        assert one.content_signature() == two.content_signature()
+        two.ingest(
+            random_solution_database(query, 2, 2, 9, random.Random(5)).facts()
+        )
+        assert one.content_signature() != two.content_signature()
+        one.close()
+        two.close()
+
+    def test_backend_ref_fingerprint_follows_content(self, tmp_path):
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 4, 4, 5, random.Random(6))
+        path = tmp_path / "facts.db"
+        backend = DbApiBackend(f"dbapi:sqlite:{path}", schema=query.schema)
+        backend.ingest(database.facts())
+        backend.close()
+        ref = DatasetRef.backend(f"dbapi:sqlite:{path}?table=facts_R")
+        ref._ensure_backend(query.schema)
+        before = ref.fingerprint()
+        assert before is not None
+        more = DbApiBackend(f"dbapi:sqlite:{path}", schema=query.schema)
+        more.ingest(
+            random_solution_database(query, 2, 2, 9, random.Random(8)).facts()
+        )
+        more.close()
+        after = ref.fingerprint()
+        assert after != before  # content changed => cache identity changed
+        ref.close()
+
+
+# --------------------------------------------------------------------------- #
+# planner integration (--explain-plan contract)
+# --------------------------------------------------------------------------- #
+class TestPlannerIntegration:
+    def test_pushdown_selected_for_large_backend_dataset(self):
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 60, 300, 40, random.Random(11))
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        backend.ingest(database.facts())
+        try:
+            [answer] = Session().answer(
+                Request(
+                    op="certain",
+                    query="q3",
+                    datasets=(DatasetRef.backend(backend),),
+                    explain_plan=True,
+                )
+            )
+        finally:
+            backend.close()
+        plan = answer.details["plan"]
+        assert plan["strategy"] == "backend-pushdown"
+        assert "server-side" in plan["reason"]
+        assert answer.backend == "backend-pushdown"
+        scored = {alt["strategy"]: alt for alt in plan["alternatives"]}
+        # The cost model (committed constants) must price the alternative
+        # in-memory route higher: it pays the full-table stream tax.
+        assert scored["indexed-memory"]["eligible"]
+        assert (
+            scored["backend-pushdown"]["cost"]["total_s"]
+            < scored["indexed-memory"]["cost"]["total_s"]
+        )
+
+    def test_pushdown_rejected_for_small_in_memory_dataset(self):
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 2, 3, 5, random.Random(12))
+        [answer] = Session().answer(
+            Request(
+                op="certain",
+                query="q3",
+                datasets=(DatasetRef.in_memory(database),),
+                explain_plan=True,
+            )
+        )
+        plan = answer.details["plan"]
+        assert plan["strategy"] != "backend-pushdown"
+        scored = {alt["strategy"]: alt for alt in plan["alternatives"]}
+        rejected = scored["backend-pushdown"]
+        assert not rejected["eligible"]
+        assert any(
+            "relational backend" in reason for reason in rejected["reasons"]
+        )
+
+    def test_backend_memory_pins_resolution_off_the_pushdown_path(self):
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 10, 10, 8, random.Random(13))
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        backend.ingest(database.facts())
+        try:
+            [answer] = Session().answer(
+                Request(
+                    op="certain",
+                    query="q3",
+                    datasets=(DatasetRef.backend(backend),),
+                    backend="memory",
+                )
+            )
+        finally:
+            backend.close()
+        assert answer.ok
+        assert answer.backend != "backend-pushdown"
+
+
+# --------------------------------------------------------------------------- #
+# the typed dataset_unavailable contract
+# --------------------------------------------------------------------------- #
+class TestDatasetUnavailable:
+    def test_workload_envelope_carries_the_error_kind(self, tmp_path):
+        workload = tmp_path / "requests.jsonl"
+        workload.write_text(
+            '{"op": "certain", "query": "q3", "csv": ["/nonexistent/facts.csv"]}\n'
+            '{"op": "certain", "query": "q3", "sqlite": "/nonexistent/facts.db"}\n'
+            '{"op": "classify", "query": "q3"}\n',
+            encoding="utf-8",
+        )
+        answers = run_workload(str(workload))
+        assert [answer.ok for answer in answers] == [False, False, True]
+        for answer in answers[:2]:
+            assert answer.details["error_kind"] == "dataset_unavailable"
+            assert "Traceback" not in (answer.error or "")
+
+    def test_unreachable_backend_is_typed_too(self):
+        ref = DatasetRef.backend("dbapi:sqlite:/nonexistent/dir/facts.db")
+        with pytest.raises(DatasetUnavailable) as excinfo:
+            Session().answer(
+                Request(op="certain", query="q3", datasets=(ref,))
+            )
+        assert excinfo.value.kind == "dataset_unavailable"
+
+    def test_cli_exits_2_with_typed_envelope(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["certain", "R(x|y) R(y|z)", "/nonexistent/facts.csv", "--json"]
+        )
+        assert code == 2
+        import json
+
+        [envelope] = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert envelope["ok"] is False
+        assert envelope["details"]["error_kind"] == "dataset_unavailable"
+
+    def test_cli_exits_2_for_unreachable_backend_spec(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["certain", "R(x|y) R(y|z)", "dbapi:sqlite:/nonexistent/dir/x.db"]
+        )
+        assert code == 2
+        assert "dataset" in capsys.readouterr().err.lower()
+
+
+# --------------------------------------------------------------------------- #
+# the refactored SqliteFactStore speaks the same protocol
+# --------------------------------------------------------------------------- #
+class TestSqliteStoreProtocol:
+    def test_store_streams_the_same_reduction(self):
+        from repro import SqliteFactStore
+
+        query = paper_queries()["q3"]
+        database = random_solution_database(query, 10, 20, 10, random.Random(21))
+        store = SqliteFactStore(query.schema)
+        store.load_database(database)
+        backend = DbApiBackend("dbapi:sqlite::memory:", schema=query.schema)
+        backend.ingest(database.facts())
+        try:
+            via_store, _ = reduced_streamed_database(store, query)
+            via_backend, _ = reduced_streamed_database(backend, query)
+            engine = CertainEngine(query)
+            assert (
+                engine.is_certain(via_store)
+                == engine.is_certain(via_backend)
+                == engine.is_certain(database)
+            )
+        finally:
+            store.close()
+            backend.close()
+
+    def test_store_capabilities_declare_no_interning(self):
+        from repro import SqliteFactStore
+
+        query = paper_queries()["q3"]
+        store = SqliteFactStore(query.schema)
+        capabilities = store.capabilities()
+        assert capabilities.driver == "sqlite"
+        assert not capabilities.interned_terms
+        store.close()

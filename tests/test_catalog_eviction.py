@@ -1,0 +1,170 @@
+"""Catalog-aware cache eviction: deleting a dataset evicts its answers.
+
+The stale-hit hazard: catalog datasets are served as content-addressed
+inline rows, so a dataset deleted and later *re-created with identical
+rows* carries the same fingerprint — without eviction, the re-created
+dataset would be served a cached verdict whose provenance (the original
+import sessions) no longer exists.  The ``delete`` catalog action must
+therefore sweep every answer derived from the deleted content out of the
+in-memory :class:`AnswerCache` AND the persistent tier, keyed by the
+dataset's content fingerprint at deletion time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import CatalogError, CatalogService
+from repro.server.app import CQAServer
+from repro.server.cache import AnswerCache
+from repro.server.persistent_cache import PersistentAnswerCache
+
+ROWS = [["a", "b"], ["a", "c"], ["d", "e"]]
+
+CERTAIN = {"op": "certain", "query": "q3", "dataset": "acme/orders"}
+
+
+def _seed(catalog_path):
+    service = CatalogService(catalog_path)
+    service.create_tenant("acme")
+    service.create_dataset("acme/orders")
+    service.ingest_rows("acme/orders", ROWS, source="seed")
+    service.close()
+
+
+@pytest.fixture
+def server(tmp_path):
+    catalog_path = str(tmp_path / "catalog.sqlite3")
+    _seed(catalog_path)
+    return CQAServer(
+        catalog_path=catalog_path,
+        persistent_path=str(tmp_path / "answers.sqlite3"),
+    )
+
+
+class TestDeleteEviction:
+    def test_wire_delete_removes_the_dataset(self, server):
+        [deleted] = server.handle_payload(
+            {"op": "catalog", "action": "delete", "dataset": "acme/orders"}
+        )
+        assert deleted.ok
+        summary = deleted.details["deleted"]
+        assert summary["facts"] == len(ROWS)
+        assert summary["fingerprint"]
+        [listing] = server.handle_payload({"op": "catalog", "action": "ls"})
+        assert listing.details["datasets"] == []
+
+    def test_delete_unknown_dataset_is_an_envelope(self, server):
+        [answer] = server.handle_payload(
+            {"op": "catalog", "action": "delete", "dataset": "acme/nope"}
+        )
+        assert not answer.ok and "unknown dataset" in answer.error
+
+    def test_no_stale_hit_after_delete_and_identical_recreate(self, server):
+        # Warm both tiers: miss (computed + stored), then hit.
+        [cold] = server.handle_payload(dict(CERTAIN))
+        assert cold.ok and cold.details.get("cache") == "miss"
+        [warm] = server.handle_payload(dict(CERTAIN))
+        assert warm.details.get("cache") == "hit"
+        persistent = server.cache.persistent
+        assert len(persistent) >= 1  # the content-addressed key persisted
+
+        # Delete through the wire op: both tiers must be swept.
+        [deleted] = server.handle_payload(
+            {"op": "catalog", "action": "delete", "dataset": "acme/orders"}
+        )
+        assert deleted.ok
+        assert deleted.details["deleted"]["cache_evictions"] >= 1
+        assert len(server.cache) == 0
+        assert len(persistent) == 0
+
+        # Re-create with IDENTICAL rows: same content fingerprint, but the
+        # answer must be recomputed, not served from a cache whose entry's
+        # provenance was destroyed.
+        [_] = server.handle_payload(
+            {"op": "catalog", "action": "create", "dataset": "acme/orders"}
+        )
+        [_] = server.handle_payload(
+            {"op": "catalog", "action": "ingest", "dataset": "acme/orders",
+             "rows": ROWS}
+        )
+        [recreated] = server.handle_payload(dict(CERTAIN))
+        assert recreated.ok
+        assert recreated.details.get("cache") == "miss"
+        assert recreated.verdict == cold.verdict  # same content, same verdict
+        # Fresh provenance: exactly one import session (the re-ingest).
+        assert len(recreated.details["provenance"]["import_sessions"]) == 1
+
+    def test_delete_evicts_only_the_deleted_fingerprint(self, server):
+        # A second dataset with different content keeps its entries.
+        server.handle_payload(
+            {"op": "catalog", "action": "create", "dataset": "acme/other"}
+        )
+        server.handle_payload(
+            {"op": "catalog", "action": "ingest", "dataset": "acme/other",
+             "rows": [["x", "y"], ["x", "z"]]}
+        )
+        other = {"op": "certain", "query": "q3", "dataset": "acme/other"}
+        server.handle_payload(dict(CERTAIN))
+        server.handle_payload(dict(other))
+        entries_before = len(server.cache)
+        assert entries_before >= 2
+        [deleted] = server.handle_payload(
+            {"op": "catalog", "action": "delete", "dataset": "acme/orders"}
+        )
+        assert deleted.ok
+        [survivor] = server.handle_payload(dict(other))
+        assert survivor.details.get("cache") == "hit"
+
+
+class TestEvictFingerprintUnits:
+    def test_memory_tier_sweep_counts(self):
+        from repro.service.envelope import Answer
+
+        cache = AnswerCache(max_entries=16)
+        fingerprint = ("rows", "deadbeef", 3)
+        key = cache.make_key("q", "certain", ("d",), fingerprint, None)
+        cache.put(key, Answer(op="certain", query="q", verdict=True))
+        other = cache.make_key("q", "certain", ("d",), ("rows", "cafe", 2), None)
+        cache.put(other, Answer(op="certain", query="q", verdict=False))
+        # Lists (the wire form of the fingerprint) hit the same entries.
+        assert cache.evict_fingerprint(["rows", "deadbeef", 3]) == 1
+        assert cache.get(key) is None
+        assert cache.get(other) is not None
+
+    def test_persistent_tier_sweep(self, tmp_path):
+        from repro.server.cache import CacheKey
+        from repro.service.envelope import Answer
+
+        tier = PersistentAnswerCache(str(tmp_path / "cache.sqlite3"))
+        key = CacheKey("q", "certain", ("d",), ("rows", "deadbeef", 3), 0, 0)
+        keep = CacheKey("q", "certain", ("d",), ("rows", "cafe", 2), 0, 0)
+        assert tier.store(key, Answer(op="certain", query="q", verdict=True), 0.1)
+        assert tier.store(keep, Answer(op="certain", query="q", verdict=False), 0.1)
+        assert tier.evict_fingerprint(["rows", "deadbeef", 3]) == 1
+        assert tier.load(key) is None
+        assert tier.load(keep) is not None
+        tier.close()
+
+
+class TestServiceDelete:
+    def test_delete_returns_rows_fingerprint_and_counts(self, tmp_path):
+        service = CatalogService(str(tmp_path / "catalog.sqlite3"))
+        service.create_tenant("acme")
+        service.create_dataset("acme/orders")
+        service.ingest_rows("acme/orders", ROWS)
+        deleted = service.delete_dataset("acme/orders")
+        assert deleted["facts"] == len(ROWS)
+        assert deleted["import_sessions"] == 1
+        assert deleted["fingerprint"][0] == "rows"
+        with pytest.raises(CatalogError):
+            service.delete_dataset("acme/orders")
+        service.close()
+
+    def test_empty_dataset_deletes_cleanly(self, tmp_path):
+        service = CatalogService(str(tmp_path / "catalog.sqlite3"))
+        service.create_tenant("acme")
+        service.create_dataset("acme/empty")
+        deleted = service.delete_dataset("acme/empty")
+        assert deleted["facts"] == 0
+        service.close()
